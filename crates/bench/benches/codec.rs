@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the coding layer: framing, displacement
+//! alphabets, base-k addressing, and checksums (experiment E9's wall-clock
+//! companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use stigmergy_bench::workloads;
+use stigmergy_coding::addressing::{decode_digits, encode_digits};
+use stigmergy_coding::alphabet::LevelAlphabet;
+use stigmergy_coding::checksum::{crc8, protect, verify};
+use stigmergy_coding::framing::{decode_frames, encode_frame, FrameDecoder};
+
+fn bench_framing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framing");
+    for size in [16usize, 256, 4096] {
+        let payload = workloads::payload(size, 0xC0);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &payload, |b, p| {
+            b.iter(|| encode_frame(black_box(p)));
+        });
+        let bits = encode_frame(&payload);
+        group.bench_with_input(BenchmarkId::new("decode", size), &bits, |b, bits| {
+            b.iter(|| decode_frames(black_box(bits)).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_incremental", size),
+            &bits,
+            |b, bits| {
+                b.iter(|| {
+                    let mut dec = FrameDecoder::new();
+                    let mut out = None;
+                    for bit in bits.iter() {
+                        out = dec.push_bit(bit);
+                    }
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_alphabet(c: &mut Criterion) {
+    let payload = workloads::payload(256, 0xC1);
+    let bits = encode_frame(&payload);
+    let mut group = c.benchmark_group("alphabet_pack_unpack");
+    for levels in [1usize, 8, 128] {
+        let alphabet = LevelAlphabet::new(levels).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &alphabet,
+            |b, alphabet| {
+                b.iter(|| {
+                    let symbols = alphabet.pack(black_box(&bits));
+                    alphabet.unpack(&symbols, bits.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_addressing(c: &mut Criterion) {
+    c.bench_function("addressing/encode_decode_1024_robots_k4", |b| {
+        b.iter(|| {
+            for value in 0..1024usize {
+                let digits = encode_digits(black_box(value), 4, 5).unwrap();
+                assert_eq!(decode_digits(&digits, 4).unwrap(), value);
+            }
+        });
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let payload = workloads::payload(4096, 0xC2);
+    let mut group = c.benchmark_group("checksum");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("crc8_4k", |b| {
+        b.iter(|| crc8(black_box(&payload)));
+    });
+    group.bench_function("protect_verify_4k", |b| {
+        b.iter(|| verify(&protect(black_box(&payload))).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_framing,
+    bench_alphabet,
+    bench_addressing,
+    bench_checksum
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the `t0` preprocessing pipeline (experiment
+//! E7's wall-clock companion): smallest enclosing circle, granular radii,
+//! the naming mechanisms, and the full `SwarmGeometry` build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stigmergy::{label_by_lex, label_by_sec, NamingScheme, SwarmGeometry};
+use stigmergy_bench::workloads;
+use stigmergy_geometry::smallest_enclosing_circle;
+use stigmergy_geometry::voronoi::granular_radii;
+use stigmergy_robots::{Observed, View};
+
+fn view_of(positions: &[stigmergy_geometry::Point]) -> View {
+    View::new(
+        Observed {
+            position: positions[0],
+            id: None,
+        },
+        positions[1..]
+            .iter()
+            .map(|&p| Observed {
+                position: p,
+                id: None,
+            })
+            .collect(),
+        1.0,
+    )
+}
+
+fn bench_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smallest_enclosing_circle");
+    for n in [8usize, 64, 256, 1024] {
+        let pts = workloads::uniform(n, 100.0 * (n as f64).sqrt(), 1.0, 0xB1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| smallest_enclosing_circle(black_box(pts)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_granulars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("granular_radii");
+    for n in [8usize, 64, 256] {
+        let pts = workloads::uniform(n, 100.0 * (n as f64).sqrt(), 1.0, 0xB2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| granular_radii(black_box(pts)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_naming(c: &mut Criterion) {
+    let pts = workloads::uniform(64, 800.0, 1.0, 0xB3);
+    c.bench_function("label_by_lex/64", |b| {
+        b.iter(|| label_by_lex(black_box(&pts)).unwrap());
+    });
+    c.bench_function("label_by_sec/64", |b| {
+        b.iter(|| label_by_sec(black_box(&pts), 0).unwrap());
+    });
+}
+
+fn bench_swarm_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm_geometry_build");
+    for n in [8usize, 32, 128] {
+        let pts = workloads::uniform(n, 100.0 * (n as f64).sqrt(), 1.0, 0xB4);
+        let view = view_of(&pts);
+        group.bench_with_input(BenchmarkId::new("by_sec_kappa", n), &view, |b, view| {
+            b.iter(|| SwarmGeometry::build(black_box(view), NamingScheme::BySec, true).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("by_lex", n), &view, |b, view| {
+            b.iter(|| SwarmGeometry::build(black_box(view), NamingScheme::ByLex, false).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sec,
+    bench_granulars,
+    bench_naming,
+    bench_swarm_geometry
+);
+criterion_main!(benches);

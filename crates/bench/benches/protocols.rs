@@ -1,0 +1,126 @@
+//! Criterion benchmarks for end-to-end protocol runs: how much simulator
+//! wall-clock one delivered message costs, per protocol and swarm size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stigmergy::async2::DriftPolicy;
+use stigmergy::session::{AsyncNetwork, AsyncPair, SyncNetwork};
+use stigmergy_bench::workloads;
+use stigmergy_geometry::Point;
+
+fn bench_sync_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_delivery_8bytes");
+    group.sample_size(20);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("by_lex", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = SyncNetwork::anonymous_with_direction(
+                    workloads::ring(n, 10.0 * n as f64),
+                    0xBE,
+                )
+                .unwrap();
+                net.send(0, n - 1, black_box(b"8 bytes!")).unwrap();
+                net.run_until_delivered(10_000).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("by_sec", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net =
+                    SyncNetwork::anonymous(workloads::ring(n, 10.0 * n as f64), 0xBE).unwrap();
+                net.send(0, n - 1, black_box(b"8 bytes!")).unwrap();
+                net.run_until_delivered(10_000).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_async_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_pair_delivery");
+    group.sample_size(10);
+    group.bench_function("2bytes_fair", |b| {
+        b.iter(|| {
+            let mut pair = AsyncPair::new(
+                Point::new(0.0, 0.0),
+                Point::new(16.0, 0.0),
+                DriftPolicy::Diverge,
+                0xBF,
+            )
+            .unwrap();
+            pair.send(0, black_box(b"hi")).unwrap();
+            pair.run_until_delivered(100_000).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_async_swarm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_swarm_delivery");
+    group.sample_size(10);
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("1byte", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net =
+                    AsyncNetwork::anonymous(workloads::ring(n, 20.0), 0xC0).unwrap();
+                net.send(0, n - 1, black_box(b"x")).unwrap();
+                net.run_until_delivered(500_000).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    // A raw engine instant with 32 idle robots: the simulator overhead
+    // floor.
+    c.bench_function("engine_step_32_idle_robots", |b| {
+        let mut net =
+            SyncNetwork::anonymous_with_direction(workloads::ring(32, 320.0), 0xC1).unwrap();
+        net.run(1).unwrap(); // preprocessing done
+        b.iter(|| {
+            net.engine_mut().step().unwrap();
+        });
+    });
+}
+
+fn bench_kslice(c: &mut Criterion) {
+    use stigmergy::kslice::KSliceSync;
+    use stigmergy_robots::{Capabilities, Engine};
+    let mut group = c.benchmark_group("kslice_delivery_4bytes_n32");
+    group.sample_size(10);
+    for k in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let n = 32;
+                let mut e = Engine::builder()
+                    .positions(workloads::ring(n, 200.0))
+                    .protocols((0..n).map(|_| KSliceSync::new(k)))
+                    .capabilities(Capabilities::anonymous_with_direction())
+                    .frame_seed(0xBEC)
+                    .build()
+                    .unwrap();
+                e.step().unwrap();
+                let label = stigmergy::label_by_lex(e.trace().initial())
+                    .unwrap()
+                    .label_of(20)
+                    .unwrap();
+                e.protocol_mut(0).send_label(label, black_box(b"4byt"));
+                e.run_until(5_000, |e| {
+                    e.protocol(20).inbox().iter().any(|m| m.payload == b"4byt")
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_delivery,
+    bench_async_pair,
+    bench_async_swarm,
+    bench_engine_step,
+    bench_kslice
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Runs the paper-reproduction experiments.
+//!
+//! ```text
+//! cargo run --release -p stigmergy-bench --bin experiments          # all
+//! cargo run --release -p stigmergy-bench --bin experiments -- fig4  # one
+//! cargo run --release -p stigmergy-bench --bin experiments -- list  # ids
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+use stigmergy_bench::experiments;
+
+/// Prints to stdout, exiting quietly when the reader hung up (e.g. the
+/// output is piped into `head`) instead of panicking on a broken pipe.
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    if writeln!(out, "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            for artifact in experiments::all() {
+                banner(artifact.id, artifact.paper_ref);
+                for table in (artifact.run)() {
+                    emit(&table.to_string());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("render") => {
+            let dir = std::path::Path::new("target/figures");
+            match stigmergy_bench::experiments::figures::render_all(dir) {
+                Ok(files) => {
+                    for f in files {
+                        emit(&format!("wrote {}", f.display()));
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("render failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("list") => {
+            for artifact in experiments::all() {
+                emit(&format!("{:6} {}", artifact.id, artifact.paper_ref));
+            }
+            ExitCode::SUCCESS
+        }
+        Some(id) => match experiments::run_by_id(id) {
+            Some(tables) => {
+                let artifact = experiments::all()
+                    .into_iter()
+                    .find(|a| a.id == id)
+                    .expect("id resolved above");
+                banner(artifact.id, artifact.paper_ref);
+                for table in tables {
+                    emit(&table.to_string());
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment id {id:?}; try `list`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn banner(id: &str, paper_ref: &str) {
+    let bar = "=".repeat(72);
+    emit(&bar);
+    emit(&format!("{id}: {paper_ref}"));
+    emit(&bar);
+}

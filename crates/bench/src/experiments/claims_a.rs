@@ -1,0 +1,446 @@
+//! Experiments E1–E5: synchronous cost, Lemma 4.1, drift policies, the
+//! §5 addressing trade-off, and the wireless backup.
+
+use crate::table::{fnum, Table};
+use crate::workloads;
+use stigmergy::async2::{Async2, DriftPolicy};
+use stigmergy::backup::{BackupChannel, Wireless};
+use stigmergy::kslice::KSliceSync;
+use stigmergy::session::SyncNetwork;
+use stigmergy_geometry::Point;
+use stigmergy_robots::{Capabilities, Engine};
+use stigmergy_scheduler::{FairAsync, Schedule, WakeAllFirst};
+
+/// E1: synchronous protocols cost two instants per bit and are silent
+/// when idle — across all three naming schemes and swarm sizes.
+#[must_use]
+pub fn e1() -> Vec<Table> {
+    let mut t = Table::new(
+        "e1: synchronous delivery cost (16-byte message = 144 frame bits)",
+        [
+            "naming",
+            "n",
+            "frame bits",
+            "instants",
+            "instants/bit",
+            "idle moves",
+        ],
+    );
+    let payload = workloads::payload(16, 0xE1);
+    let bits = 16 + payload.len() * 8;
+    for (name, build) in [
+        (
+            "ById (§3.2)",
+            SyncNetwork::identified as fn(Vec<Point>, u64) -> _,
+        ),
+        ("ByLex (§3.3)", SyncNetwork::anonymous_with_direction),
+        ("BySec (§3.4)", SyncNetwork::anonymous),
+    ] {
+        for n in [2usize, 4, 8, 16] {
+            let mut net = build(workloads::ring(n, 10.0 * n as f64), 0xE1).expect("valid ring");
+            net.send(0, n - 1, &payload).expect("valid route");
+            let steps = net.run_until_delivered(10_000).expect("delivery");
+            // Silence: robots other than the sender never move.
+            let idle_moves: usize = (1..n)
+                .map(|i| net.engine().trace().move_count(i))
+                .sum();
+            t.row([
+                name.to_string(),
+                n.to_string(),
+                bits.to_string(),
+                steps.to_string(),
+                fnum(steps as f64 / bits as f64),
+                idle_moves.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E2: Lemma 4.1 — if `r` keeps moving in one direction and observes `r′`
+/// change twice, `r′` has observed `r` change at least once. Randomized
+/// counterexample search, plus a demonstration that *one* change is not
+/// enough (Corollary 4.2 needs two).
+#[must_use]
+pub fn e2() -> Vec<Table> {
+    let trials = 500u64;
+
+    // The §4.2 setting: every robot is awake at t0, so everyone's first
+    // observation happens before anyone has moved. This is the premise
+    // under which the protocols run (sessions wrap every scheduler in
+    // WakeAllFirst).
+    let with_t0 = simulate_lemma(trials, true);
+    // Without the t0 assumption, robots may take their baseline
+    // observation late — and the lemma's proof step "r knows three
+    // distinct positions ⇒ r has moved at least twice" fails. The search
+    // below finds concrete counterexample schedules.
+    let without_t0 = simulate_lemma(trials, false);
+
+    let mut t = Table::new(
+        "e2: Lemma 4.1 randomized validation (500 fair schedules × 400 instants)",
+        ["setting", "check", "count", "verdict"],
+    );
+    t.row([
+        "all robots awake at t0 (§4.2)",
+        "\"changed twice ⇒ peer observed me\" confirmed",
+        with_t0.confirmations.to_string().as_str(),
+        "as proven",
+    ]);
+    t.row([
+        "all robots awake at t0 (§4.2)",
+        "violations",
+        with_t0.violations.to_string().as_str(),
+        if with_t0.violations == 0 {
+            "none — lemma holds"
+        } else {
+            "LEMMA BROKEN"
+        },
+    ]);
+    t.row([
+        "all robots awake at t0 (§4.2)",
+        "schedules where ONE change left the peer blind",
+        with_t0.one_change_counterexamples.to_string().as_str(),
+        "a single change is insufficient — the 'twice' is tight",
+    ]);
+    t.row([
+        "arbitrary wake-up (t0 assumption dropped)",
+        "violations",
+        without_t0.violations.to_string().as_str(),
+        "counterexamples exist — the t0 assumption is necessary",
+    ]);
+    vec![t]
+}
+
+struct LemmaStats {
+    confirmations: u64,
+    violations: u64,
+    one_change_counterexamples: u64,
+}
+
+/// Simulates two robots that always move in fixed, distinct directions —
+/// the premise of Lemma 4.1 — under seeded fair schedules, and audits the
+/// implication "r saw r' change twice ⇒ r' saw r change at least once".
+///
+/// Knowledge is observation-only (a robot's first observation is a
+/// baseline, not a change). With `wake_all_at_t0` the first instant
+/// activates both robots, matching the paper's §4.2 assumption.
+fn simulate_lemma(trials: u64, wake_all_at_t0: bool) -> LemmaStats {
+    let horizon = 400u64;
+    let mut stats = LemmaStats {
+        confirmations: 0,
+        violations: 0,
+        one_change_counterexamples: 0,
+    };
+    for seed in 0..trials {
+        let mut schedule = FairAsync::new(seed, 0.3, 12);
+        let mut pos = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let mut last_seen: [Option<Point>; 2] = [None, None];
+        let mut changes = [0u32; 2];
+        let mut lemma_checked = [false; 2];
+        let mut one_change_unseen = [false; 2];
+
+        for t in 0..horizon {
+            let inner = schedule.activations(t, 2);
+            let active = if t == 0 && wake_all_at_t0 {
+                stigmergy_scheduler::ActivationSet::full(2)
+            } else {
+                inner
+            };
+            // Observation phase (all active robots see the same snapshot).
+            for r in 0..2 {
+                if !active.contains(r) {
+                    continue;
+                }
+                let peer = 1 - r;
+                match last_seen[r] {
+                    Some(prev) if prev != pos[peer] => {
+                        changes[r] += 1;
+                        last_seen[r] = Some(pos[peer]);
+                    }
+                    Some(_) => {}
+                    None => last_seen[r] = Some(pos[peer]),
+                }
+            }
+            // Audit after the instant's observations settle.
+            for r in 0..2 {
+                let peer = 1 - r;
+                if changes[r] == 1 && changes[peer] == 0 {
+                    one_change_unseen[r] = true;
+                }
+                if changes[r] >= 2 && !lemma_checked[r] {
+                    lemma_checked[r] = true;
+                    if changes[peer] >= 1 {
+                        stats.confirmations += 1;
+                    } else {
+                        stats.violations += 1;
+                    }
+                }
+            }
+            // Movement phase: every active robot moves (Remark 4.3), each
+            // always in its own fixed direction.
+            for (r, p) in pos.iter_mut().enumerate() {
+                if active.contains(r) {
+                    *p = if r == 0 {
+                        Point::new(p.x + 1.0, p.y)
+                    } else {
+                        Point::new(p.x, p.y + 1.0)
+                    };
+                }
+            }
+        }
+        if one_change_unseen.iter().any(|&b| b) {
+            stats.one_change_counterexamples += 1;
+        }
+    }
+    stats
+}
+
+/// E3: the §4.1 drift dilemma — base protocol drifts without bound;
+/// alternate+contract bounds the drift at the price of shrinking steps.
+#[must_use]
+pub fn e3() -> Vec<Table> {
+    let mut t = Table::new(
+        "e3: Async2 drift policies (4-byte message, d0 = 16, fair scheduler)",
+        [
+            "policy",
+            "instants",
+            "max drift",
+            "min pairwise distance",
+            "final step length",
+        ],
+    );
+    let payload = workloads::payload(4, 0xE3);
+    for (name, policy) in [
+        ("Diverge (base §4.1)", DriftPolicy::Diverge),
+        (
+            "AlternateContract x=2",
+            DriftPolicy::AlternateContract { x: 2.0 },
+        ),
+        (
+            "AlternateContract x=8",
+            DriftPolicy::AlternateContract { x: 8.0 },
+        ),
+    ] {
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(16.0, 0.0)])
+            .protocols([Async2::new(policy), Async2::new(policy)])
+            .schedule(WakeAllFirst::new(FairAsync::new(0xE3, 0.5, 8)))
+            .frame_seed(0xE3)
+            .build()
+            .expect("valid pair");
+        e.protocol_mut(0).send(&payload);
+        let out = e
+            .run_until(400_000, |e| !e.protocol(1).inbox().is_empty())
+            .expect("collision-free");
+        assert!(out.satisfied, "{name}: message not delivered");
+        let world_step =
+            e.frames()[0].len_to_world(e.protocol(0).current_step());
+        t.row([
+            name.to_string(),
+            out.steps_taken.to_string(),
+            fnum(e.trace().max_drift()),
+            fnum(e.trace().min_pairwise_distance()),
+            fnum(world_step),
+        ]);
+    }
+    vec![t]
+}
+
+/// E4: the §5 trade-off — `k` addressing segments need `⌈log_k n⌉` moves
+/// per message where the full keyboard needs none (the slice *is* the
+/// address), but shrink the keyboard from `n` to `1 + ⌈k/2⌉` diameters.
+#[must_use]
+pub fn e4() -> Vec<Table> {
+    let n = 64usize;
+    let payload = workloads::payload(4, 0xE4);
+    let frame_bits = (16 + payload.len() * 8) as u64;
+
+    let mut t = Table::new(
+        "e4: addressing cost, n = 64 robots, 4-byte message (48 frame bits)",
+        [
+            "scheme",
+            "diameters",
+            "address moves (theory)",
+            "address moves (measured)",
+            "total moves",
+            "instants",
+        ],
+    );
+
+    // Full keyboard baseline (§3.3 protocol): the slice choice is the
+    // address, zero extra moves.
+    {
+        let mut net =
+            SyncNetwork::anonymous_with_direction(workloads::ring(n, 300.0), 0xE4)
+                .expect("valid ring");
+        net.send(0, 40, &payload).expect("valid route");
+        let steps = net.run_until_delivered(10_000).expect("delivery");
+        let moves = net.engine().protocol(0).signals_sent();
+        t.row([
+            "full keyboard (§3.2–3.4)".to_string(),
+            n.to_string(),
+            "0".to_string(),
+            (moves - frame_bits).to_string(),
+            moves.to_string(),
+            steps.to_string(),
+        ]);
+    }
+
+    for k in [2usize, 4, 8, 16] {
+        let positions = workloads::ring(n, 300.0);
+        let mut e = Engine::builder()
+            .positions(positions)
+            .protocols((0..n).map(|_| KSliceSync::new(k)))
+            .capabilities(Capabilities::anonymous_with_direction())
+            .frame_seed(0xE4)
+            .build()
+            .expect("valid ring");
+        e.step().expect("warm-up");
+        // Robot 40's lexicographic label, computed from world positions —
+        // the lexicographic labelling is similarity-invariant, so it
+        // matches what robot 0 computes in its own frame.
+        let label = stigmergy::label_by_lex(e.trace().initial())
+            .expect("distinct positions")
+            .label_of(40)
+            .expect("in range");
+        e.protocol_mut(0).send_label(label, &payload);
+        let out = e
+            .run_until(10_000, |e| {
+                e.protocol(40)
+                    .inbox()
+                    .iter()
+                    .any(|m| m.payload == payload)
+            })
+            .expect("collision-free");
+        assert!(out.satisfied, "k={k}: not delivered");
+        let moves = e.protocol(0).signals_sent();
+        let theory = stigmergy_coding::addressing::digits_for(n, k) as u64;
+        t.row([
+            format!("k = {k} segments (§5)"),
+            (1 + k.div_ceil(2)).to_string(),
+            theory.to_string(),
+            (moves - frame_bits).to_string(),
+            moves.to_string(),
+            out.steps_taken.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// E5: the fault-tolerance claim — movement signals rescue every message a
+/// failing wireless device drops or corrupts.
+#[must_use]
+pub fn e5() -> Vec<Table> {
+    let mut t = Table::new(
+        "e5: wireless failover (20 messages, 4 robots)",
+        [
+            "wireless fault model",
+            "wireless ok",
+            "fallback (loss)",
+            "fallback (corruption)",
+            "movement instants / fallback",
+            "delivered",
+        ],
+    );
+    let square = vec![
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+        Point::new(10.0, 10.0),
+        Point::new(0.0, 10.0),
+    ];
+    let cases = [
+        ("perfect", Wireless::reliable(0xE5)),
+        ("25% loss", Wireless::new(0xE5, 0.25, 0.0, None)),
+        ("20% corruption", Wireless::new(0xE5, 0.0, 0.2, None)),
+        ("dies after 5 sends", Wireless::new(0xE5, 0.0, 0.0, Some(5))),
+        ("dead from start", Wireless::new(0xE5, 0.0, 0.0, Some(0))),
+    ];
+    for (name, wireless) in cases {
+        let mut ch = BackupChannel::new(wireless, square.clone(), 0xE5, 100_000)
+            .expect("valid square");
+        let mut delivered = 0usize;
+        for i in 0..20u8 {
+            let payload = [i, 0xE5];
+            ch.send(0, 2, &payload).expect("backup always delivers");
+            delivered += 1;
+        }
+        let s = ch.stats();
+        let per_fallback = if s.fallbacks() > 0 {
+            fnum(s.movement_steps as f64 / s.fallbacks() as f64)
+        } else {
+            "-".to_string()
+        };
+        t.row([
+            name.to_string(),
+            s.wireless_ok.to_string(),
+            s.fallback_loss.to_string(),
+            s.fallback_corruption.to_string(),
+            per_fallback,
+            format!("{delivered}/20"),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_two_instants_per_bit() {
+        let tables = e1();
+        // Every row's instants/bit is 2.00 (frame bits × 2 instants), and
+        // idle robots never move.
+        let s = tables[0].to_string();
+        for line in s.lines().skip(3) {
+            assert!(line.contains("2.00"), "unexpected cost row: {line}");
+            let idle = line
+                .split('|')
+                .rev()
+                .find(|c| !c.trim().is_empty())
+                .map(str::trim);
+            assert_eq!(idle, Some("0"), "idle moves: {line}");
+        }
+    }
+
+    #[test]
+    fn e2_lemma_holds_with_t0_assumption() {
+        let tables = e2();
+        let s = tables[0].to_string();
+        assert!(s.contains("none — lemma holds"), "{s}");
+        assert!(!s.contains("LEMMA BROKEN"), "{s}");
+        // Dropping the t0 assumption must exhibit counterexamples — that
+        // contrast is the point of the fourth row.
+        let last = s.lines().last().unwrap();
+        let count: u64 = last
+            .split('|')
+            .nth(3)
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("violation count cell");
+        assert!(count > 0, "dropping t0 should break the lemma: {last}");
+    }
+
+    #[test]
+    fn e3_diverge_drifts_more_than_contract() {
+        let tables = e3();
+        assert_eq!(tables[0].len(), 3);
+    }
+
+    #[test]
+    fn e4_address_moves_match_theory() {
+        let tables = e4();
+        let s = tables[0].to_string();
+        // k=2 needs 6 digits for n=64; k=8 needs 2; full keyboard 0.
+        assert!(s.contains("| 6"), "{s}");
+        assert_eq!(tables[0].len(), 5);
+    }
+
+    #[test]
+    fn e5_everything_delivered() {
+        let tables = e5();
+        let s = tables[0].to_string();
+        assert_eq!(s.matches("20/20").count(), 5, "{s}");
+    }
+}

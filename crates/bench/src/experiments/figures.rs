@@ -1,0 +1,495 @@
+//! The paper's six figures as simulated scenarios.
+//!
+//! Each function runs the corresponding protocol on a configuration in the
+//! spirit of the figure and returns tables whose rows exhibit exactly what
+//! the figure illustrates.
+
+use crate::table::{fnum, Table};
+use crate::workloads;
+use stigmergy::async2::{Async2, DriftPolicy};
+use stigmergy::async_n::AsyncSwarm;
+use stigmergy::naming::{label_by_sec, rotational_symmetries};
+use stigmergy::session::{AsyncNetwork, SyncNetwork};
+use stigmergy::sync2::Sync2;
+use stigmergy_coding::BitString;
+use stigmergy_geometry::{smallest_enclosing_circle, Point};
+use stigmergy_robots::{Capabilities, Engine};
+use stigmergy_scheduler::{FairAsync, WakeAllFirst};
+
+/// Fig. 1: two synchronous robots coding bits by lateral moves.
+#[must_use]
+pub fn fig1() -> Vec<Table> {
+    let mut e = Engine::builder()
+        .positions([Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+        .protocols([Sync2::new(), Sync2::new()])
+        .unit_frames()
+        .build()
+        .expect("valid two-robot configuration");
+    let bits = BitString::parse("0110").expect("valid bit literal");
+    e.protocol_mut(0).send_raw(&bits);
+
+    let mut steps = Table::new(
+        "fig1: robot r (home (0,0), peer at (8,0)) signalling 0110",
+        ["t", "phase", "r position", "interpretation"],
+    );
+    for t in 0..8u64 {
+        e.step().expect("no collisions in Sync2");
+        let p = e.positions()[0];
+        let phase = if t % 2 == 0 { "signal" } else { "return" };
+        let meaning = if p.y < -1e-9 {
+            "right of facing → bit 0"
+        } else if p.y > 1e-9 {
+            "left of facing → bit 1"
+        } else {
+            "back home"
+        };
+        steps.row([t.to_string(), phase.to_string(), p.to_string(), meaning.to_string()]);
+    }
+
+    let decoded: String = e
+        .protocol(1)
+        .decoded_bits()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut summary = Table::new("fig1: outcome", ["metric", "value"]);
+    summary.row(["bits sent by r", "0110".to_string().as_str()]);
+    summary.row(["bits decoded by r'", decoded.as_str()]);
+    summary.row([
+        "r' back-decoded correctly",
+        (decoded == "0110").to_string().as_str(),
+    ]);
+    vec![steps, summary]
+}
+
+/// Fig. 2: twelve identified robots; granular keyboards; robot 9 sends to
+/// robot 3.
+#[must_use]
+pub fn fig2() -> Vec<Table> {
+    let positions = workloads::fig2_layout();
+    let mut net =
+        SyncNetwork::identified(positions.clone(), 0xF162).expect("valid configuration");
+    net.run(1).expect("warm-up step");
+
+    let mut keyboards = Table::new(
+        "fig2: granular keyboards after preprocessing (world units)",
+        ["robot", "home", "granular radius", "slices"],
+    );
+    let g = net
+        .engine()
+        .protocol(0)
+        .geometry()
+        .expect("preprocessed")
+        .clone();
+    let frame0 = net.engine().frames()[0];
+    for i in 0..12 {
+        // Robot 0's geometry, mapped back to world units for display.
+        let world_home = frame0.to_world(g.home(i));
+        let world_radius = frame0.len_to_world(g.keyboard(i).radius());
+        let engine_idx = positions
+            .iter()
+            .position(|p| p.approx_eq(world_home))
+            .expect("home matches an initial position");
+        keyboards.row([
+            engine_idx.to_string(),
+            world_home.to_string(),
+            fnum(world_radius),
+            g.keyboard(i).slice_count().to_string(),
+        ]);
+    }
+
+    net.send(9, 3, b"01").expect("valid route");
+    let steps = net.run_until_delivered(2_000).expect("delivery");
+    let mut outcome = Table::new("fig2: robot 9 sends \"01\" to robot 3", ["metric", "value"]);
+    outcome.row(["instants to deliver", steps.to_string().as_str()]);
+    outcome.row([
+        "robot 3 inbox",
+        format!("{:?}", net.inbox(3)).as_str(),
+    ]);
+    outcome.row([
+        "robots 0..12 all decoded it (redundancy)",
+        (0..12)
+            .filter(|&i| i != 9)
+            .all(|i| {
+                net.engine()
+                    .protocol(i)
+                    .overheard()
+                    .iter()
+                    .any(|m| m.payload == b"01")
+            })
+            .to_string()
+            .as_str(),
+    ]);
+    vec![keyboards, outcome]
+}
+
+/// Fig. 3: the symmetric six-robot configuration that rules out a common
+/// naming without sense of direction.
+#[must_use]
+pub fn fig3() -> Vec<Table> {
+    let pts = workloads::fig3_symmetric();
+    let syms = rotational_symmetries(&pts).expect("valid configuration");
+
+    let mut symmetry = Table::new(
+        "fig3: rotational symmetries about the SEC centre",
+        ["angle (rad)", "angle (deg)", "consequence"],
+    );
+    for s in &syms {
+        symmetry.row([
+            fnum(*s),
+            fnum(s.to_degrees()),
+            "every robot has a twin with an identical view".to_string(),
+        ]);
+    }
+
+    let sec = smallest_enclosing_circle(&pts).expect("non-empty");
+    let mut twins = Table::new(
+        "fig3: half-turn twin pairs (positions map onto each other)",
+        ["robot", "position", "twin", "twin position"],
+    );
+    for (i, p) in pts.iter().enumerate() {
+        let image = Point::new(2.0 * sec.center.x - p.x, 2.0 * sec.center.y - p.y);
+        let j = pts
+            .iter()
+            .position(|q| q.distance(image) < 1e-6)
+            .expect("symmetric by construction");
+        if i < j {
+            twins.row([
+                i.to_string(),
+                p.to_string(),
+                j.to_string(),
+                pts[j].to_string(),
+            ]);
+        }
+    }
+
+    // The escape hatch: per-observer SEC naming still works.
+    let mut escape = Table::new(
+        "fig3: SEC naming is observer-relative, so it evades the impossibility",
+        ["observer", "its own label", "labels of robots 0..6"],
+    );
+    for obs in [0usize, 3] {
+        let l = label_by_sec(&pts, obs).expect("no robot at SEC centre");
+        let labels: Vec<String> = (0..6).map(|i| l.label_of(i).unwrap().to_string()).collect();
+        escape.row([
+            obs.to_string(),
+            l.label_of(obs).unwrap().to_string(),
+            labels.join(","),
+        ]);
+    }
+    vec![symmetry, twins, escape]
+}
+
+/// Fig. 4: the SEC relative naming on a twelve-robot configuration.
+#[must_use]
+pub fn fig4() -> Vec<Table> {
+    let pts = workloads::ring(12, 20.0);
+    let sec = smallest_enclosing_circle(&pts).expect("non-empty");
+
+    let mut naming = Table::new(
+        "fig4: SEC radial naming (per-observer labels)",
+        ["robot", "dist from O", "label by obs 0", "label by obs 5"],
+    );
+    let l0 = label_by_sec(&pts, 0).expect("valid");
+    let l5 = label_by_sec(&pts, 5).expect("valid");
+    for (i, p) in pts.iter().enumerate() {
+        naming.row([
+            i.to_string(),
+            fnum(p.distance(sec.center)),
+            l0.label_of(i).unwrap().to_string(),
+            l5.label_of(i).unwrap().to_string(),
+        ]);
+    }
+
+    // End-to-end: chirality-only routing over this naming.
+    let mut net = SyncNetwork::anonymous(pts, 0xF164).expect("valid configuration");
+    net.send(0, 7, b"fig4").expect("valid route");
+    let steps = net.run_until_delivered(2_000).expect("delivery");
+    let mut outcome = Table::new("fig4: chirality-only delivery 0 → 7", ["metric", "value"]);
+    outcome.row(["SEC centre", sec.center.to_string().as_str()]);
+    outcome.row(["SEC radius", fnum(sec.radius).as_str()]);
+    outcome.row(["instants to deliver", steps.to_string().as_str()]);
+    outcome.row(["robot 7 inbox", format!("{:?}", net.inbox(7)).as_str()]);
+    vec![naming, outcome]
+}
+
+/// Fig. 5: the asynchronous two-robot protocol; r sends "001", r′ sends
+/// "0".
+#[must_use]
+pub fn fig5() -> Vec<Table> {
+    let mut e = Engine::builder()
+        .positions([Point::new(0.0, 0.0), Point::new(16.0, 0.0)])
+        .protocols([
+            Async2::new(DriftPolicy::Diverge),
+            Async2::new(DriftPolicy::Diverge),
+        ])
+        .schedule(WakeAllFirst::new(FairAsync::new(0xF165, 0.5, 8)))
+        .frame_seed(0xF165)
+        .build()
+        .expect("valid pair");
+    e.protocol_mut(0)
+        .send_raw(&BitString::parse("001").expect("literal"));
+    e.protocol_mut(1)
+        .send_raw(&BitString::parse("0").expect("literal"));
+    let out = e
+        .run_until(40_000, |e| {
+            e.protocol(1).decoded_bits().len() >= 3 && !e.protocol(0).decoded_bits().is_empty()
+        })
+        .expect("no collisions");
+
+    let stream = |bits: &[stigmergy_coding::Bit]| -> String {
+        bits.iter().map(ToString::to_string).collect()
+    };
+    let mut t = Table::new(
+        "fig5: Async2 under a fair asynchronous scheduler",
+        ["metric", "r (robot 0)", "r' (robot 1)"],
+    );
+    t.row(["bits queued", "001", "0"]);
+    t.row([
+        "bits decoded by the peer",
+        stream(e.protocol(1).decoded_bits()).as_str(),
+        stream(e.protocol(0).decoded_bits()).as_str(),
+    ]);
+    t.row([
+        "excursions made",
+        e.protocol(0).bits_sent().to_string().as_str(),
+        e.protocol(1).bits_sent().to_string().as_str(),
+    ]);
+    t.row([
+        "drift from home (horizon walk)",
+        fnum(e.trace().initial()[0].distance(e.positions()[0])).as_str(),
+        fnum(e.trace().initial()[1].distance(e.positions()[1])).as_str(),
+    ]);
+    t.row([
+        "instants elapsed",
+        out.steps_taken.to_string().as_str(),
+        "",
+    ]);
+    vec![t]
+}
+
+/// Fig. 6: the κ-sliced granular of the asynchronous swarm protocol.
+#[must_use]
+pub fn fig6() -> Vec<Table> {
+    let positions = workloads::ring(4, 18.0);
+    let mut e = Engine::builder()
+        .positions(positions)
+        .protocols((0..4).map(|_| AsyncSwarm::anonymous()))
+        .capabilities(Capabilities::anonymous())
+        .schedule(WakeAllFirst::new(FairAsync::new(0xF166, 0.5, 8)))
+        .frame_seed(0xF166)
+        .build()
+        .expect("valid ring");
+    e.step().expect("warm-up");
+
+    let g = e.protocol(0).geometry().expect("preprocessed").clone();
+    let mut slices = Table::new(
+        "fig6: robot 0's keyboard (n + 1 diameters; slice 0 is κ)",
+        ["slice", "role", "zero-side direction (local)"],
+    );
+    for s in 0..g.keyboard(0).slice_count() {
+        let role = match g.label_for_slice(s) {
+            None => "κ (pacing walk, no addressee)".to_string(),
+            Some(label) => format!("addresses label {label}"),
+        };
+        let dir = g.keyboard(0).zero_direction(s).expect("valid slice");
+        slices.row([s.to_string(), role, dir.to_string()]);
+    }
+
+    // One delivery through the κ machinery, via the session facade.
+    let mut net = AsyncNetwork::anonymous(workloads::ring(4, 18.0), 0xF166)
+        .expect("valid ring");
+    net.send(0, 2, b"k").expect("valid route");
+    let steps = net.run_until_delivered(200_000).expect("delivery");
+    let mut outcome = Table::new("fig6: asynchronous delivery 0 → 2", ["metric", "value"]);
+    outcome.row(["instants to deliver", steps.to_string().as_str()]);
+    outcome.row([
+        "excursions by sender (bits in a 1-byte frame)",
+        net.engine().protocol(0).bits_sent().to_string().as_str(),
+    ]);
+    outcome.row(["robot 2 inbox", format!("{:?}", net.inbox(2)).as_str()]);
+    vec![slices, outcome]
+}
+
+
+/// Renders the figure scenarios as SVG files into `dir`.
+///
+/// Returns the written file paths. The scenarios are re-run with the same
+/// seeds as the table artefacts, so the drawings match the tables.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn render_all(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use crate::svg::{render_trace, SvgOptions};
+    use stigmergy_geometry::voronoi::granular_radii;
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut save = |name: &str, svg: String| -> std::io::Result<()> {
+        let path = dir.join(name);
+        std::fs::write(&path, svg)?;
+        written.push(path);
+        Ok(())
+    };
+
+    // fig1: the two-robot coding trace.
+    {
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .protocols([Sync2::new(), Sync2::new()])
+            .unit_frames()
+            .build()
+            .expect("valid pair");
+        e.protocol_mut(0)
+            .send_raw(&BitString::parse("0110").expect("literal"));
+        e.run(8).expect("collision-free");
+        save(
+            "fig1_sync2.svg",
+            render_trace(
+                e.trace(),
+                &SvgOptions {
+                    title: "Fig. 1 — Sync2: r signals 0110 (right/left excursions)".to_string(),
+                    ..SvgOptions::default()
+                },
+            ),
+        )?;
+    }
+
+    // fig2: granulars + a routed message in the 12-robot layout.
+    {
+        let positions = workloads::fig2_layout();
+        let radii = granular_radii(&positions).expect("distinct");
+        let mut net =
+            SyncNetwork::identified(positions, 0xF162).expect("valid configuration");
+        net.send(9, 3, b"01").expect("valid route");
+        net.run_until_delivered(2_000).expect("delivery");
+        save(
+            "fig2_granular_routing.svg",
+            render_trace(
+                net.engine().trace(),
+                &SvgOptions {
+                    granular_radii: radii,
+                    voronoi_cells: true,
+                    title: "Fig. 2 — Voronoi cells, granular keyboards; robot 9 sends to robot 3"
+                        .to_string(),
+                    ..SvgOptions::default()
+                },
+            ),
+        )?;
+    }
+
+    // fig5: the asynchronous pair's horizon walks and excursions.
+    {
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(16.0, 0.0)])
+            .protocols([
+                Async2::new(DriftPolicy::Diverge),
+                Async2::new(DriftPolicy::Diverge),
+            ])
+            .schedule(WakeAllFirst::new(FairAsync::new(0xF165, 0.5, 8)))
+            .unit_frames()
+            .build()
+            .expect("valid pair");
+        e.protocol_mut(0)
+            .send_raw(&BitString::parse("001").expect("literal"));
+        e.protocol_mut(1)
+            .send_raw(&BitString::parse("0").expect("literal"));
+        e.run_until(40_000, |e| {
+            e.protocol(1).decoded_bits().len() >= 3 && !e.protocol(0).decoded_bits().is_empty()
+        })
+        .expect("collision-free");
+        save(
+            "fig5_async2.svg",
+            render_trace(
+                e.trace(),
+                &SvgOptions {
+                    title: "Fig. 5 — Async2: horizon walks + East/West excursions".to_string(),
+                    ..SvgOptions::default()
+                },
+            ),
+        )?;
+    }
+
+    // fig6: κ oscillations and one asynchronous delivery.
+    {
+        let positions = workloads::ring(4, 18.0);
+        let radii = granular_radii(&positions).expect("distinct");
+        let mut net = AsyncNetwork::anonymous(positions, 0xF166).expect("valid ring");
+        net.send(0, 2, b"k").expect("valid route");
+        net.run_until_delivered(200_000).expect("delivery");
+        save(
+            "fig6_async_swarm.svg",
+            render_trace(
+                net.engine().trace(),
+                &SvgOptions {
+                    granular_radii: radii,
+                    title: "Fig. 6 — AsyncSwarm: κ walks and slice excursions".to_string(),
+                    ..SvgOptions::default()
+                },
+            ),
+        )?;
+    }
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reports_correct_decode() {
+        let tables = fig1();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[1].to_string().contains("true"));
+    }
+
+    #[test]
+    fn fig2_delivers_and_everyone_decodes() {
+        let tables = fig2();
+        let s = tables[1].to_string();
+        assert!(s.contains("true"), "redundancy check failed:\n{s}");
+    }
+
+    #[test]
+    fn fig3_finds_exactly_the_half_turn() {
+        let tables = fig3();
+        assert_eq!(tables[0].len(), 1, "exactly one non-trivial symmetry");
+        assert_eq!(tables[1].len(), 3, "three twin pairs");
+    }
+
+    #[test]
+    fn fig4_delivers() {
+        let tables = fig4();
+        assert!(tables[1].to_string().contains("fig4"));
+        assert_eq!(tables[0].len(), 12);
+    }
+
+    #[test]
+    fn fig5_reproduces_the_streams() {
+        let tables = fig5();
+        let s = tables[0].to_string();
+        assert!(s.contains("001"), "missing r's stream:\n{s}");
+    }
+
+    #[test]
+    fn render_all_writes_svgs() {
+        let dir = std::env::temp_dir().join("stigmergy_fig_render_test");
+        let files = render_all(&dir).unwrap();
+        assert_eq!(files.len(), 4);
+        for f in files {
+            let svg = std::fs::read_to_string(&f).unwrap();
+            assert!(svg.starts_with("<svg"), "{f:?}");
+            assert!(svg.len() > 500, "{f:?} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn fig6_has_kappa_plus_addressing() {
+        let tables = fig6();
+        assert_eq!(tables[0].len(), 5); // n + 1 slices for n = 4
+        assert!(tables[0].to_string().contains("κ"));
+        assert!(tables[1].to_string().contains("107")
+            || tables[1].to_string().contains("instants"));
+    }
+}

@@ -1,0 +1,236 @@
+//! SVG rendering of execution traces.
+//!
+//! Each paper figure has a visual counterpart: `experiments -- render`
+//! writes one SVG per figure to `target/figures/`, drawing the robots'
+//! homes, granular discs, and trajectories from the recorded
+//! [`Trace`]. The renderer is deliberately
+//! dependency-free — hand-written SVG paths.
+
+use std::fmt::Write as _;
+use stigmergy_geometry::Point;
+use stigmergy_robots::Trace;
+
+/// Palette for up to 12 robots (repeats beyond).
+const COLORS: [&str; 12] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+];
+
+/// Options for [`render_trace`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Canvas width/height in pixels.
+    pub size: f64,
+    /// Radii of granular circles to draw per robot (world units); empty
+    /// to skip.
+    pub granular_radii: Vec<f64>,
+    /// Draw the Voronoi cell boundaries of the initial configuration.
+    pub voronoi_cells: bool,
+    /// Title drawn at the top.
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            size: 640.0,
+            granular_radii: Vec::new(),
+            voronoi_cells: false,
+            title: String::new(),
+        }
+    }
+}
+
+/// Renders a trace to an SVG document string.
+///
+/// Homes are filled dots, trajectories are polylines, and optional
+/// granular circles show the movement confinement.
+#[must_use]
+pub fn render_trace(trace: &Trace, options: &SvgOptions) -> String {
+    let n = trace.initial().len();
+    // World bounding box over all recorded positions (plus granulars).
+    let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let mut extend = |p: Point, pad: f64| {
+        min = Point::new(min.x.min(p.x - pad), min.y.min(p.y - pad));
+        max = Point::new(max.x.max(p.x + pad), max.y.max(p.y + pad));
+    };
+    for (i, &home) in trace.initial().iter().enumerate() {
+        let pad = options.granular_radii.get(i).copied().unwrap_or(0.0);
+        extend(home, pad);
+    }
+    for step in trace.steps() {
+        for &p in &step.positions {
+            extend(p, 0.0);
+        }
+    }
+    let span = (max.x - min.x).max(max.y - min.y).max(1e-9);
+    let margin = 0.08 * span;
+    let scale = options.size / (span + 2.0 * margin);
+    // SVG y grows downward; world y grows upward.
+    let map = |p: Point| -> (f64, f64) {
+        (
+            (p.x - min.x + margin) * scale,
+            options.size - (p.y - min.y + margin) * scale,
+        )
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" viewBox="0 0 {s} {s}">"#,
+        s = options.size
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="100%" height="100%" fill="white"/>"#
+    );
+    if !options.title.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="12" y="22" font-family="monospace" font-size="14">{}</text>"#,
+            xml_escape(&options.title)
+        );
+    }
+
+    // Voronoi cell boundaries (clipped to the drawing area).
+    if options.voronoi_cells && trace.initial().len() >= 2 {
+        let lo = Point::new(min.x - margin, min.y - margin);
+        let hi = Point::new(max.x + margin, max.y + margin);
+        for i in 0..trace.initial().len() {
+            if let Ok(poly) =
+                stigmergy_geometry::voronoi::cell_polygon(trace.initial(), i, lo, hi)
+            {
+                if poly.len() >= 3 {
+                    let mut d = String::new();
+                    for (k, &p) in poly.iter().enumerate() {
+                        let (x, y) = map(p);
+                        let _ =
+                            write!(d, "{}{x:.2} {y:.2} ", if k == 0 { "M" } else { "L" });
+                    }
+                    d.push('Z');
+                    let _ = write!(
+                        svg,
+                        r##"<path d="{d}" fill="none" stroke="#e8e8e8" stroke-width="1"/>"##
+                    );
+                }
+            }
+        }
+    }
+
+    // Granular circles.
+    for (i, &home) in trace.initial().iter().enumerate() {
+        if let Some(&r) = options.granular_radii.get(i) {
+            let (cx, cy) = map(home);
+            let _ = write!(
+                svg,
+                r##"<circle cx="{cx:.2}" cy="{cy:.2}" r="{:.2}" fill="none" stroke="#cccccc" stroke-dasharray="4 3"/>"##,
+                r * scale
+            );
+        }
+    }
+
+    // Trajectories.
+    for robot in 0..n {
+        let color = COLORS[robot % COLORS.len()];
+        let path = trace.path(robot);
+        if path.len() > 1 {
+            let mut d = String::new();
+            for (k, &p) in path.iter().enumerate() {
+                let (x, y) = map(p);
+                let _ = write!(d, "{}{x:.2} {y:.2} ", if k == 0 { "M" } else { "L" });
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.2" opacity="0.8"/>"#
+            );
+        }
+    }
+
+    // Homes on top.
+    for (robot, &home) in trace.initial().iter().enumerate() {
+        let color = COLORS[robot % COLORS.len()];
+        let (cx, cy) = map(home);
+        let _ = write!(
+            svg,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="4" fill="{color}"/><text x="{:.2}" y="{:.2}" font-family="monospace" font-size="11" fill="{color}">{robot}</text>"#,
+            cx + 6.0,
+            cy - 6.0
+        );
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stigmergy_robots::StepRecord;
+    use stigmergy_scheduler::ActivationSet;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        t.record(StepRecord {
+            time: 0,
+            active: ActivationSet::full(2),
+            positions: vec![Point::new(0.0, 2.0), Point::new(10.0, -2.0)],
+        });
+        t
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = render_trace(&sample_trace(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 2); // homes only
+    }
+
+    #[test]
+    fn granular_circles_drawn_when_requested() {
+        let options = SvgOptions {
+            granular_radii: vec![3.0, 3.0],
+            title: "demo <granulars>".to_string(),
+            ..SvgOptions::default()
+        };
+        let svg = render_trace(&sample_trace(), &options);
+        assert_eq!(svg.matches("<circle").count(), 4); // 2 granulars + 2 homes
+        assert!(svg.contains("demo &lt;granulars&gt;"));
+    }
+
+    #[test]
+    fn voronoi_cells_drawn_when_requested() {
+        let options = SvgOptions {
+            voronoi_cells: true,
+            ..SvgOptions::default()
+        };
+        let svg = render_trace(&sample_trace(), &options);
+        // Two cell outlines + two trajectories = four paths.
+        assert_eq!(svg.matches("<path").count(), 4);
+    }
+
+    #[test]
+    fn empty_trace_still_renders() {
+        let t = Trace::new(vec![Point::new(1.0, 1.0)]);
+        let svg = render_trace(&t, &SvgOptions::default());
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("<path"));
+    }
+
+    #[test]
+    fn coordinates_fit_canvas() {
+        let svg = render_trace(&sample_trace(), &SvgOptions::default());
+        // No coordinate may exceed the canvas size by construction; crude
+        // but effective: scan cx attributes.
+        for token in svg.split("cx=\"").skip(1) {
+            let v: f64 = token.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=640.0).contains(&v), "cx {v} escapes canvas");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Checksums for the fault-tolerant backup channel.
+//!
+//! The paper's fault-tolerance story (§1, §5): robots that normally talk
+//! over wireless can fall back to movement-signals when the device fails.
+//! Detecting *that* it failed — silent corruption, not just loss — needs an
+//! integrity check on the wireless payload; we use CRC-8 (polynomial 0x07,
+//! the SMBus/ATM HEC polynomial) plus a trivial parity bit for the bit
+//! channel.
+
+use crate::bits::BitString;
+use crate::CodingError;
+
+/// CRC-8 with polynomial `x^8 + x^2 + x + 1` (0x07), initial value 0.
+#[must_use]
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Appends a CRC-8 trailer to a payload.
+#[must_use]
+pub fn protect(payload: &[u8]) -> Vec<u8> {
+    let mut out = payload.to_vec();
+    out.push(crc8(payload));
+    out
+}
+
+/// Verifies and strips a CRC-8 trailer.
+///
+/// # Errors
+///
+/// Returns [`CodingError::ChecksumMismatch`] when the trailer is missing or
+/// does not match the payload.
+pub fn verify(protected: &[u8]) -> Result<Vec<u8>, CodingError> {
+    let (payload, trailer) = protected
+        .split_last_chunk::<1>()
+        .ok_or(CodingError::ChecksumMismatch)
+        .map(|(p, t)| (p, t[0]))
+        .map_err(|_| CodingError::ChecksumMismatch)?;
+    if crc8(payload) != trailer {
+        return Err(CodingError::ChecksumMismatch);
+    }
+    Ok(payload.to_vec())
+}
+
+/// Even-parity bit of a bit string: `true` when the number of ones is odd
+/// (i.e. the bit that must be appended to make the total even).
+#[must_use]
+pub fn parity(bits: &BitString) -> bool {
+    bits.iter().filter(|b| b.as_bool()).count() % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::Bit;
+
+    #[test]
+    fn crc8_known_vectors() {
+        // Standard CRC-8/SMBUS check value: crc8("123456789") = 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(b""), 0x00);
+    }
+
+    #[test]
+    fn protect_verify_roundtrip() {
+        for payload in [b"".as_slice(), b"x", b"hello robots", &[0xFFu8; 100]] {
+            let p = protect(payload);
+            assert_eq!(p.len(), payload.len() + 1);
+            assert_eq!(verify(&p).unwrap(), payload.to_vec());
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut p = protect(b"important");
+        p[3] ^= 0x10;
+        assert_eq!(verify(&p), Err(CodingError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn trailer_corruption_detected() {
+        let mut p = protect(b"important");
+        let last = p.len() - 1;
+        p[last] ^= 0x01;
+        assert_eq!(verify(&p), Err(CodingError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(verify(&[]), Err(CodingError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        // CRC-8 detects every single-bit error.
+        let payload = b"deaf dumb chatting";
+        let p = protect(payload);
+        for byte in 0..p.len() {
+            for bit in 0..8 {
+                let mut corrupted = p.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    verify(&corrupted).is_err(),
+                    "missed flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        assert!(!parity(&BitString::new()));
+        assert!(parity(&BitString::parse("1").unwrap()));
+        assert!(!parity(&BitString::parse("11").unwrap()));
+        assert!(parity(&BitString::parse("10110").unwrap()));
+        let mut s = BitString::parse("10110").unwrap();
+        s.push(Bit::from_bool(parity(&s)));
+        assert!(!parity(&s), "appending the parity bit makes parity even");
+    }
+}

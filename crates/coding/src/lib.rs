@@ -1,0 +1,142 @@
+//! Bit- and symbol-level codecs for movement-signal communication.
+//!
+//! The protocols of *Deaf, Dumb, and Chatting Robots* transmit **bits** by
+//! moving: one lateral move per bit in the basic scheme (§3.1), or one move
+//! per *symbol* when the 2σ lateral range is subdivided into an alphabet
+//! (§3.1's byte optimisation and §5's `k`-segment addressing). This crate
+//! supplies everything above raw geometry and below the protocols:
+//!
+//! * [`bits`] — bit strings and FIFO bit queues;
+//! * [`framing`] — length-prefixed message framing, so a receiver knows
+//!   when a bit stream completes a message;
+//! * [`alphabet`] — displacement-level alphabets: how many distinct
+//!   magnitudes a robot can encode in one move and the bits-per-move gain;
+//! * [`addressing`] — base-`k` encodings of robot indices (§5), used when a
+//!   granular cannot be sliced into `2n` distinguishable directions;
+//! * [`checksum`] — CRC-8 and parity, used by the fault-tolerant backup
+//!   channel demo to detect wireless corruption and fail over to movement.
+//!
+//! # Examples
+//!
+//! Round-tripping a message through the framing used on the movement
+//! channel:
+//!
+//! ```
+//! use stigmergy_coding::framing::{decode_frames, encode_frame};
+//! use stigmergy_coding::bits::BitString;
+//!
+//! let bits: BitString = encode_frame(b"hi");
+//! let (messages, rest) = decode_frames(&bits)?;
+//! assert_eq!(messages, vec![b"hi".to_vec()]);
+//! assert!(rest.is_empty());
+//! # Ok::<(), stigmergy_coding::CodingError>(())
+//! ```
+
+pub mod addressing;
+pub mod alphabet;
+pub mod bits;
+pub mod checksum;
+pub mod framing;
+
+pub use bits::{Bit, BitQueue, BitString};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodingError {
+    /// A frame header announced more payload than is admissible.
+    FrameTooLong {
+        /// Announced payload length in bytes.
+        announced: usize,
+        /// The maximum admissible payload length.
+        max: usize,
+    },
+    /// An alphabet or radix parameter was too small to encode anything.
+    AlphabetTooSmall {
+        /// The offending size (must be ≥ 2).
+        got: usize,
+    },
+    /// A symbol was outside the alphabet it claims to come from.
+    SymbolOutOfRange {
+        /// The offending symbol.
+        symbol: usize,
+        /// The alphabet size.
+        alphabet: usize,
+    },
+    /// A value does not fit in the fixed number of digits requested.
+    ValueTooLarge {
+        /// The value to encode.
+        value: usize,
+        /// The radix used.
+        radix: usize,
+        /// The number of digits available.
+        digits: usize,
+    },
+    /// A checksum did not match: the payload is corrupt.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::FrameTooLong { announced, max } => {
+                write!(f, "frame announces {announced} bytes, max is {max}")
+            }
+            CodingError::AlphabetTooSmall { got } => {
+                write!(f, "alphabet must have at least 2 symbols, got {got}")
+            }
+            CodingError::SymbolOutOfRange { symbol, alphabet } => {
+                write!(f, "symbol {symbol} out of range for alphabet of {alphabet}")
+            }
+            CodingError::ValueTooLarge {
+                value,
+                radix,
+                digits,
+            } => write!(
+                f,
+                "value {value} does not fit in {digits} base-{radix} digits"
+            ),
+            CodingError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl Error for CodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors = [
+            CodingError::FrameTooLong {
+                announced: 70_000,
+                max: 65_535,
+            },
+            CodingError::AlphabetTooSmall { got: 1 },
+            CodingError::SymbolOutOfRange {
+                symbol: 9,
+                alphabet: 4,
+            },
+            CodingError::ValueTooLarge {
+                value: 100,
+                radix: 2,
+                digits: 3,
+            },
+            CodingError::ChecksumMismatch,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CodingError>();
+    }
+}

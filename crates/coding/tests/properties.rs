@@ -1,0 +1,112 @@
+//! Property-based tests for the codecs: every encode/decode pair must be a
+//! bijection on its domain, and framing must be prefix-safe (no message is
+//! delivered early, none is lost).
+
+use proptest::prelude::*;
+use stigmergy_coding::addressing::{decode_digits, digits_for, encode_digits};
+use stigmergy_coding::alphabet::LevelAlphabet;
+use stigmergy_coding::bits::{Bit, BitString};
+use stigmergy_coding::checksum::{protect, verify};
+use stigmergy_coding::framing::{decode_frames, encode_frame, encode_frames, FrameDecoder};
+
+fn bitstring() -> impl Strategy<Value = BitString> {
+    prop::collection::vec(any::<bool>(), 0..200)
+        .prop_map(|v| v.into_iter().map(Bit::from_bool).collect())
+}
+
+proptest! {
+    #[test]
+    fn bytes_bits_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let bits = BitString::from_bytes(&bytes);
+        prop_assert_eq!(bits.len(), bytes.len() * 8);
+        prop_assert_eq!(bits.to_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn framing_roundtrip(messages in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..32), 0..8)
+    ) {
+        let stream = encode_frames(messages.iter().map(|m| m.as_slice()));
+        let (decoded, rest) = decode_frames(&stream).unwrap();
+        prop_assert_eq!(decoded, messages);
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn framing_never_delivers_from_incomplete_prefix(
+        payload in prop::collection::vec(any::<u8>(), 1..32),
+        cut in 1usize..8,
+    ) {
+        let stream = encode_frame(&payload);
+        let cut = stream.len() - cut.min(stream.len() - 1);
+        let (decoded, rest) = decode_frames(&stream.prefix(cut)).unwrap();
+        prop_assert!(decoded.is_empty());
+        prop_assert_eq!(rest.len(), cut);
+    }
+
+    #[test]
+    fn incremental_equals_batch(messages in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..16), 1..5)
+    ) {
+        let stream = encode_frames(messages.iter().map(|m| m.as_slice()));
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for bit in stream.iter() {
+            if let Some(m) = dec.push_bit(bit) {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, messages);
+    }
+
+    #[test]
+    fn alphabet_symbol_roundtrip(levels in 1usize..64, sym_sel in any::<usize>()) {
+        let a = LevelAlphabet::new(levels).unwrap();
+        let symbol = sym_sel % a.size();
+        let d = a.encode(symbol).unwrap();
+        prop_assert_eq!(a.decode(d).unwrap(), symbol);
+    }
+
+    #[test]
+    fn alphabet_pack_unpack_roundtrip(levels in 1usize..32, bits in bitstring()) {
+        let a = LevelAlphabet::new(levels).unwrap();
+        let symbols = a.pack(&bits);
+        prop_assert!(symbols.iter().all(|&s| s < a.size()));
+        prop_assert_eq!(a.unpack(&symbols, bits.len()), bits);
+    }
+
+    #[test]
+    fn digits_roundtrip(radix in 2usize..16, value in 0usize..100_000) {
+        let d = digits_for(value + 1, radix);
+        let digits = encode_digits(value, radix, d).unwrap();
+        prop_assert_eq!(decode_digits(&digits, radix).unwrap(), value);
+    }
+
+    #[test]
+    fn digits_count_is_minimal(radix in 2usize..16, n in 2usize..100_000) {
+        let d = digits_for(n, radix);
+        // d digits suffice for all indices < n…
+        prop_assert!(radix.pow(d as u32) >= n);
+        // …and d-1 digits do not.
+        if d > 1 {
+            prop_assert!(radix.pow((d - 1) as u32) < n);
+        }
+    }
+
+    #[test]
+    fn checksum_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(verify(&protect(&payload)).unwrap(), payload);
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip(
+        payload in prop::collection::vec(any::<u8>(), 1..32),
+        pos in any::<usize>(),
+        bit in 0usize..8,
+    ) {
+        let mut p = protect(&payload);
+        let idx = pos % p.len();
+        p[idx] ^= 1 << bit;
+        prop_assert!(verify(&p).is_err());
+    }
+}

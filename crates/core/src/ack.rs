@@ -1,0 +1,179 @@
+//! Implicit-acknowledgement bookkeeping (Lemma 4.1 / Corollary 4.2).
+//!
+//! The asynchronous protocols never stop moving and never get explicit
+//! acks. Instead they rely on the paper's key lemma: *if robot `r` keeps
+//! moving in one direction and observes that `r′`'s position changed twice,
+//! then `r′` must have observed `r`'s motion at least once.* A sender
+//! therefore holds each signal until it has counted **two position
+//! changes** from every receiver since the signal began.
+//!
+//! [`ChangeTracker`] does that counting: it remembers the last observed
+//! position of every peer and how many changes have been seen since the
+//! last [`ChangeTracker::reset`] (= since the current movement stint
+//! began).
+
+use serde::{Deserialize, Serialize};
+use stigmergy_geometry::Point;
+
+/// Counts observed position changes per peer since the last reset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangeTracker {
+    last: Vec<Option<Point>>,
+    counts: Vec<u32>,
+}
+
+impl ChangeTracker {
+    /// Creates a tracker over `n` peers (index the peers however the caller
+    /// likes — home indices in practice).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            last: vec![None; n],
+            counts: vec![0; n],
+        }
+    }
+
+    /// Number of peers tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the tracker tracks nobody.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Records an observation of peer `i` at `pos`.
+    ///
+    /// A *change* is any difference from the previously observed position
+    /// (exact comparison — in the model robots that move do change their
+    /// coordinates; tolerance-based comparison would let a adversarially
+    /// tiny move go unnoticed, which the paper's Remark 4.3 forbids).
+    ///
+    /// Returns `true` if this observation was a change.
+    pub fn observe(&mut self, i: usize, pos: Point) -> bool {
+        let changed = match self.last[i] {
+            Some(prev) => prev != pos,
+            // First observation after construction: no change yet —
+            // we have nothing to compare against.
+            None => false,
+        };
+        if changed {
+            self.counts[i] += 1;
+        }
+        self.last[i] = Some(pos);
+        changed
+    }
+
+    /// Changes counted for peer `i` since the last reset.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u32 {
+        self.counts[i]
+    }
+
+    /// Whether peer `i` has changed at least `k` times since the reset.
+    #[must_use]
+    pub fn changed_at_least(&self, i: usize, k: u32) -> bool {
+        self.counts[i] >= k
+    }
+
+    /// Whether **every** peer except `exclude` has changed at least `k`
+    /// times — the §4.2 sending condition ("until it observes that the
+    /// position of every robot changed twice").
+    #[must_use]
+    pub fn all_changed_at_least(&self, k: u32, exclude: Option<usize>) -> bool {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != exclude)
+            .all(|(_, &c)| c >= k)
+    }
+
+    /// Resets all change counts (keeps the last observed positions, so the
+    /// next stint compares against current reality, not stale data).
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// The last observed position of peer `i`.
+    #[must_use]
+    pub fn last_position(&self, i: usize) -> Option<Point> {
+        self.last[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_is_not_a_change() {
+        let mut t = ChangeTracker::new(2);
+        assert!(!t.observe(0, Point::new(1.0, 1.0)));
+        assert_eq!(t.count(0), 0);
+        assert_eq!(t.last_position(0), Some(Point::new(1.0, 1.0)));
+        assert_eq!(t.last_position(1), None);
+    }
+
+    #[test]
+    fn counts_changes() {
+        let mut t = ChangeTracker::new(1);
+        t.observe(0, Point::new(0.0, 0.0));
+        assert!(t.observe(0, Point::new(0.0, 1.0)));
+        assert!(!t.observe(0, Point::new(0.0, 1.0))); // unchanged
+        assert!(t.observe(0, Point::new(0.0, 2.0)));
+        assert_eq!(t.count(0), 2);
+        assert!(t.changed_at_least(0, 2));
+        assert!(!t.changed_at_least(0, 3));
+    }
+
+    #[test]
+    fn tiny_moves_still_count() {
+        // Exact comparison: any coordinate difference is a change.
+        let mut t = ChangeTracker::new(1);
+        t.observe(0, Point::new(1.0, 1.0));
+        assert!(t.observe(0, Point::new(1.0 + 1e-14, 1.0)));
+        assert_eq!(t.count(0), 1);
+    }
+
+    #[test]
+    fn all_changed_with_exclusion() {
+        let mut t = ChangeTracker::new(3);
+        for i in 0..3 {
+            t.observe(i, Point::new(i as f64, 0.0));
+        }
+        // Peers 1 and 2 change twice; peer 0 (self) never does.
+        for step in 1..=2 {
+            for i in 1..3 {
+                t.observe(i, Point::new(i as f64, step as f64));
+            }
+        }
+        assert!(t.all_changed_at_least(2, Some(0)));
+        assert!(!t.all_changed_at_least(2, None));
+        assert!(!t.all_changed_at_least(3, Some(0)));
+    }
+
+    #[test]
+    fn reset_keeps_positions() {
+        let mut t = ChangeTracker::new(1);
+        t.observe(0, Point::new(0.0, 0.0));
+        t.observe(0, Point::new(1.0, 0.0));
+        assert_eq!(t.count(0), 1);
+        t.reset();
+        assert_eq!(t.count(0), 0);
+        // Re-observing the same position after reset is NOT a change…
+        assert!(!t.observe(0, Point::new(1.0, 0.0)));
+        // …but a new one is.
+        assert!(t.observe(0, Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn sizes() {
+        let t = ChangeTracker::new(4);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert!(ChangeTracker::new(0).is_empty());
+    }
+}

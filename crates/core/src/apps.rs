@@ -1,0 +1,336 @@
+//! Distributed algorithms over the movement channel.
+//!
+//! The paper's headline: "Our protocols enable the use of distributing
+//! algorithms based on message exchanges among swarms of stigmergic
+//! robots." This module makes that concrete: an [`Application`] is a
+//! per-robot message-driven state machine, and [`run_app`] executes a
+//! cohort of them with **every** message travelling as movement signals
+//! through a [`Network`]. Two classical algorithms are included:
+//!
+//! * [`LeaderElection`] — every robot floods the maximum nonce it has
+//!   seen; after quiescence, all agree on the robot with the largest
+//!   nonce. (With observable IDs the nonce is the ID; anonymous robots
+//!   use seeded nonces, matching the paper's remark that naming enables
+//!   "classical problems … such that leader election".)
+//! * [`EchoAggregate`] — a coordinator broadcasts a query; every robot
+//!   answers with its value; the coordinator aggregates (here: sums).
+//!
+//! The driver alternates *compute* (apps consume inboxes, emit messages)
+//! and *transport* (the movement protocols deliver them) until global
+//! quiescence — the standard asynchronous-rounds execution model.
+
+use crate::session::{Network, SwarmProtocol};
+use crate::CoreError;
+
+/// A per-robot message-driven application.
+pub trait Application {
+    /// Called once before any message flows; returns initial messages as
+    /// `(destination, payload)` pairs.
+    fn on_start(&mut self, me: usize, cohort: usize) -> Vec<(usize, Vec<u8>)>;
+
+    /// Called for each delivered message; returns follow-up messages.
+    fn on_message(&mut self, from: usize, payload: &[u8]) -> Vec<(usize, Vec<u8>)>;
+}
+
+/// Runs one [`Application`] instance per robot over the network until
+/// quiescence (no app emits anything and all transport completed) or the
+/// round budget runs out.
+///
+/// Returns the number of compute/transport rounds executed.
+///
+/// # Errors
+///
+/// * [`CoreError::Timeout`] if quiescence is not reached within
+///   `max_rounds` rounds or a round's transport exceeds
+///   `steps_per_round`.
+/// * Any transport error from the underlying network.
+pub fn run_app<P, A>(
+    net: &mut Network<P>,
+    apps: &mut [A],
+    max_rounds: usize,
+    steps_per_round: u64,
+) -> Result<usize, CoreError>
+where
+    P: SwarmProtocol,
+    A: Application,
+{
+    assert_eq!(
+        apps.len(),
+        net.cohort(),
+        "one application instance per robot"
+    );
+    let n = net.cohort();
+    let mut outgoing: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+    for (me, app) in apps.iter_mut().enumerate() {
+        for (dest, payload) in app.on_start(me, n) {
+            outgoing.push((me, dest, payload));
+        }
+    }
+    // How much of each robot's inbox has been consumed so far.
+    let mut consumed = vec![0usize; n];
+
+    for round in 0..max_rounds {
+        if outgoing.is_empty() {
+            return Ok(round);
+        }
+        for (from, to, payload) in outgoing.drain(..) {
+            net.send(from, to, &payload)?;
+        }
+        net.run_until_delivered(steps_per_round)?;
+        for me in 0..n {
+            let inbox = net.inbox(me);
+            for (from, payload) in &inbox[consumed[me]..] {
+                for (dest, reply) in apps[me].on_message(*from, payload) {
+                    outgoing.push((me, dest, reply));
+                }
+            }
+            consumed[me] = inbox.len();
+        }
+    }
+    if outgoing.is_empty() {
+        Ok(max_rounds)
+    } else {
+        Err(CoreError::Timeout {
+            steps: max_rounds as u64,
+        })
+    }
+}
+
+/// Flooding maximum-finding leader election.
+///
+/// Every robot starts by sending its nonce to every other robot; whenever
+/// a robot learns a larger nonce it forwards it to everyone. At
+/// quiescence all robots agree on the maximum, and the robot holding it
+/// is the leader.
+#[derive(Debug, Clone)]
+pub struct LeaderElection {
+    nonce: u64,
+    best: u64,
+    best_holder: Option<usize>,
+    me: usize,
+    cohort: usize,
+}
+
+impl LeaderElection {
+    /// Creates an instance with this robot's nonce (its observable ID, or
+    /// a seeded random value for anonymous robots).
+    #[must_use]
+    pub fn new(nonce: u64) -> Self {
+        Self {
+            nonce,
+            best: nonce,
+            best_holder: None,
+            me: 0,
+            cohort: 0,
+        }
+    }
+
+    /// The leader this robot currently believes in (its index), or
+    /// `None` before any exchange settles it.
+    #[must_use]
+    pub fn leader(&self) -> Option<usize> {
+        self.best_holder
+    }
+
+    /// The winning nonce this robot currently knows.
+    #[must_use]
+    pub fn best_nonce(&self) -> u64 {
+        self.best
+    }
+
+    /// The announcement payload: best nonce followed by the holder index
+    /// (two bytes: cohorts up to 65536).
+    fn payload(&self) -> Vec<u8> {
+        let mut p = self.best.to_be_bytes().to_vec();
+        let holder = u16::try_from(self.best_holder.unwrap_or(self.me))
+            .expect("cohorts beyond u16 are outside the model's scale");
+        p.extend_from_slice(&holder.to_be_bytes());
+        p
+    }
+
+    /// Broadcast-by-unicast of the current best to everyone else.
+    fn announce(&self) -> Vec<(usize, Vec<u8>)> {
+        let payload = self.payload();
+        (0..self.cohort)
+            .filter(|&d| d != self.me)
+            .map(|d| (d, payload.clone()))
+            .collect()
+    }
+}
+
+impl Application for LeaderElection {
+    fn on_start(&mut self, me: usize, cohort: usize) -> Vec<(usize, Vec<u8>)> {
+        self.me = me;
+        self.cohort = cohort;
+        self.best = self.nonce;
+        self.best_holder = Some(me);
+        self.announce()
+    }
+
+    fn on_message(&mut self, _from: usize, payload: &[u8]) -> Vec<(usize, Vec<u8>)> {
+        let Some((nonce_bytes, holder_bytes)) = payload.split_last_chunk::<2>() else {
+            return Vec::new();
+        };
+        let Ok(bytes) = <[u8; 8]>::try_from(nonce_bytes) else {
+            return Vec::new();
+        };
+        let nonce = u64::from_be_bytes(bytes);
+        let holder = usize::from(u16::from_be_bytes(*holder_bytes));
+        if nonce > self.best {
+            self.best = nonce;
+            self.best_holder = Some(holder);
+            // Forward the improvement (flooding); robots that already
+            // know it stay silent, so the flood terminates.
+            return self.announce();
+        }
+        Vec::new()
+    }
+}
+
+/// Query/response aggregation: a coordinator asks, everyone answers, the
+/// coordinator sums.
+#[derive(Debug, Clone)]
+pub struct EchoAggregate {
+    value: u32,
+    coordinator: usize,
+    me: usize,
+    sum: u64,
+    replies: usize,
+}
+
+impl EchoAggregate {
+    /// Creates an instance holding `value`, with the given coordinator.
+    #[must_use]
+    pub fn new(value: u32, coordinator: usize) -> Self {
+        Self {
+            value,
+            coordinator,
+            me: 0,
+            sum: 0,
+            replies: 0,
+        }
+    }
+
+    /// The aggregated sum (meaningful on the coordinator after the run).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of replies the coordinator has received.
+    #[must_use]
+    pub fn replies(&self) -> usize {
+        self.replies
+    }
+}
+
+impl Application for EchoAggregate {
+    fn on_start(&mut self, me: usize, cohort: usize) -> Vec<(usize, Vec<u8>)> {
+        self.me = me;
+        if me == self.coordinator {
+            self.sum = u64::from(self.value);
+            (0..cohort)
+                .filter(|&d| d != me)
+                .map(|d| (d, b"query".to_vec()))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_message(&mut self, from: usize, payload: &[u8]) -> Vec<(usize, Vec<u8>)> {
+        if payload == b"query" && from == self.coordinator {
+            return vec![(self.coordinator, self.value.to_be_bytes().to_vec())];
+        }
+        if self.me == self.coordinator {
+            if let Ok(bytes) = <[u8; 4]>::try_from(payload) {
+                self.sum += u64::from(u32::from_be_bytes(bytes));
+                self.replies += 1;
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SyncNetwork;
+    use stigmergy_geometry::Point;
+
+    fn ring(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|k| {
+                let theta = std::f64::consts::TAU * (k as f64) / (n as f64);
+                let r = 20.0 + (k as f64) * 0.2;
+                Point::new(r * theta.sin(), r * theta.cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn leader_election_agrees_on_the_maximum() {
+        let nonces = [41u64, 97, 12, 55, 76];
+        let mut net = SyncNetwork::anonymous_with_direction(ring(5), 0xA99u64).unwrap();
+        let mut apps: Vec<LeaderElection> =
+            nonces.iter().map(|&n| LeaderElection::new(n)).collect();
+        let rounds = run_app(&mut net, &mut apps, 20, 200_000).unwrap();
+        assert!(rounds >= 1);
+        // Everyone elected robot 1 (nonce 97).
+        for (i, app) in apps.iter().enumerate() {
+            assert_eq!(app.best_nonce(), 97, "robot {i}");
+            assert_eq!(app.leader(), Some(1), "robot {i}");
+        }
+    }
+
+    #[test]
+    fn leader_election_with_reversed_nonces() {
+        // Max at the last index; floods must travel the other way.
+        let nonces = [5u64, 4, 3, 2, 100];
+        let mut net = SyncNetwork::anonymous(ring(5), 2).unwrap();
+        let mut apps: Vec<LeaderElection> =
+            nonces.iter().map(|&n| LeaderElection::new(n)).collect();
+        run_app(&mut net, &mut apps, 20, 200_000).unwrap();
+        assert!(apps.iter().all(|a| a.leader() == Some(4)));
+    }
+
+    #[test]
+    fn echo_aggregate_sums_all_values() {
+        let values = [10u32, 20, 30, 40];
+        let mut net = SyncNetwork::anonymous_with_direction(ring(4), 3).unwrap();
+        let mut apps: Vec<EchoAggregate> = values
+            .iter()
+            .map(|&v| EchoAggregate::new(v, 2))
+            .collect();
+        run_app(&mut net, &mut apps, 10, 200_000).unwrap();
+        assert_eq!(apps[2].sum(), 100);
+        assert_eq!(apps[2].replies(), 3);
+        // Non-coordinators aggregated nothing.
+        assert_eq!(apps[0].replies(), 0);
+    }
+
+    #[test]
+    fn quiescence_without_traffic() {
+        // Apps that never emit reach quiescence in zero rounds.
+        struct Silent;
+        impl Application for Silent {
+            fn on_start(&mut self, _: usize, _: usize) -> Vec<(usize, Vec<u8>)> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _: usize, _: &[u8]) -> Vec<(usize, Vec<u8>)> {
+                Vec::new()
+            }
+        }
+        let mut net = SyncNetwork::anonymous_with_direction(ring(3), 4).unwrap();
+        let mut apps = vec![Silent, Silent, Silent];
+        assert_eq!(run_app(&mut net, &mut apps, 5, 10_000).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one application instance per robot")]
+    fn cardinality_checked() {
+        let mut net = SyncNetwork::anonymous_with_direction(ring(3), 5).unwrap();
+        let mut apps = vec![LeaderElection::new(1)];
+        let _ = run_app(&mut net, &mut apps, 5, 10_000);
+    }
+}

@@ -1,0 +1,641 @@
+//! Protocol P6 (§4.2, Fig. 6): asynchronous one-to-one communication for
+//! any number of robots.
+//!
+//! The synchronous keyboard of §3 meets the implicit acknowledgements of
+//! §4.1. Each granular is sliced into `n + 1` diameters: `n` addressing
+//! diameters plus the extra slice **κ** on the SEC radius through the
+//! robot, playing the role of the two-robot horizon line:
+//!
+//! * **κ oscillation** — a robot with nothing to say shuffles along κ,
+//!   reversing direction each time it has seen *every* other robot change
+//!   position twice. It always moves (Remark 4.3) and never reaches the
+//!   granular border or centre: each step is a fraction of the room left
+//!   (the paper's "divide the covered distance by `x > 1`").
+//! * **Signal** — to send a bit to the robot labelled `j`, walk back to
+//!   the granular centre, stride out on diameter `j` (side = bit value),
+//!   and keep inching outward until every robot has been seen to change
+//!   twice — by Lemma 4.1 applied pairwise, every robot has then observed
+//!   the excursion. Return to the centre, then hold a κ stint until every
+//!   robot changed twice again, separating this bit from the next.
+//!
+//! Observers classify every robot's position on that robot's keyboard and
+//! register a bit whenever a robot *enters* an addressing half-slice; the
+//! interposed κ stint guarantees consecutive identical bits remain
+//! distinguishable. Every observer decodes every stream (redundancy), and
+//! the keyboards, SEC naming and κ directions are all similarity-invariant
+//! — anonymous robots with chirality only suffice, though the protocol
+//! also runs with IDs or sense of direction (§4.2's remark).
+
+use crate::ack::ChangeTracker;
+use crate::decode::{InboxEntry, MessageStreams, OverheardEntry, ZoneTracker};
+use crate::preprocess::{NamingScheme, SwarmGeometry};
+use std::collections::VecDeque;
+use stigmergy_coding::bits::BitQueue;
+use stigmergy_coding::framing::encode_frame;
+use stigmergy_geometry::granular::SliceSide;
+use stigmergy_geometry::{Point, Vec2};
+use stigmergy_robots::{MovementProtocol, View, VisibleId};
+
+/// Inner (centre-side) bound of the κ oscillation, as a fraction of the
+/// granular radius.
+const KAPPA_LO: f64 = 0.125;
+/// Outer (border-side) bound of every excursion, as a fraction of the
+/// granular radius.
+const WALK_HI: f64 = 0.875;
+/// Fraction of the remaining room consumed per constrained move — the
+/// paper's `1/x` contraction, applied adaptively so bounds are never hit.
+const ROOM_FRACTION: f64 = 0.25;
+/// Distance (relative to the radius) below which a robot counts as being
+/// at its granular centre.
+const CENTER_EPS: f64 = 1e-9;
+
+/// How a queued message names its destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Dest {
+    Label(usize),
+    Id(VisibleId),
+    Broadcast,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Shuffling on κ; `outward` is the current direction.
+    Kappa { outward: bool },
+    /// Walking back to the centre to start an excursion.
+    GoCenter { slice: usize, side: SliceSide },
+    /// Holding an excursion on `(slice, side)`.
+    Out { slice: usize, side: SliceSide },
+    /// Returning to the centre after an acknowledged excursion.
+    Return { slice: usize, side: SliceSide },
+}
+
+/// The asynchronous swarm protocol.
+#[derive(Debug, Clone)]
+pub struct AsyncSwarm {
+    scheme: NamingScheme,
+    geometry: Option<SwarmGeometry>,
+    init_error: Option<crate::CoreError>,
+    phase: Phase,
+    tracker: ChangeTracker,
+    stint_ready: bool,
+    pending: VecDeque<(Dest, Vec<u8>)>,
+    current: Option<(usize, SliceSide, BitQueue)>,
+    bits_sent: u64,
+    zones: ZoneTracker,
+    streams: MessageStreams,
+}
+
+impl AsyncSwarm {
+    fn with_scheme(scheme: NamingScheme) -> Self {
+        Self {
+            scheme,
+            geometry: None,
+            init_error: None,
+            phase: Phase::Kappa { outward: true },
+            tracker: ChangeTracker::new(0),
+            stint_ready: false,
+            pending: VecDeque::new(),
+            current: None,
+            bits_sent: 0,
+            zones: ZoneTracker::new(),
+            streams: MessageStreams::new(),
+        }
+    }
+
+    /// The paper's §4.2 protocol: anonymous robots, chirality only (SEC
+    /// naming).
+    #[must_use]
+    pub fn anonymous() -> Self {
+        Self::with_scheme(NamingScheme::BySec)
+    }
+
+    /// Variant with sense of direction (lexicographic naming).
+    #[must_use]
+    pub fn anonymous_with_direction() -> Self {
+        Self::with_scheme(NamingScheme::ByLex)
+    }
+
+    /// Variant with observable IDs.
+    #[must_use]
+    pub fn routed() -> Self {
+        Self::with_scheme(NamingScheme::ById)
+    }
+
+    /// Queues a message for the robot labelled `dest_label` under this
+    /// robot's naming.
+    pub fn send_label(&mut self, dest_label: usize, payload: &[u8]) {
+        self.pending
+            .push_back((Dest::Label(dest_label), payload.to_vec()));
+    }
+
+    /// Queues a message for the robot with visible ID `dest`.
+    pub fn send_id(&mut self, dest: VisibleId, payload: &[u8]) {
+        self.pending.push_back((Dest::Id(dest), payload.to_vec()));
+    }
+
+    /// Queues a broadcast (§5 one-to-all).
+    pub fn send_broadcast(&mut self, payload: &[u8]) {
+        self.pending.push_back((Dest::Broadcast, payload.to_vec()));
+    }
+
+    /// Messages addressed to this robot.
+    #[must_use]
+    pub fn inbox(&self) -> &[InboxEntry] {
+        self.streams.inbox()
+    }
+
+    /// Every decoded message (redundancy log).
+    #[must_use]
+    pub fn overheard(&self) -> &[OverheardEntry] {
+        self.streams.overheard()
+    }
+
+    /// The preprocessed geometry, once built.
+    #[must_use]
+    pub fn geometry(&self) -> Option<&SwarmGeometry> {
+        self.geometry.as_ref()
+    }
+
+    /// A degenerate-configuration failure, if preprocessing failed.
+    #[must_use]
+    pub fn init_error(&self) -> Option<&crate::CoreError> {
+        self.init_error.as_ref()
+    }
+
+    /// Whether all queued traffic has been sent and acknowledged.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+            && self.current.is_none()
+            && matches!(self.phase, Phase::Kappa { .. })
+    }
+
+    /// Acknowledged excursions so far.
+    #[must_use]
+    pub fn bits_sent(&self) -> u64 {
+        self.bits_sent
+    }
+
+    fn resolve_slice(&self, dest: &Dest) -> Option<(usize, usize)> {
+        let g = self.geometry.as_ref()?;
+        let label = match dest {
+            Dest::Label(l) => *l,
+            Dest::Id(id) => {
+                let home = (0..g.cohort()).find(|&h| g.id_of(h) == Some(*id))?;
+                g.label_for(0, home)
+            }
+            Dest::Broadcast => g.label_for(0, 0),
+        };
+        if label >= g.cohort() {
+            return None;
+        }
+        Some((label, g.slice_for_label(label)))
+    }
+
+    /// Pops the next queued bit, starting a new message if needed.
+    fn next_bit(&mut self) -> Option<(usize, SliceSide)> {
+        loop {
+            if let Some((slice, _side, q)) = self.current.as_mut() {
+                let slice = *slice;
+                if let Some(bit) = q.dequeue() {
+                    let side = SliceSide::from_bit(bit.as_bool());
+                    if q.is_empty() {
+                        self.current = None;
+                    } else if let Some((_, s, _)) = self.current.as_mut() {
+                        *s = side;
+                    }
+                    return Some((slice, side));
+                }
+                self.current = None;
+            }
+            let (dest, payload) = self.pending.pop_front()?;
+            if let Some((_label, slice)) = self.resolve_slice(&dest) {
+                let mut q = BitQueue::new();
+                q.enqueue(&encode_frame(&payload));
+                self.current = Some((slice, SliceSide::Zero, q));
+            }
+            // Unresolvable destinations are dropped (sessions validate).
+        }
+    }
+
+    /// Everyone (but me) has changed at least twice this stint.
+    fn acked(&self) -> bool {
+        self.tracker.all_changed_at_least(2, Some(0))
+    }
+
+    fn observe_and_decode(&mut self, view: &View) {
+        let Some(g) = self.geometry.as_ref() else {
+            return;
+        };
+        for o in view.others() {
+            let Some(home) = g.identify(o.position) else {
+                continue;
+            };
+            self.tracker.observe(home, o.position);
+            if let Some((slice, side)) = self.zones.observe(g, home, o.position) {
+                self.streams.on_signal(g, home, slice, side);
+            }
+        }
+    }
+
+    /// κ direction: outward is the zero side of slice κ (the SEC radius
+    /// through this robot, pointing away from the SEC centre).
+    fn kappa_dir(&self, outward: bool) -> Vec2 {
+        let g = self.geometry.as_ref().expect("initialized");
+        let kappa = g.kappa_slice().expect("async keyboards have kappa");
+        let d = g
+            .keyboard(0)
+            .direction(kappa, SliceSide::Zero)
+            .expect("kappa is a valid slice");
+        if outward {
+            d
+        } else {
+            -d
+        }
+    }
+
+    /// One constrained κ move from the current radial distance `d`.
+    fn kappa_move(&self, own: Point, outward: bool) -> Point {
+        let g = self.geometry.as_ref().expect("initialized");
+        let radius = g.keyboard(0).radius();
+        let d = own.distance(g.home(0));
+        let room = if outward {
+            WALK_HI * radius - d
+        } else {
+            d - KAPPA_LO * radius
+        };
+        // `room` can be ≤ 0 only at t0 (we start at the centre, below the
+        // inner bound): bootstrap outward with a quarter radius.
+        let step = if room > 0.0 {
+            room * ROOM_FRACTION
+        } else {
+            radius * ROOM_FRACTION
+        };
+        own + self.kappa_dir(outward || room <= 0.0) * step
+    }
+
+    fn at_center(&self, own: Point) -> bool {
+        let g = self.geometry.as_ref().expect("initialized");
+        own.distance(g.home(0)) < g.keyboard(0).radius() * CENTER_EPS
+    }
+
+    /// A full-size move toward the centre along the current offset,
+    /// landing exactly there when close enough.
+    fn center_move(&self, own: Point) -> Point {
+        let g = self.geometry.as_ref().expect("initialized");
+        let home = g.home(0);
+        let offset = own - home;
+        let dist = offset.norm();
+        let step = g.keyboard(0).radius() * ROOM_FRACTION;
+        if dist <= step {
+            home
+        } else {
+            own + offset * (-(step / dist))
+        }
+    }
+
+    /// One outward move on an addressing slice: first stride to half the
+    /// radius, then contracted steps toward (never to) the outer bound.
+    fn slice_move(&self, own: Point, slice: usize, side: SliceSide) -> Point {
+        let g = self.geometry.as_ref().expect("initialized");
+        let radius = g.keyboard(0).radius();
+        let d = own.distance(g.home(0));
+        if d < radius * 0.5 {
+            g.keyboard(0)
+                .target(slice, side, 0.5)
+                .expect("valid addressing slice")
+        } else {
+            let dir = g
+                .keyboard(0)
+                .direction(slice, side)
+                .expect("valid addressing slice");
+            let room = WALK_HI * radius - d;
+            own + dir * (room.max(0.0) * ROOM_FRACTION).max(radius * 1e-12)
+        }
+    }
+}
+
+impl MovementProtocol for AsyncSwarm {
+    fn on_activate(&mut self, view: &View) -> Point {
+        if self.geometry.is_none() && self.init_error.is_none() {
+            match SwarmGeometry::build(view, self.scheme, true) {
+                Ok(g) => {
+                    self.tracker = ChangeTracker::new(g.cohort());
+                    self.geometry = Some(g);
+                }
+                Err(e) => self.init_error = Some(e),
+            }
+        }
+        if self.geometry.is_none() {
+            return view.own_position();
+        }
+
+        self.observe_and_decode(view);
+        let own = view.own_position();
+
+        match self.phase {
+            Phase::Kappa { outward } => {
+                if self.acked() {
+                    self.stint_ready = true;
+                }
+                if self.stint_ready {
+                    if let Some((slice, side)) = self.next_bit() {
+                        // Head for the centre to start the excursion.
+                        self.stint_ready = false;
+                        self.phase = Phase::GoCenter { slice, side };
+                        return self.step_go_center(own, slice, side);
+                    }
+                    // Nothing to send: reverse the κ direction (fresh
+                    // stint), as the paper prescribes.
+                    self.stint_ready = false;
+                    self.tracker.reset();
+                    let flipped = !outward;
+                    self.phase = Phase::Kappa { outward: flipped };
+                    return self.kappa_move(own, flipped);
+                }
+                self.kappa_move(own, outward)
+            }
+            Phase::GoCenter { slice, side } => self.step_go_center(own, slice, side),
+            Phase::Out { slice, side } => {
+                if self.acked() {
+                    self.phase = Phase::Return { slice, side };
+                    return self.step_return(own);
+                }
+                self.slice_move(own, slice, side)
+            }
+            Phase::Return { .. } => self.step_return(own),
+        }
+    }
+}
+
+impl AsyncSwarm {
+    fn step_go_center(&mut self, own: Point, slice: usize, side: SliceSide) -> Point {
+        if self.at_center(own) {
+            // Launch the excursion: fresh acknowledgement stint.
+            self.tracker.reset();
+            self.phase = Phase::Out { slice, side };
+            self.bits_sent += 1;
+            return self.slice_move(own, slice, side);
+        }
+        self.center_move(own)
+    }
+
+    fn step_return(&mut self, own: Point) -> Point {
+        if self.at_center(own) {
+            // Back home: hold a κ stint before the next bit.
+            self.tracker.reset();
+            self.stint_ready = false;
+            self.phase = Phase::Kappa { outward: true };
+            return self.kappa_move(own, true);
+        }
+        self.center_move(own)
+    }
+}
+
+impl Default for AsyncSwarm {
+    fn default() -> Self {
+        Self::anonymous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stigmergy_robots::{Capabilities, Engine};
+    use stigmergy_scheduler::{FairAsync, RoundRobin, SingleActive, WakeAllFirst};
+
+    fn ring(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|k| {
+                let theta = std::f64::consts::TAU * (k as f64) / (n as f64);
+                let r = 20.0 + (k as f64) * 0.2;
+                Point::new(r * theta.sin(), r * theta.cos())
+            })
+            .collect()
+    }
+
+    fn engine<S: stigmergy_scheduler::Schedule + 'static>(
+        n: usize,
+        schedule: S,
+        seed: u64,
+    ) -> Engine<AsyncSwarm> {
+        Engine::builder()
+            .positions(ring(n))
+            .protocols((0..n).map(|_| AsyncSwarm::anonymous()))
+            .capabilities(Capabilities::anonymous())
+            .schedule(WakeAllFirst::new(schedule))
+            .frame_seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    /// Label of engine robot `target` from `sender`'s perspective,
+    /// computed via world-home matching.
+    fn label_of(e: &Engine<AsyncSwarm>, sender: usize, target: usize) -> usize {
+        let g = e.protocol(sender).geometry().expect("preprocessed");
+        let world_home = e.trace().initial()[target];
+        let local_home = e.frames()[sender].to_local(world_home);
+        let home_idx = (0..g.cohort())
+            .find(|&h| g.home(h).approx_eq(local_home))
+            .expect("home present");
+        g.label_for(0, home_idx)
+    }
+
+    #[test]
+    fn three_robot_delivery_fair() {
+        let mut e = engine(3, FairAsync::new(11, 0.5, 8), 1);
+        e.step().unwrap();
+        let label = label_of(&e, 0, 2);
+        e.protocol_mut(0).send_label(label, b"n-ary");
+        let out = e
+            .run_until(60_000, |e| {
+                e.protocol(2).inbox().iter().any(|m| m.payload == b"n-ary")
+            })
+            .unwrap();
+        assert!(out.satisfied, "not delivered");
+    }
+
+    #[test]
+    fn five_robot_delivery_single_active() {
+        let mut e = engine(5, SingleActive::new(13, 16), 2);
+        e.step().unwrap();
+        let label = label_of(&e, 1, 4);
+        e.protocol_mut(1).send_label(label, b"Z");
+        let out = e
+            .run_until(400_000, |e| {
+                e.protocol(4).inbox().iter().any(|m| m.payload == b"Z")
+            })
+            .unwrap();
+        assert!(out.satisfied, "not delivered under the harshest scheduler");
+    }
+
+    #[test]
+    fn concurrent_senders() {
+        let mut e = engine(4, FairAsync::new(17, 0.5, 8), 3);
+        e.step().unwrap();
+        let l01 = label_of(&e, 0, 1);
+        let l23 = label_of(&e, 2, 3);
+        e.protocol_mut(0).send_label(l01, b"ab");
+        e.protocol_mut(2).send_label(l23, b"cd");
+        let out = e
+            .run_until(150_000, |e| {
+                e.protocol(1).inbox().iter().any(|m| m.payload == b"ab")
+                    && e.protocol(3).inbox().iter().any(|m| m.payload == b"cd")
+            })
+            .unwrap();
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn everyone_overhears() {
+        let mut e = engine(4, FairAsync::new(19, 0.6, 8), 4);
+        e.step().unwrap();
+        let label = label_of(&e, 0, 1);
+        e.protocol_mut(0).send_label(label, b"loud");
+        let out = e
+            .run_until(150_000, |e| {
+                (2..4).all(|i| {
+                    e.protocol(i)
+                        .overheard()
+                        .iter()
+                        .any(|m| m.payload == b"loud")
+                })
+            })
+            .unwrap();
+        assert!(out.satisfied, "bystanders missed the traffic");
+    }
+
+    #[test]
+    fn broadcast() {
+        let mut e = engine(4, FairAsync::new(23, 0.5, 8), 5);
+        e.step().unwrap();
+        e.protocol_mut(1).send_broadcast(b"all");
+        let out = e
+            .run_until(150_000, |e| {
+                [0usize, 2, 3].iter().all(|&i| {
+                    e.protocol(i).inbox().iter().any(|m| m.payload == b"all")
+                })
+            })
+            .unwrap();
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn robots_never_leave_granulars_or_collide() {
+        let mut e = engine(4, FairAsync::new(29, 0.5, 8), 6);
+        e.step().unwrap();
+        let label = label_of(&e, 0, 3);
+        e.protocol_mut(0).send_label(label, &[0xF0]);
+        let homes = e.trace().initial().to_vec();
+        let radii: Vec<f64> = (0..4)
+            .map(|i| {
+                (0..4)
+                    .filter(|&j| j != i)
+                    .map(|j| homes[i].distance(homes[j]))
+                    .fold(f64::INFINITY, f64::min)
+                    / 2.0
+            })
+            .collect();
+        for _ in 0..20_000 {
+            e.step().unwrap(); // engine also checks collisions
+            for i in 0..4 {
+                assert!(
+                    homes[i].distance(e.positions()[i]) <= radii[i] + 1e-9,
+                    "robot {i} left its granular"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idle_robots_oscillate_on_kappa() {
+        let mut e = engine(3, RoundRobin, 7);
+        e.run(200).unwrap();
+        // Everyone moved (Remark 4.3) …
+        for i in 0..3 {
+            assert!(e.trace().move_count(i) > 10, "robot {i} too still");
+        }
+        // …and nobody decoded any bits (κ walks are not signals).
+        for i in 0..3 {
+            assert!(e.protocol(i).overheard().is_empty());
+            assert!(e.protocol(i).inbox().is_empty());
+        }
+    }
+
+    #[test]
+    fn multi_message_sequencing() {
+        let mut e = engine(3, FairAsync::new(31, 0.6, 8), 8);
+        e.step().unwrap();
+        let l1 = label_of(&e, 0, 1);
+        let l2 = label_of(&e, 0, 2);
+        e.protocol_mut(0).send_label(l1, b"first");
+        e.protocol_mut(0).send_label(l2, b"second");
+        let out = e
+            .run_until(300_000, |e| {
+                e.protocol(1).inbox().iter().any(|m| m.payload == b"first")
+                    && e.protocol(2).inbox().iter().any(|m| m.payload == b"second")
+            })
+            .unwrap();
+        assert!(out.satisfied);
+        // The receiver gets the last bit while the sender is still on its
+        // final return leg; give the sender time to finish.
+        let settled = e
+            .run_until(10_000, |e| e.protocol(0).is_drained())
+            .unwrap();
+        assert!(settled.satisfied);
+    }
+
+    #[test]
+    fn works_with_ids_and_direction_variants() {
+        let positions = ring(3);
+        let mut e = Engine::builder()
+            .positions(positions)
+            .protocols((0..3).map(|_| AsyncSwarm::routed()))
+            .capabilities(Capabilities::identified_with_direction())
+            .schedule(WakeAllFirst::new(FairAsync::new(37, 0.5, 8)))
+            .frame_seed(9)
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        let id = e.ids().unwrap()[2];
+        e.protocol_mut(0).send_id(id, b"id-routed");
+        let out = e
+            .run_until(100_000, |e| {
+                e.protocol(2)
+                    .inbox()
+                    .iter()
+                    .any(|m| m.payload == b"id-routed")
+            })
+            .unwrap();
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn two_robots_work_too() {
+        let mut e = engine(2, FairAsync::new(41, 0.5, 8), 10);
+        e.step().unwrap();
+        let label = label_of(&e, 0, 1);
+        e.protocol_mut(0).send_label(label, b"pair");
+        let out = e
+            .run_until(60_000, |e| {
+                e.protocol(1).inbox().iter().any(|m| m.payload == b"pair")
+            })
+            .unwrap();
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn bits_sent_counts_excursions() {
+        let mut e = engine(3, FairAsync::new(43, 0.7, 8), 11);
+        e.step().unwrap();
+        let label = label_of(&e, 0, 1);
+        e.protocol_mut(0).send_label(label, b"");
+        // An empty payload is still a 16-bit frame header.
+        let out = e
+            .run_until(100_000, |e| e.protocol(0).is_drained())
+            .unwrap();
+        assert!(out.satisfied);
+        assert_eq!(e.protocol(0).bits_sent(), 16);
+        assert_eq!(e.protocol(1).inbox()[0].payload, Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,331 @@
+//! Observer-side decoding: movements back into bits and messages.
+//!
+//! Every robot observes every other robot's excursions and can reconstruct
+//! **all** message streams, not just its own — the paper's redundancy
+//! property ("every robot is able to know all the messages sent in the
+//! system"). [`MessageStreams`] maintains one incremental frame decoder per
+//! `(sender, addressee)` pair and sorts completed messages into the
+//! observer's inbox or the overheard log.
+//!
+//! Two observation disciplines feed it:
+//!
+//! * synchronous protocols sample configurations at *return-phase* instants
+//!   and treat every off-home robot as one signal ([`MessageStreams::on_signal`]);
+//! * asynchronous protocols watch **zone transitions** ([`ZoneTracker`]):
+//!   a new bit is an entry into an addressing half-slice from any other
+//!   zone, which the sender's hold-until-acknowledged discipline makes
+//!   unambiguous.
+
+use crate::preprocess::SwarmGeometry;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use stigmergy_coding::framing::FrameDecoder;
+use stigmergy_geometry::granular::{SliceSide, SliceZone};
+use stigmergy_geometry::Point;
+
+/// A message delivered to this observer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InboxEntry {
+    /// Sender, as a home index of the observer's [`SwarmGeometry`].
+    pub sender: usize,
+    /// The payload.
+    pub payload: Vec<u8>,
+}
+
+/// A message this observer decoded for someone else (redundancy log).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheardEntry {
+    /// Sender home index.
+    pub sender: usize,
+    /// Addressee home index.
+    pub dest: usize,
+    /// The payload.
+    pub payload: Vec<u8>,
+}
+
+/// Per-(sender, addressee) incremental decoding with inbox/overheard
+/// routing. The observer is always home index 0 of its own geometry.
+#[derive(Debug, Clone, Default)]
+pub struct MessageStreams {
+    decoders: HashMap<(usize, usize), FrameDecoder>,
+    inbox: Vec<InboxEntry>,
+    overheard: Vec<OverheardEntry>,
+}
+
+impl MessageStreams {
+    /// Creates an empty stream set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one decoded signal: `sender` pressed `(slice, side)` on its
+    /// keyboard. Returns a completed message, if this bit finished one.
+    ///
+    /// Signals on κ or outside the addressing range are ignored (they are
+    /// pacing movements, not bits). A signal addressed to the sender's own
+    /// slice is a **broadcast** (§5 one-to-all): it is delivered to every
+    /// observer's inbox.
+    pub fn on_signal(
+        &mut self,
+        geometry: &SwarmGeometry,
+        sender: usize,
+        slice: usize,
+        side: SliceSide,
+    ) -> Option<OverheardEntry> {
+        let label = geometry.label_for_slice(slice)?;
+        let dest = geometry.home_for(sender, label)?;
+        let bit = stigmergy_coding::Bit::from_bool(side.bit());
+        let payload = self
+            .decoders
+            .entry((sender, dest))
+            .or_default()
+            .push_bit(bit)?;
+        let entry = OverheardEntry {
+            sender,
+            dest,
+            payload: payload.clone(),
+        };
+        self.overheard.push(entry.clone());
+        // dest == 0: unicast to me. dest == sender: broadcast convention.
+        if dest == 0 || dest == sender {
+            self.inbox.push(InboxEntry { sender, payload });
+        }
+        Some(entry)
+    }
+
+    /// Messages addressed to this observer, in arrival order.
+    #[must_use]
+    pub fn inbox(&self) -> &[InboxEntry] {
+        &self.inbox
+    }
+
+    /// Every message decoded, whoever it was for.
+    #[must_use]
+    pub fn overheard(&self) -> &[OverheardEntry] {
+        &self.overheard
+    }
+
+    /// Bits pending (incomplete frames) across all streams.
+    #[must_use]
+    pub fn pending_bits(&self) -> usize {
+        self.decoders.values().map(FrameDecoder::pending_bits).sum()
+    }
+}
+
+/// A zone on a keyboard, for transition detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZoneKey {
+    /// At the keyboard centre.
+    Center,
+    /// On half-slice `(slice, side)`.
+    Slice(usize, SliceSide),
+}
+
+impl ZoneKey {
+    fn of(zone: SliceZone) -> Self {
+        match zone {
+            SliceZone::Center => ZoneKey::Center,
+            SliceZone::OnSlice { slice, side, .. } => ZoneKey::Slice(slice, side),
+        }
+    }
+}
+
+/// Watches per-robot keyboard zones and reports *entries into addressing
+/// half-slices* — the asynchronous bit events.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneTracker {
+    last: HashMap<usize, ZoneKey>,
+}
+
+impl ZoneTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes robot `home` at `pos`; returns `Some((slice, side))` when
+    /// the robot has just *entered* an addressing half-slice.
+    pub fn observe(
+        &mut self,
+        geometry: &SwarmGeometry,
+        home: usize,
+        pos: Point,
+    ) -> Option<(usize, SliceSide)> {
+        let zone = geometry
+            .keyboard(home)
+            .classify(pos, stigmergy_geometry::Tolerance::default());
+        let key = ZoneKey::of(zone);
+        let prev = self.last.insert(home, key);
+        if prev == Some(key) {
+            return None; // still in the same zone
+        }
+        match key {
+            ZoneKey::Slice(slice, side) if geometry.label_for_slice(slice).is_some() => {
+                Some((slice, side))
+            }
+            _ => None,
+        }
+    }
+
+    /// The last zone observed for `home`.
+    #[must_use]
+    pub fn last_zone(&self, home: usize) -> Option<ZoneKey> {
+        self.last.get(&home).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::NamingScheme;
+    use stigmergy_coding::framing::encode_frame;
+    use stigmergy_robots::{Observed, View};
+
+    fn geometry(kappa: bool) -> SwarmGeometry {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+        ];
+        let view = View::new(
+            Observed {
+                position: pts[0],
+                id: None,
+            },
+            pts[1..]
+                .iter()
+                .map(|&p| Observed {
+                    position: p,
+                    id: None,
+                })
+                .collect(),
+            1.0,
+        );
+        SwarmGeometry::build(&view, NamingScheme::ByLex, kappa).unwrap()
+    }
+
+    #[test]
+    fn signals_accumulate_into_messages() {
+        let g = geometry(false);
+        let mut streams = MessageStreams::new();
+        // Sender: home 1; addressee: home 0 (me). Label of home 0:
+        let label_me = g.label_for(1, 0);
+        let slice = g.slice_for_label(label_me);
+        let bits = encode_frame(b"ok");
+        let mut completed = None;
+        for bit in bits.iter() {
+            completed = streams.on_signal(&g, 1, slice, SliceSide::from_bit(bit.as_bool()));
+        }
+        let msg = completed.expect("last bit completes the frame");
+        assert_eq!(msg.sender, 1);
+        assert_eq!(msg.dest, 0);
+        assert_eq!(msg.payload, b"ok");
+        assert_eq!(streams.inbox().len(), 1);
+        assert_eq!(streams.inbox()[0].sender, 1);
+        assert_eq!(streams.overheard().len(), 1);
+        assert_eq!(streams.pending_bits(), 0);
+    }
+
+    #[test]
+    fn messages_for_others_are_overheard_only() {
+        let g = geometry(false);
+        let mut streams = MessageStreams::new();
+        // Sender home 1 → dest home 2.
+        let slice = g.slice_for_label(g.label_for(1, 2));
+        for bit in encode_frame(b"x").iter() {
+            streams.on_signal(&g, 1, slice, SliceSide::from_bit(bit.as_bool()));
+        }
+        assert!(streams.inbox().is_empty());
+        assert_eq!(streams.overheard().len(), 1);
+        assert_eq!(streams.overheard()[0].dest, 2);
+    }
+
+    #[test]
+    fn interleaved_senders_keep_separate_streams() {
+        let g = geometry(false);
+        let mut streams = MessageStreams::new();
+        let s1 = g.slice_for_label(g.label_for(1, 0));
+        let s2 = g.slice_for_label(g.label_for(2, 0));
+        let b1 = encode_frame(b"from1");
+        let b2 = encode_frame(b"from2");
+        // Interleave bit-by-bit.
+        for i in 0..b1.len().max(b2.len()) {
+            if let Some(bit) = b1.get(i) {
+                streams.on_signal(&g, 1, s1, SliceSide::from_bit(bit.as_bool()));
+            }
+            if let Some(bit) = b2.get(i) {
+                streams.on_signal(&g, 2, s2, SliceSide::from_bit(bit.as_bool()));
+            }
+        }
+        let mut senders: Vec<usize> = streams.inbox().iter().map(|e| e.sender).collect();
+        senders.sort_unstable();
+        assert_eq!(senders, vec![1, 2]);
+    }
+
+    #[test]
+    fn kappa_signals_are_ignored() {
+        let g = geometry(true);
+        let mut streams = MessageStreams::new();
+        assert!(streams
+            .on_signal(&g, 1, 0, SliceSide::Zero)
+            .is_none());
+        assert_eq!(streams.pending_bits(), 0);
+    }
+
+    #[test]
+    fn zone_tracker_reports_entries_only() {
+        let g = geometry(true);
+        let mut tracker = ZoneTracker::new();
+        let kb = g.keyboard(1).clone();
+        let home = kb.center();
+
+        // First observation at home: no event, zone Center.
+        assert_eq!(tracker.observe(&g, 1, home), None);
+        assert_eq!(tracker.last_zone(1), Some(ZoneKey::Center));
+
+        // Move out on addressing slice 2, zero side: event.
+        let out = kb.target(2, SliceSide::Zero, 0.5).unwrap();
+        assert_eq!(tracker.observe(&g, 1, out), Some((2, SliceSide::Zero)));
+
+        // Further out on the same half-slice: no new event.
+        let further = kb.target(2, SliceSide::Zero, 0.7).unwrap();
+        assert_eq!(tracker.observe(&g, 1, further), None);
+
+        // Back to centre, then out again: a new event.
+        assert_eq!(tracker.observe(&g, 1, home), None);
+        assert_eq!(tracker.observe(&g, 1, out), Some((2, SliceSide::Zero)));
+    }
+
+    #[test]
+    fn zone_tracker_ignores_kappa_walks() {
+        let g = geometry(true);
+        let mut tracker = ZoneTracker::new();
+        let kb = g.keyboard(2).clone();
+        assert_eq!(tracker.observe(&g, 2, kb.center()), None);
+        // κ is slice 0 when kappa is on.
+        let on_kappa = kb.target(0, SliceSide::Zero, 0.3).unwrap();
+        assert_eq!(tracker.observe(&g, 2, on_kappa), None);
+        let further = kb.target(0, SliceSide::Zero, 0.4).unwrap();
+        assert_eq!(tracker.observe(&g, 2, further), None);
+        // Entering an addressing slice afterwards still fires.
+        let out = kb.target(1, SliceSide::One, 0.5).unwrap();
+        assert_eq!(tracker.observe(&g, 2, out), Some((1, SliceSide::One)));
+    }
+
+    #[test]
+    fn side_changes_on_same_slice_are_events() {
+        // zero→one side on the same diameter is a different half-slice: a
+        // distinct signal (senders interpose κ/centre anyway, but the
+        // tracker must not conflate the two sides).
+        let g = geometry(true);
+        let mut tracker = ZoneTracker::new();
+        let kb = g.keyboard(1).clone();
+        tracker.observe(&g, 1, kb.center());
+        let zero = kb.target(1, SliceSide::Zero, 0.5).unwrap();
+        let one = kb.target(1, SliceSide::One, 0.5).unwrap();
+        assert!(tracker.observe(&g, 1, zero).is_some());
+        assert_eq!(tracker.observe(&g, 1, one), Some((1, SliceSide::One)));
+    }
+}

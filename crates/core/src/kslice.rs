@@ -1,0 +1,423 @@
+//! `k`-segment addressing (§5): routing with coarse angular sensing.
+//!
+//! The full keyboard of §3.2 needs `2n` distinguishable directions, which
+//! round-off-limited robots may not have. The paper's remedy: use only
+//! `k + 1` *segments* — one segment (here: one full diameter, two
+//! segments) for message bits, and `k` segments to transmit the
+//! **index** of the addressee as `⌈log_k n⌉` base-`k` digits preceding the
+//! payload. The price is `⌈log_k n⌉` extra moves per message; with
+//! `k = O(log n)` that is the paper's `O(log n / log log n)` slowdown —
+//! experiment E4 measures exactly this trade-off.
+//!
+//! [`KSliceSync`] implements the scheme on the synchronous skeleton with
+//! lexicographic naming (sense of direction): diameter 0 carries payload
+//! bits (side = bit value); the half-slices of the remaining
+//! `⌈k/2⌉` diameters carry the `k` addressing digits.
+
+use crate::decode::{InboxEntry, OverheardEntry};
+use crate::naming::{label_by_lex, Labeling};
+use crate::CoreError;
+use std::collections::{HashMap, VecDeque};
+use stigmergy_coding::addressing::{decode_digits, digits_for, encode_digits};
+use stigmergy_coding::framing::{encode_frame, FrameDecoder};
+use stigmergy_coding::Bit;
+use stigmergy_geometry::granular::{SliceSide, SliceZone, SlicedGranular};
+use stigmergy_geometry::voronoi::granular_radius;
+use stigmergy_geometry::{Point, Tolerance, Vec2};
+use stigmergy_robots::{MovementProtocol, View};
+
+/// One keyboard press: an addressing digit or a payload bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symbol {
+    Digit(usize),
+    Payload(Bit),
+}
+
+/// The per-sender decoding state: collect the address digits, then feed
+/// payload bits to the frame decoder until a message completes.
+#[derive(Debug, Clone, Default)]
+struct KDecoder {
+    digits: Vec<usize>,
+    frame: FrameDecoder,
+}
+
+/// Keyboard geometry for the `k`-slice protocol.
+#[derive(Debug, Clone)]
+struct KGeometry {
+    homes: Vec<Point>,
+    keyboards: Vec<SlicedGranular>,
+    labeling: Labeling,
+}
+
+/// The synchronous `k`-segment addressing protocol.
+#[derive(Debug, Clone)]
+pub struct KSliceSync {
+    k: usize,
+    counter: u64,
+    geometry: Option<KGeometry>,
+    init_error: Option<CoreError>,
+    pending: VecDeque<(usize, Vec<u8>)>,
+    current: VecDeque<Symbol>,
+    decoders: HashMap<usize, KDecoder>,
+    inbox: Vec<InboxEntry>,
+    overheard: Vec<OverheardEntry>,
+    signals_sent: u64,
+}
+
+impl KSliceSync {
+    /// Creates an instance with `k` addressing segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (a radix below 2 cannot encode indices).
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "need at least 2 addressing segments");
+        Self {
+            k,
+            counter: 0,
+            geometry: None,
+            init_error: None,
+            pending: VecDeque::new(),
+            current: VecDeque::new(),
+            decoders: HashMap::new(),
+            inbox: Vec::new(),
+            overheard: Vec::new(),
+            signals_sent: 0,
+        }
+    }
+
+    /// Queues a message for the robot with lexicographic label
+    /// `dest_label`.
+    pub fn send_label(&mut self, dest_label: usize, payload: &[u8]) {
+        self.pending.push_back((dest_label, payload.to_vec()));
+    }
+
+    /// Messages addressed to this robot.
+    #[must_use]
+    pub fn inbox(&self) -> &[InboxEntry] {
+        &self.inbox
+    }
+
+    /// Every decoded message.
+    #[must_use]
+    pub fn overheard(&self) -> &[OverheardEntry] {
+        &self.overheard
+    }
+
+    /// Keyboard presses made so far (address digits + payload bits).
+    #[must_use]
+    pub fn signals_sent(&self) -> u64 {
+        self.signals_sent
+    }
+
+    /// Whether all queued traffic is on the wire.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty() && self.current.is_empty()
+    }
+
+    /// Number of diameters: one for payload plus `⌈k/2⌉` for digits.
+    fn diameters(&self) -> usize {
+        1 + self.k.div_ceil(2)
+    }
+
+    fn digits_per_address(&self, n: usize) -> usize {
+        digits_for(n, self.k)
+    }
+
+    fn build_geometry(&self, view: &View) -> Result<KGeometry, CoreError> {
+        let homes: Vec<Point> = view.positions();
+        if homes.len() < 2 {
+            return Err(CoreError::WrongCohortSize {
+                needed: "at least 2",
+                got: homes.len(),
+            });
+        }
+        let labeling = label_by_lex(&homes)?;
+        let keyboards = (0..homes.len())
+            .map(|i| {
+                let r = granular_radius(&homes, i)?;
+                SlicedGranular::with_reference(homes[i], r, self.diameters(), Vec2::NORTH)
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(KGeometry {
+            homes,
+            keyboards,
+            labeling,
+        })
+    }
+
+    fn press_of(&self, symbol: Symbol) -> (usize, SliceSide) {
+        match symbol {
+            Symbol::Payload(bit) => (0, SliceSide::from_bit(bit.as_bool())),
+            Symbol::Digit(d) => {
+                let slice = 1 + d / 2;
+                let side = if d % 2 == 0 {
+                    SliceSide::Zero
+                } else {
+                    SliceSide::One
+                };
+                (slice, side)
+            }
+        }
+    }
+
+    fn symbol_of(&self, slice: usize, side: SliceSide) -> Symbol {
+        if slice == 0 {
+            Symbol::Payload(Bit::from_bool(side.bit()))
+        } else {
+            Symbol::Digit(2 * (slice - 1) + usize::from(side == SliceSide::One))
+        }
+    }
+
+    fn decode_snapshot(&mut self, view: &View) {
+        let Some(g) = self.geometry.as_ref() else {
+            return;
+        };
+        let tol = Tolerance::default();
+        let mut events = Vec::new();
+        for o in view.others() {
+            let Some(home) = g.keyboards.iter().position(|kb| kb.contains(o.position, tol))
+            else {
+                continue;
+            };
+            if let SliceZone::OnSlice {
+                slice,
+                side,
+                distance,
+                deviation,
+            } = g.keyboards[home].classify(o.position, tol)
+            {
+                if distance > g.keyboards[home].radius() * 1e-6
+                    && deviation <= g.keyboards[home].decode_tolerance()
+                {
+                    events.push((home, self.symbol_of(slice, side)));
+                }
+            }
+        }
+        let n = g.homes.len();
+        let need = self.digits_per_address(n);
+        for (sender, symbol) in events {
+            let dec = self.decoders.entry(sender).or_default();
+            match symbol {
+                Symbol::Digit(d) => {
+                    if dec.digits.len() < need {
+                        dec.digits.push(d);
+                    }
+                    // A digit after the address is complete means the
+                    // sender started over (protocol violation by a buggy
+                    // sender); start a fresh address.
+                    else {
+                        dec.digits.clear();
+                        dec.digits.push(d);
+                        dec.frame = FrameDecoder::new();
+                    }
+                }
+                Symbol::Payload(bit) => {
+                    if dec.digits.len() < need {
+                        // Payload before a full address: drop (cannot
+                        // happen with well-formed senders).
+                        continue;
+                    }
+                    if let Some(payload) = dec.frame.push_bit(bit) {
+                        let dest_label = decode_digits(&dec.digits, self.k).unwrap_or(usize::MAX);
+                        dec.digits.clear();
+                        let g = self.geometry.as_ref().expect("checked above");
+                        let Some(dest) = g.labeling.index_of(dest_label) else {
+                            continue;
+                        };
+                        self.overheard.push(OverheardEntry {
+                            sender,
+                            dest,
+                            payload: payload.clone(),
+                        });
+                        if dest == 0 {
+                            self.inbox.push(InboxEntry { sender, payload });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MovementProtocol for KSliceSync {
+    fn on_activate(&mut self, view: &View) -> Point {
+        let c = self.counter;
+        self.counter += 1;
+
+        if self.geometry.is_none() && self.init_error.is_none() {
+            match self.build_geometry(view) {
+                Ok(g) => self.geometry = Some(g),
+                Err(e) => self.init_error = Some(e),
+            }
+        }
+        let Some(home) = self.geometry.as_ref().map(|g| g.homes[0]) else {
+            return view.own_position();
+        };
+
+        if c.is_multiple_of(2) {
+            if self.current.is_empty() {
+                if let Some((label, payload)) = self.pending.pop_front() {
+                    let g = self.geometry.as_ref().expect("initialized");
+                    let n = g.homes.len();
+                    let need = self.digits_per_address(n);
+                    if let Ok(digits) = encode_digits(label, self.k, need) {
+                        self.current.extend(digits.into_iter().map(Symbol::Digit));
+                        self.current
+                            .extend(encode_frame(&payload).iter().map(Symbol::Payload));
+                    }
+                }
+            }
+            let Some(symbol) = self.current.pop_front() else {
+                return home; // silent
+            };
+            self.signals_sent += 1;
+            let (slice, side) = self.press_of(symbol);
+            let g = self.geometry.as_ref().expect("initialized");
+            g.keyboards[0].target(slice, side, 0.5).unwrap_or(home)
+        } else {
+            self.decode_snapshot(view);
+            home
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stigmergy_robots::{Capabilities, Engine};
+    use stigmergy_scheduler::Synchronous;
+
+    fn ring(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let theta = std::f64::consts::TAU * (i as f64) / (n as f64);
+                Point::new(
+                    20.0 * theta.cos() + (i as f64) * 0.07,
+                    20.0 * theta.sin(),
+                )
+            })
+            .collect()
+    }
+
+    fn engine(n: usize, k: usize, seed: u64) -> Engine<KSliceSync> {
+        Engine::builder()
+            .positions(ring(n))
+            .protocols((0..n).map(|_| KSliceSync::new(k)))
+            .capabilities(Capabilities::anonymous_with_direction())
+            .schedule(Synchronous)
+            .frame_seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn label_of(e: &Engine<KSliceSync>, sender: usize, target: usize) -> usize {
+        let g = e.protocol(sender).geometry.as_ref().unwrap();
+        let world = e.trace().initial()[target];
+        let local = e.frames()[sender].to_local(world);
+        let home = g.homes.iter().position(|h| h.approx_eq(local)).unwrap();
+        g.labeling.label_of(home).unwrap()
+    }
+
+    #[test]
+    fn delivery_with_binary_addressing() {
+        let mut e = engine(6, 2, 1);
+        e.step().unwrap();
+        let label = label_of(&e, 0, 4);
+        e.protocol_mut(0).send_label(label, b"k=2");
+        let out = e
+            .run_until(2_000, |e| {
+                e.protocol(4).inbox().iter().any(|m| m.payload == b"k=2")
+            })
+            .unwrap();
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn delivery_with_larger_radices() {
+        for k in [3usize, 4, 8] {
+            let mut e = engine(9, k, 10 + k as u64);
+            e.step().unwrap();
+            let label = label_of(&e, 2, 7);
+            e.protocol_mut(2).send_label(label, b"radix");
+            let out = e
+                .run_until(2_000, |e| {
+                    e.protocol(7).inbox().iter().any(|m| m.payload == b"radix")
+                })
+                .unwrap();
+            assert!(out.satisfied, "k={k}");
+        }
+    }
+
+    #[test]
+    fn address_cost_matches_log_k_n() {
+        // n = 9 robots, 1-byte payload = 24 frame bits.
+        // k=2 → 4 digits; k=3 → 2 digits; k=8 → 2... log8(9)=2; k=9 → 1.
+        for (k, expected_digits) in [(2usize, 4u64), (3, 2), (9, 1)] {
+            let mut e = engine(9, k, 20 + k as u64);
+            e.step().unwrap();
+            let label = label_of(&e, 0, 5);
+            e.protocol_mut(0).send_label(label, b"c");
+            e.run_until(2_000, |e| e.protocol(0).is_drained() && e.time() % 2 == 0)
+                .unwrap();
+            assert_eq!(
+                e.protocol(0).signals_sent(),
+                expected_digits + 24,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_messages_back_to_back() {
+        let mut e = engine(5, 2, 3);
+        e.step().unwrap();
+        let l1 = label_of(&e, 0, 1);
+        let l3 = label_of(&e, 0, 3);
+        e.protocol_mut(0).send_label(l1, b"one");
+        e.protocol_mut(0).send_label(l3, b"two");
+        let out = e
+            .run_until(3_000, |e| {
+                e.protocol(1).inbox().iter().any(|m| m.payload == b"one")
+                    && e.protocol(3).inbox().iter().any(|m| m.payload == b"two")
+            })
+            .unwrap();
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn bystanders_overhear() {
+        let mut e = engine(4, 2, 4);
+        e.step().unwrap();
+        let label = label_of(&e, 1, 2);
+        e.protocol_mut(1).send_label(label, b"psst");
+        e.run_until(2_000, |e| {
+            e.protocol(2).inbox().iter().any(|m| m.payload == b"psst")
+        })
+        .unwrap();
+        assert!(e
+            .protocol(3)
+            .overheard()
+            .iter()
+            .any(|m| m.payload == b"psst"));
+        assert!(e.protocol(3).inbox().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn k_below_two_rejected() {
+        let _ = KSliceSync::new(1);
+    }
+
+    #[test]
+    fn fewer_diameters_than_full_protocol() {
+        // The whole point of §5: a 100-robot swarm needs only 1 + ⌈k/2⌉
+        // diameters instead of 100.
+        let p = KSliceSync::new(4);
+        assert_eq!(p.diameters(), 3);
+        let p = KSliceSync::new(7);
+        assert_eq!(p.diameters(), 5); // 1 + ceil(7/2)
+    }
+}

@@ -1,0 +1,673 @@
+//! High-level sessions: a message-passing network over movement signals.
+//!
+//! The protocols address peers by *labels* in a naming scheme, while an
+//! application thinks in robot indices. [`Network`] bridges the two: it
+//! owns the engine, translates indices to labels (the naming functions are
+//! similarity-invariant, so labels computed from world positions agree
+//! with what each robot computes in its private frame), tracks what was
+//! sent, and runs the system until everything is delivered.
+//!
+//! ```
+//! use stigmergy::session::SyncNetwork;
+//! use stigmergy_geometry::Point;
+//!
+//! let mut net = SyncNetwork::anonymous_with_direction(
+//!     vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 8.0)],
+//!     7,
+//! )?;
+//! net.send(0, 1, b"hi")?;
+//! net.send(1, 2, b"there")?;
+//! net.run_until_delivered(10_000)?;
+//! assert_eq!(net.inbox(1), vec![(0, b"hi".to_vec())]);
+//! assert_eq!(net.inbox(2), vec![(1, b"there".to_vec())]);
+//! # Ok::<(), stigmergy::CoreError>(())
+//! ```
+
+use crate::async2::{Async2, DriftPolicy};
+use crate::async_n::AsyncSwarm;
+use crate::decode::InboxEntry;
+use crate::naming::{label_by_id, label_by_lex, label_by_sec};
+use crate::preprocess::{NamingScheme, SwarmGeometry};
+use crate::sync_swarm::SyncSwarm;
+use crate::CoreError;
+use stigmergy_geometry::Point;
+use stigmergy_robots::{Capabilities, Engine, MovementProtocol};
+use stigmergy_scheduler::{FairAsync, Schedule, Synchronous, WakeAllFirst};
+
+/// The protocol-side interface a [`Network`] drives.
+///
+/// Implemented by [`SyncSwarm`] and [`AsyncSwarm`]; sealed in spirit — the
+/// session layer is written against exactly these semantics.
+pub trait SwarmProtocol: MovementProtocol {
+    /// Queues a message for the robot labelled `label` (in this robot's
+    /// naming).
+    fn queue_label(&mut self, label: usize, payload: &[u8]);
+    /// Queues a broadcast.
+    fn queue_broadcast(&mut self, payload: &[u8]);
+    /// Messages received so far.
+    fn inbox_entries(&self) -> &[InboxEntry];
+    /// The preprocessed geometry, if built.
+    fn swarm_geometry(&self) -> Option<&SwarmGeometry>;
+    /// A preprocessing failure, if any.
+    fn failure(&self) -> Option<&CoreError>;
+}
+
+impl SwarmProtocol for SyncSwarm {
+    fn queue_label(&mut self, label: usize, payload: &[u8]) {
+        self.send_label(label, payload);
+    }
+    fn queue_broadcast(&mut self, payload: &[u8]) {
+        self.send_broadcast(payload);
+    }
+    fn inbox_entries(&self) -> &[InboxEntry] {
+        self.inbox()
+    }
+    fn swarm_geometry(&self) -> Option<&SwarmGeometry> {
+        self.geometry()
+    }
+    fn failure(&self) -> Option<&CoreError> {
+        self.init_error()
+    }
+}
+
+impl SwarmProtocol for AsyncSwarm {
+    fn queue_label(&mut self, label: usize, payload: &[u8]) {
+        self.send_label(label, payload);
+    }
+    fn queue_broadcast(&mut self, payload: &[u8]) {
+        self.send_broadcast(payload);
+    }
+    fn inbox_entries(&self) -> &[InboxEntry] {
+        self.inbox()
+    }
+    fn swarm_geometry(&self) -> Option<&SwarmGeometry> {
+        self.geometry()
+    }
+    fn failure(&self) -> Option<&CoreError> {
+        self.init_error()
+    }
+}
+
+/// A message-passing network over movement signals.
+#[derive(Debug)]
+pub struct Network<P> {
+    engine: Engine<P>,
+    scheme: NamingScheme,
+    expectations: Vec<(usize, usize, Vec<u8>)>,
+}
+
+/// A synchronous network (protocols P1–P4 territory).
+pub type SyncNetwork = Network<SyncSwarm>;
+/// An asynchronous network (protocol P6).
+pub type AsyncNetwork = Network<AsyncSwarm>;
+
+impl SyncNetwork {
+    /// Anonymous robots with chirality only (§3.4 naming).
+    ///
+    /// # Errors
+    ///
+    /// Fails on degenerate configurations (coincident robots; a robot at
+    /// the SEC centre surfaces on the first send/run).
+    pub fn anonymous(positions: Vec<Point>, seed: u64) -> Result<Self, CoreError> {
+        Self::build_sync(
+            positions,
+            seed,
+            NamingScheme::BySec,
+            Capabilities::anonymous(),
+            SyncSwarm::anonymous,
+        )
+    }
+
+    /// Anonymous robots with a common North (§3.3 naming).
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncNetwork::anonymous`].
+    pub fn anonymous_with_direction(
+        positions: Vec<Point>,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Self::build_sync(
+            positions,
+            seed,
+            NamingScheme::ByLex,
+            Capabilities::anonymous_with_direction(),
+            SyncSwarm::anonymous_with_direction,
+        )
+    }
+
+    /// Identified robots with a common North (§3.2 routing).
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncNetwork::anonymous`].
+    pub fn identified(positions: Vec<Point>, seed: u64) -> Result<Self, CoreError> {
+        Self::build_sync(
+            positions,
+            seed,
+            NamingScheme::ById,
+            Capabilities::identified_with_direction(),
+            SyncSwarm::routed,
+        )
+    }
+
+    fn build_sync(
+        positions: Vec<Point>,
+        seed: u64,
+        scheme: NamingScheme,
+        caps: Capabilities,
+        proto: fn() -> SyncSwarm,
+    ) -> Result<Self, CoreError> {
+        let n = positions.len();
+        let engine = Engine::builder()
+            .positions(positions)
+            .protocols((0..n).map(|_| proto()))
+            .capabilities(caps)
+            .schedule(Synchronous)
+            .frame_seed(seed)
+            .build()?;
+        Ok(Self {
+            engine,
+            scheme,
+            expectations: Vec::new(),
+        })
+    }
+}
+
+impl AsyncNetwork {
+    /// Anonymous asynchronous robots (§4.2) under a seeded fair scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Fails on degenerate configurations.
+    pub fn anonymous(positions: Vec<Point>, seed: u64) -> Result<Self, CoreError> {
+        Self::anonymous_with_schedule(positions, seed, FairAsync::new(seed, 0.5, 16))
+    }
+
+    /// Anonymous asynchronous robots under a caller-supplied scheduler
+    /// (wrapped so every robot wakes at `t0`, the §4.2 assumption).
+    ///
+    /// # Errors
+    ///
+    /// Fails on degenerate configurations.
+    pub fn anonymous_with_schedule<S: Schedule + 'static>(
+        positions: Vec<Point>,
+        seed: u64,
+        schedule: S,
+    ) -> Result<Self, CoreError> {
+        let n = positions.len();
+        let engine = Engine::builder()
+            .positions(positions)
+            .protocols((0..n).map(|_| AsyncSwarm::anonymous()))
+            .capabilities(Capabilities::anonymous())
+            .schedule(WakeAllFirst::new(schedule))
+            .frame_seed(seed)
+            .build()?;
+        Ok(Self {
+            engine,
+            scheme: NamingScheme::BySec,
+            expectations: Vec::new(),
+        })
+    }
+}
+
+impl<P: SwarmProtocol> Network<P> {
+    /// Number of robots.
+    #[must_use]
+    pub fn cohort(&self) -> usize {
+        self.engine.cohort()
+    }
+
+    /// The underlying engine (positions, trace, frames).
+    #[must_use]
+    pub fn engine(&self) -> &Engine<P> {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine<P> {
+        &mut self.engine
+    }
+
+    /// Queues a message from robot `from` to robot `to` (engine indices).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownDestination`] for out-of-range indices.
+    /// * [`CoreError::SelfAddressed`] if `from == to` (use
+    ///   [`Network::broadcast`]).
+    /// * [`CoreError::Naming`] if the configuration admits no naming.
+    pub fn send(&mut self, from: usize, to: usize, payload: &[u8]) -> Result<(), CoreError> {
+        let n = self.cohort();
+        if from >= n || to >= n {
+            return Err(CoreError::UnknownDestination {
+                dest: from.max(to),
+                cohort: n,
+            });
+        }
+        if from == to {
+            return Err(CoreError::SelfAddressed);
+        }
+        if payload.len() > stigmergy_coding::framing::MAX_PAYLOAD {
+            return Err(CoreError::PayloadTooLarge {
+                len: payload.len(),
+            });
+        }
+        let label = self.label_from_world(from, to)?;
+        self.engine.protocol_mut(from).queue_label(label, payload);
+        self.expectations.push((from, to, payload.to_vec()));
+        Ok(())
+    }
+
+    /// Queues a broadcast from robot `from` to everyone (§5 one-to-all).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDestination`] for an out-of-range index.
+    pub fn broadcast(&mut self, from: usize, payload: &[u8]) -> Result<(), CoreError> {
+        if from >= self.cohort() {
+            return Err(CoreError::UnknownDestination {
+                dest: from,
+                cohort: self.cohort(),
+            });
+        }
+        if payload.len() > stigmergy_coding::framing::MAX_PAYLOAD {
+            return Err(CoreError::PayloadTooLarge {
+                len: payload.len(),
+            });
+        }
+        self.engine.protocol_mut(from).queue_broadcast(payload);
+        for to in (0..self.cohort()).filter(|&i| i != from) {
+            self.expectations.push((from, to, payload.to_vec()));
+        }
+        Ok(())
+    }
+
+    /// Runs until every queued message has been delivered.
+    ///
+    /// Returns the number of instants executed.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Timeout`] if `max_steps` elapse first.
+    /// * Any robot's preprocessing failure, surfaced after the first
+    ///   instant.
+    /// * [`CoreError::Model`] on a model violation (collision).
+    pub fn run_until_delivered(&mut self, max_steps: u64) -> Result<u64, CoreError> {
+        for step in 0..max_steps {
+            self.engine.step()?;
+            if step == 0 {
+                for i in 0..self.cohort() {
+                    if let Some(e) = self.engine.protocol(i).failure() {
+                        return Err(e.clone());
+                    }
+                }
+            }
+            if self.all_delivered() {
+                return Ok(step + 1);
+            }
+        }
+        if self.all_delivered() {
+            Ok(max_steps)
+        } else {
+            Err(CoreError::Timeout { steps: max_steps })
+        }
+    }
+
+    /// Runs exactly `steps` instants.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] on a model violation.
+    pub fn run(&mut self, steps: u64) -> Result<(), CoreError> {
+        self.engine.run(steps)?;
+        Ok(())
+    }
+
+    /// Whether every queued message has reached its addressee.
+    ///
+    /// Matching respects multiplicity: sending the same payload to the
+    /// same robot twice requires two inbox entries. Cost is linear in the
+    /// number of expectations plus inbox sizes (grouped counting), so it
+    /// is safe to call every instant of a long run.
+    #[must_use]
+    pub fn all_delivered(&self) -> bool {
+        use std::collections::HashMap;
+        if self.expectations.is_empty() {
+            return true;
+        }
+        let mut expected: HashMap<(usize, usize, &[u8]), usize> = HashMap::new();
+        for (from, to, payload) in &self.expectations {
+            *expected.entry((*from, *to, payload.as_slice())).or_insert(0) += 1;
+        }
+        let mut inboxes: HashMap<usize, Vec<(usize, Vec<u8>)>> = HashMap::new();
+        expected.into_iter().all(|((from, to, payload), need)| {
+            let inbox = inboxes.entry(to).or_insert_with(|| self.inbox(to));
+            inbox
+                .iter()
+                .filter(|(s, p)| *s == from && p == payload)
+                .count()
+                >= need
+        })
+    }
+
+    /// Robot `robot`'s inbox as `(sender_engine_index, payload)` pairs.
+    ///
+    /// Empty before the first instant (geometry not yet built).
+    #[must_use]
+    pub fn inbox(&self, robot: usize) -> Vec<(usize, Vec<u8>)> {
+        let Some(g) = self.engine.protocol(robot).swarm_geometry() else {
+            return Vec::new();
+        };
+        self.engine
+            .protocol(robot)
+            .inbox_entries()
+            .iter()
+            .filter_map(|e| {
+                Some((
+                    self.home_to_engine(robot, g, e.sender)?,
+                    e.payload.clone(),
+                ))
+            })
+            .collect()
+    }
+
+    /// Translates one robot's home index into an engine index by matching
+    /// world home positions.
+    fn home_to_engine(&self, robot: usize, g: &SwarmGeometry, home: usize) -> Option<usize> {
+        let world = self.engine.frames()[robot].to_world(g.home(home));
+        self.engine
+            .trace()
+            .initial()
+            .iter()
+            .position(|&p| p.approx_eq(world))
+    }
+
+    /// The label of `to` in `from`'s naming, computed from world positions
+    /// (valid because every naming scheme is similarity-invariant).
+    fn label_from_world(&self, from: usize, to: usize) -> Result<usize, CoreError> {
+        let homes = self.engine.trace().initial();
+        let labeling = match self.scheme {
+            NamingScheme::ByLex => label_by_lex(homes)?,
+            NamingScheme::BySec => label_by_sec(homes, from)?,
+            NamingScheme::ById => {
+                let ids = self
+                    .engine
+                    .ids()
+                    .expect("identified networks always carry IDs");
+                label_by_id(ids)?
+            }
+        };
+        labeling
+            .label_of(to)
+            .ok_or(CoreError::UnknownDestination {
+                dest: to,
+                cohort: homes.len(),
+            })
+    }
+}
+
+/// A ready-made two-robot asynchronous chat session (protocol P5).
+///
+/// [`Async2`] has a simpler API than the swarm protocols (there is only
+/// one possible peer), so it gets its own small façade.
+#[derive(Debug)]
+pub struct AsyncPair {
+    engine: Engine<Async2>,
+}
+
+impl AsyncPair {
+    /// Creates a two-robot asynchronous session under a seeded fair
+    /// scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the two positions coincide.
+    pub fn new(a: Point, b: Point, policy: DriftPolicy, seed: u64) -> Result<Self, CoreError> {
+        Self::with_schedule(a, b, policy, seed, FairAsync::new(seed, 0.5, 16))
+    }
+
+    /// As [`AsyncPair::new`] with a caller-supplied scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the two positions coincide.
+    pub fn with_schedule<S: Schedule + 'static>(
+        a: Point,
+        b: Point,
+        policy: DriftPolicy,
+        seed: u64,
+        schedule: S,
+    ) -> Result<Self, CoreError> {
+        let engine = Engine::builder()
+            .positions([a, b])
+            .protocols([Async2::new(policy), Async2::new(policy)])
+            .schedule(WakeAllFirst::new(schedule))
+            .frame_seed(seed)
+            .build()?;
+        Ok(Self { engine })
+    }
+
+    /// Queues a message from robot `from` (0 or 1) to the other robot.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDestination`] unless `from` is 0 or 1.
+    pub fn send(&mut self, from: usize, payload: &[u8]) -> Result<(), CoreError> {
+        if from > 1 {
+            return Err(CoreError::UnknownDestination {
+                dest: from,
+                cohort: 2,
+            });
+        }
+        self.engine.protocol_mut(from).send(payload);
+        Ok(())
+    }
+
+    /// Runs until both robots have drained their queues and received all
+    /// pending traffic, or `max_steps` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] / [`CoreError::Model`].
+    pub fn run_until_delivered(&mut self, max_steps: u64) -> Result<u64, CoreError> {
+        let expect: [usize; 2] = [
+            self.engine.protocol(1).inbox().len()
+                + usize::from(!self.engine.protocol(0).is_drained()),
+            self.engine.protocol(0).inbox().len()
+                + usize::from(!self.engine.protocol(1).is_drained()),
+        ];
+        let out = self
+            .engine
+            .run_until(max_steps, |e| {
+                e.protocol(0).is_drained()
+                    && e.protocol(1).is_drained()
+                    && e.protocol(1).inbox().len() >= expect[0]
+                    && e.protocol(0).inbox().len() >= expect[1]
+            })
+            .map_err(CoreError::from)?;
+        if out.satisfied {
+            Ok(out.steps_taken)
+        } else {
+            Err(CoreError::Timeout { steps: max_steps })
+        }
+    }
+
+    /// Messages received by robot `robot`.
+    #[must_use]
+    pub fn inbox(&self, robot: usize) -> &[Vec<u8>] {
+        self.engine.protocol(robot).inbox()
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<Async2> {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 0.0),
+            Point::new(5.0, 9.0),
+        ]
+    }
+
+    #[test]
+    fn sync_anonymous_with_direction_end_to_end() {
+        let mut net = SyncNetwork::anonymous_with_direction(triangle(), 1).unwrap();
+        net.send(0, 2, b"up").unwrap();
+        net.send(2, 1, b"across").unwrap();
+        let steps = net.run_until_delivered(5_000).unwrap();
+        assert!(steps > 0);
+        assert_eq!(net.inbox(2), vec![(0, b"up".to_vec())]);
+        assert_eq!(net.inbox(1), vec![(2, b"across".to_vec())]);
+        assert!(net.all_delivered());
+    }
+
+    #[test]
+    fn sync_identified_end_to_end() {
+        let mut net = SyncNetwork::identified(triangle(), 2).unwrap();
+        net.send(1, 0, b"routed").unwrap();
+        net.run_until_delivered(5_000).unwrap();
+        assert_eq!(net.inbox(0), vec![(1, b"routed".to_vec())]);
+    }
+
+    #[test]
+    fn sync_chirality_only_end_to_end() {
+        let mut net = SyncNetwork::anonymous(triangle(), 3).unwrap();
+        net.send(0, 1, b"sec").unwrap();
+        net.run_until_delivered(5_000).unwrap();
+        assert_eq!(net.inbox(1), vec![(0, b"sec".to_vec())]);
+    }
+
+    #[test]
+    fn async_network_end_to_end() {
+        let mut net = AsyncNetwork::anonymous(triangle(), 4).unwrap();
+        net.send(0, 2, b"async swarm").unwrap();
+        net.run_until_delivered(200_000).unwrap();
+        assert_eq!(net.inbox(2), vec![(0, b"async swarm".to_vec())]);
+    }
+
+    #[test]
+    fn broadcast_end_to_end() {
+        let mut net = SyncNetwork::anonymous_with_direction(triangle(), 5).unwrap();
+        net.broadcast(1, b"everyone").unwrap();
+        net.run_until_delivered(5_000).unwrap();
+        assert_eq!(net.inbox(0), vec![(1, b"everyone".to_vec())]);
+        assert_eq!(net.inbox(2), vec![(1, b"everyone".to_vec())]);
+    }
+
+    #[test]
+    fn send_validation() {
+        let mut net = SyncNetwork::anonymous_with_direction(triangle(), 6).unwrap();
+        assert!(matches!(
+            net.send(0, 9, b"x"),
+            Err(CoreError::UnknownDestination { dest: 9, cohort: 3 })
+        ));
+        assert!(matches!(net.send(1, 1, b"x"), Err(CoreError::SelfAddressed)));
+        assert!(matches!(
+            net.broadcast(7, b"x"),
+            Err(CoreError::UnknownDestination { .. })
+        ));
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut net = SyncNetwork::anonymous_with_direction(triangle(), 7).unwrap();
+        net.send(0, 1, b"too slow").unwrap();
+        // 4 steps cannot carry a 40-bit frame.
+        assert!(matches!(
+            net.run_until_delivered(4),
+            Err(CoreError::Timeout { steps: 4 })
+        ));
+    }
+
+    #[test]
+    fn degenerate_configuration_surfaces() {
+        // Robot at the SEC centre with BySec naming: send() fails eagerly.
+        let pts = vec![Point::new(0.0, 5.0), Point::new(0.0, -5.0), Point::ORIGIN];
+        let mut net = SyncNetwork::anonymous(pts, 8).unwrap();
+        assert!(matches!(net.send(0, 1, b"x"), Err(CoreError::Naming(_))));
+    }
+
+    #[test]
+    fn async_pair_chat() {
+        let mut pair = AsyncPair::new(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            DriftPolicy::Diverge,
+            9,
+        )
+        .unwrap();
+        pair.send(0, b"marco").unwrap();
+        pair.send(1, b"polo").unwrap();
+        pair.run_until_delivered(50_000).unwrap();
+        assert_eq!(pair.inbox(1), &[b"marco".to_vec()]);
+        assert_eq!(pair.inbox(0), &[b"polo".to_vec()]);
+        assert!(!pair.engine().trace().is_empty());
+    }
+
+    #[test]
+    fn async_pair_validation() {
+        let mut pair = AsyncPair::new(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            DriftPolicy::Diverge,
+            10,
+        )
+        .unwrap();
+        assert!(matches!(
+            pair.send(2, b"x"),
+            Err(CoreError::UnknownDestination { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut net = SyncNetwork::anonymous_with_direction(triangle(), 13).unwrap();
+        let big = vec![0u8; 70_000];
+        assert!(matches!(
+            net.send(0, 1, &big),
+            Err(CoreError::PayloadTooLarge { len: 70_000 })
+        ));
+        assert!(matches!(
+            net.broadcast(0, &big),
+            Err(CoreError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn inbox_before_running_is_empty() {
+        let net = SyncNetwork::anonymous_with_direction(triangle(), 11).unwrap();
+        assert!(net.inbox(0).is_empty());
+        assert_eq!(net.cohort(), 3);
+    }
+
+    #[test]
+    fn larger_swarm_many_messages() {
+        let positions: Vec<Point> = (0..7)
+            .map(|k| {
+                let theta = std::f64::consts::TAU * (k as f64) / 7.0;
+                Point::new(15.0 * theta.cos() + (k as f64) * 0.05, 15.0 * theta.sin())
+            })
+            .collect();
+        let mut net = SyncNetwork::anonymous_with_direction(positions, 12).unwrap();
+        for i in 0..7 {
+            net.send(i, (i + 2) % 7, format!("msg-{i}").as_bytes())
+                .unwrap();
+        }
+        net.run_until_delivered(20_000).unwrap();
+        for i in 0..7 {
+            let to = (i + 2) % 7;
+            assert!(net
+                .inbox(to)
+                .contains(&(i, format!("msg-{i}").into_bytes())));
+        }
+    }
+}

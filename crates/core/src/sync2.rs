@@ -1,0 +1,330 @@
+//! Protocol P1 (§3.1, Fig. 1): synchronous coding with two robots.
+//!
+//! Time alternates between **signal** instants and **return** instants.
+//! On a signal instant, a robot with a bit to send steps sideways: to send
+//! `0` it moves to its *right* with respect to the direction toward its
+//! peer, to send `1` to its left (with shared chirality both robots agree
+//! on right/left). On the return instant it steps back home. A robot with
+//! nothing to send stays put — the protocol is *silent*.
+//!
+//! Decoding is symmetric: on a return instant (when the peer's signal
+//! position is visible in the snapshot) the observer projects the peer's
+//! displacement on the peer's right-hand direction and reads the bit.
+//!
+//! Since both robots move perpendicular to the line between their homes,
+//! their distance never decreases — collision-free without any granular
+//! machinery.
+
+use stigmergy_coding::bits::BitQueue;
+use stigmergy_coding::framing::{encode_frame, FrameDecoder};
+use stigmergy_coding::Bit;
+use stigmergy_geometry::{Point, Tolerance, Vec2};
+use stigmergy_robots::{MovementProtocol, View};
+
+/// The two-robot synchronous movement-coding protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Sync2 {
+    counter: u64,
+    home: Option<Point>,
+    peer_home: Option<Point>,
+    lateral_step: f64,
+    outgoing: BitQueue,
+    decoder: FrameDecoder,
+    inbox: Vec<Vec<u8>>,
+    decoded_bits: Vec<Bit>,
+    signals_sent: u64,
+}
+
+impl Sync2 {
+    /// Creates an idle protocol instance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a message for the peer.
+    pub fn send(&mut self, payload: &[u8]) {
+        self.outgoing.enqueue(&encode_frame(payload));
+    }
+
+    /// Queues raw bits, bypassing framing — the peer will *decode* the
+    /// bits but complete no message until a well-formed frame arrives.
+    /// Diagnostics and figure reproductions only.
+    pub fn send_raw(&mut self, bits: &stigmergy_coding::BitString) {
+        self.outgoing.enqueue(bits);
+    }
+
+    /// Messages received so far, in order.
+    #[must_use]
+    pub fn inbox(&self) -> &[Vec<u8>] {
+        &self.inbox
+    }
+
+    /// Raw bits decoded so far (diagnostics / Fig. 1 reproduction).
+    #[must_use]
+    pub fn decoded_bits(&self) -> &[Bit] {
+        &self.decoded_bits
+    }
+
+    /// Whether all queued bits have been sent.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.outgoing.is_empty()
+    }
+
+    /// Number of signal moves made.
+    #[must_use]
+    pub fn signals_sent(&self) -> u64 {
+        self.signals_sent
+    }
+
+    /// The peer's right-hand direction as seen from `peer_home` facing
+    /// `my_home` — the direction a peer's `0` displacement points to.
+    fn peer_right(&self) -> Option<Vec2> {
+        let facing = (self.home? - self.peer_home?).normalized().ok()?;
+        Some(facing.perp_cw())
+    }
+
+    /// My right-hand direction facing the peer.
+    fn my_right(&self) -> Option<Vec2> {
+        let facing = (self.peer_home? - self.home?).normalized().ok()?;
+        Some(facing.perp_cw())
+    }
+
+    fn decode_peer(&mut self, peer_pos: Point) {
+        let (Some(peer_home), Some(right)) = (self.peer_home, self.peer_right()) else {
+            return;
+        };
+        let disp = peer_pos - peer_home;
+        let tol = Tolerance::default();
+        if tol.zero(disp.norm()) {
+            return; // silence
+        }
+        let bit = Bit::from_bool(disp.dot(right) < 0.0); // right = 0, left = 1
+        self.decoded_bits.push(bit);
+        if let Some(msg) = self.decoder.push_bit(bit) {
+            self.inbox.push(msg);
+        }
+    }
+}
+
+impl MovementProtocol for Sync2 {
+    fn on_activate(&mut self, view: &View) -> Point {
+        let c = self.counter;
+        self.counter += 1;
+
+        if self.home.is_none() {
+            // Sync2 is the two-robot protocol: with any other cohort size
+            // the "direction given by the peer" is ill-defined, so stay
+            // put (the swarm protocols handle n > 2).
+            if view.cohort() != 2 {
+                return view.own_position();
+            }
+            // First activation = t0 in the synchronous model: both robots
+            // are at their homes.
+            self.home = Some(view.own_position());
+            let peer = view.others().first().map(|o| o.position);
+            self.peer_home = peer;
+            if let (Some(h), Some(p)) = (self.home, peer) {
+                // A quarter of the separation keeps signals unambiguous and
+                // well within any sane σ; still capped by σ below.
+                self.lateral_step = (h.distance(p) / 4.0).min(view.sigma());
+            }
+        }
+        let (Some(home), Some(_)) = (self.home, self.peer_home) else {
+            return view.own_position();
+        };
+
+        if c.is_multiple_of(2) {
+            // Signal instant.
+            let Some(bit) = self.outgoing.dequeue() else {
+                return home; // silent
+            };
+            self.signals_sent += 1;
+            let right = self.my_right().expect("homes are distinct");
+            let dir = if bit.as_bool() { -right } else { right };
+            home + dir * self.lateral_step
+        } else {
+            // Return instant; the snapshot shows the peer's signal
+            // position — decode it first.
+            if let Some(peer) = view.others().first() {
+                self.decode_peer(peer.position);
+            }
+            home
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stigmergy_geometry::Point;
+    use stigmergy_robots::Engine;
+    use stigmergy_scheduler::Synchronous;
+
+    fn engine(seed: u64) -> Engine<Sync2> {
+        Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .protocols([Sync2::new(), Sync2::new()])
+            .schedule(Synchronous)
+            .frame_seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn one_way_message_delivery() {
+        let mut e = engine(1);
+        e.protocol_mut(0).send(b"hi");
+        e.run_until(500, |e| !e.protocol(1).inbox().is_empty())
+            .unwrap();
+        assert_eq!(e.protocol(1).inbox(), &[b"hi".to_vec()]);
+        assert!(e.protocol(0).is_drained());
+    }
+
+    #[test]
+    fn duplex_chat() {
+        let mut e = engine(2);
+        e.protocol_mut(0).send(b"ping");
+        e.protocol_mut(1).send(b"pong!");
+        e.run_until(800, |e| {
+            !e.protocol(0).inbox().is_empty() && !e.protocol(1).inbox().is_empty()
+        })
+        .unwrap();
+        assert_eq!(e.protocol(1).inbox(), &[b"ping".to_vec()]);
+        assert_eq!(e.protocol(0).inbox(), &[b"pong!".to_vec()]);
+    }
+
+    #[test]
+    fn multiple_messages_in_order() {
+        let mut e = engine(3);
+        e.protocol_mut(0).send(b"one");
+        e.protocol_mut(0).send(b"two");
+        e.protocol_mut(0).send(b"three");
+        e.run_until(2000, |e| e.protocol(1).inbox().len() == 3)
+            .unwrap();
+        assert_eq!(
+            e.protocol(1).inbox(),
+            &[b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+    }
+
+    #[test]
+    fn silent_when_idle() {
+        let mut e = engine(4);
+        e.run(50).unwrap();
+        // Nobody moved: the protocol is silent.
+        assert_eq!(e.trace().path_length(0), 0.0);
+        assert_eq!(e.trace().path_length(1), 0.0);
+        assert_eq!(e.protocol(0).signals_sent(), 0);
+    }
+
+    #[test]
+    fn robots_always_return_home() {
+        let mut e = engine(5);
+        e.protocol_mut(0).send(b"zigzag");
+        let homes: Vec<Point> = e.positions().to_vec();
+        for _ in 0..100 {
+            e.step().unwrap();
+            e.step().unwrap();
+            // After every (signal, return) pair both robots are home.
+            assert!(e.positions()[0].approx_eq(homes[0]));
+            assert!(e.positions()[1].approx_eq(homes[1]));
+        }
+    }
+
+    #[test]
+    fn distance_never_decreases_below_initial() {
+        let mut e = engine(6);
+        e.protocol_mut(0).send(&[0xAA, 0x55]);
+        e.protocol_mut(1).send(&[0xFF, 0x00]);
+        let d0 = e.positions()[0].distance(e.positions()[1]);
+        for _ in 0..400 {
+            e.step().unwrap();
+            let d = e.positions()[0].distance(e.positions()[1]);
+            assert!(d >= d0 - 1e-9, "robots approached: {d} < {d0}");
+        }
+    }
+
+    #[test]
+    fn works_under_random_frames_and_scales() {
+        // The protocol must be frame-invariant: rotated/scaled private
+        // frames cannot corrupt the bits.
+        for seed in 0..10u64 {
+            let mut e = engine(1000 + seed);
+            e.protocol_mut(0).send(b"R");
+            e.protocol_mut(1).send(b"L");
+            let out = e
+                .run_until(600, |e| {
+                    !e.protocol(0).inbox().is_empty() && !e.protocol(1).inbox().is_empty()
+                })
+                .unwrap();
+            assert!(out.satisfied, "seed {seed} failed to deliver");
+            assert_eq!(e.protocol(1).inbox()[0], b"R".to_vec());
+            assert_eq!(e.protocol(0).inbox()[0], b"L".to_vec());
+        }
+    }
+
+    #[test]
+    fn fig1_bit_pattern() {
+        // Reproduce Fig. 1: the sender's very first signal for bit 0 is on
+        // its right w.r.t. the peer; for bit 1 on its left. With identity
+        // frames, robot 0 at origin facing +x: right = -y.
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .protocols([Sync2::new(), Sync2::new()])
+            .unit_frames()
+            .build()
+            .unwrap();
+        // Frame a raw pattern: first bit of the length prefix of b"" is 0 —
+        // instead drive single bits through the queue directly.
+        e.protocol_mut(0)
+            .send_raw(&stigmergy_coding::BitString::parse("01").unwrap());
+        e.step().unwrap(); // signal 0
+        assert!(e.positions()[0].y < 0.0, "bit 0 goes right (south)");
+        e.step().unwrap(); // return
+        assert!(e.positions()[0].approx_eq(Point::ORIGIN));
+        e.step().unwrap(); // signal 1
+        assert!(e.positions()[0].y > 0.0, "bit 1 goes left (north)");
+        // And the peer decoded exactly 01.
+        e.step().unwrap();
+        assert_eq!(e.protocol(1).decoded_bits(), &[Bit::Zero, Bit::One]);
+    }
+
+    #[test]
+    fn wrong_cohort_size_stays_put() {
+        // Three robots running Sync2: everyone safely freezes instead of
+        // mis-signalling.
+        let mut e = Engine::builder()
+            .positions([
+                Point::new(0.0, 0.0),
+                Point::new(8.0, 0.0),
+                Point::new(4.0, 6.0),
+            ])
+            .protocols([Sync2::new(), Sync2::new(), Sync2::new()])
+            .unit_frames()
+            .build()
+            .unwrap();
+        e.protocol_mut(0).send(b"nope");
+        e.run(40).unwrap();
+        for i in 0..3 {
+            assert_eq!(e.trace().path_length(i), 0.0, "robot {i} moved");
+        }
+        assert!(e.protocol(1).inbox().is_empty());
+    }
+
+    #[test]
+    fn lateral_step_respects_sigma() {
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .protocols([Sync2::new(), Sync2::new()])
+            .unit_frames()
+            .sigma(0.5) // far below d0/4 = 2
+            .build()
+            .unwrap();
+        e.protocol_mut(0).send(b"\xF0");
+        e.run_until(200, |e| !e.protocol(1).inbox().is_empty())
+            .unwrap();
+        assert_eq!(e.protocol(1).inbox()[0], b"\xF0".to_vec());
+    }
+}

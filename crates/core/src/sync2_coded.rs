@@ -1,0 +1,275 @@
+//! The §3.1 byte-coding optimisation of protocol P1.
+//!
+//! "If each robot `r` knows the maximum distance `σ_{r′}` that the other
+//! robot can cover in one step, then the protocol can easily be adapted to
+//! reduce the number of moves … the total distance `2σ` … can be divided
+//! by the number of possible bytes." [`Sync2Coded`] is [`Sync2`] with a
+//! [`LevelAlphabet`]: each excursion's *side* and *magnitude* together
+//! encode a whole symbol, carrying `log2(2·levels)` bits per (move,
+//! return) pair instead of one.
+//!
+//! Magnitudes are fractions of the maximal lateral step, so the scheme is
+//! scale-invariant: the receiver recovers the fraction as
+//! `|offset| / (d₀/4)` in its own units. Frames are padded to a whole
+//! number of symbols; the receiver discards the tail of the symbol that
+//! completes a frame, so back-to-back messages stay aligned.
+//!
+//! [`Sync2`]: crate::sync2::Sync2
+
+use std::collections::VecDeque;
+use stigmergy_coding::alphabet::{Displacement, LevelAlphabet};
+use stigmergy_coding::framing::{encode_frame, FrameDecoder};
+use stigmergy_coding::Bit;
+use stigmergy_geometry::{Point, Tolerance, Vec2};
+use stigmergy_robots::{MovementProtocol, View};
+
+/// Two-robot synchronous communication with multi-level displacement
+/// coding.
+#[derive(Debug, Clone)]
+pub struct Sync2Coded {
+    alphabet: LevelAlphabet,
+    counter: u64,
+    home: Option<Point>,
+    peer_home: Option<Point>,
+    lateral_step: f64,
+    outgoing: VecDeque<usize>,
+    decoder: FrameDecoder,
+    inbox: Vec<Vec<u8>>,
+    signals_sent: u64,
+}
+
+impl Sync2Coded {
+    /// Creates an instance using the given displacement alphabet.
+    #[must_use]
+    pub fn new(alphabet: LevelAlphabet) -> Self {
+        Self {
+            alphabet,
+            counter: 0,
+            home: None,
+            peer_home: None,
+            lateral_step: 0.0,
+            outgoing: VecDeque::new(),
+            decoder: FrameDecoder::new(),
+            inbox: Vec::new(),
+            signals_sent: 0,
+        }
+    }
+
+    /// The alphabet in use.
+    #[must_use]
+    pub fn alphabet(&self) -> LevelAlphabet {
+        self.alphabet
+    }
+
+    /// Queues a message for the peer.
+    ///
+    /// The framed bit stream is packed into symbols; the tail is padded to
+    /// a whole symbol.
+    pub fn send(&mut self, payload: &[u8]) {
+        let bits = encode_frame(payload);
+        self.outgoing.extend(self.alphabet.pack(&bits));
+    }
+
+    /// Messages received so far.
+    #[must_use]
+    pub fn inbox(&self) -> &[Vec<u8>] {
+        &self.inbox
+    }
+
+    /// Whether all queued symbols have been sent.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.outgoing.is_empty()
+    }
+
+    /// Excursions made so far (one per symbol).
+    #[must_use]
+    pub fn signals_sent(&self) -> u64 {
+        self.signals_sent
+    }
+
+    fn my_right(&self) -> Option<Vec2> {
+        let facing = (self.peer_home? - self.home?).normalized().ok()?;
+        Some(facing.perp_cw())
+    }
+
+    fn peer_right(&self) -> Option<Vec2> {
+        let facing = (self.home? - self.peer_home?).normalized().ok()?;
+        Some(facing.perp_cw())
+    }
+
+    fn decode_peer(&mut self, peer_pos: Point) {
+        let (Some(peer_home), Some(right)) = (self.peer_home, self.peer_right()) else {
+            return;
+        };
+        let disp = peer_pos - peer_home;
+        let tol = Tolerance::default();
+        if tol.zero(disp.norm()) {
+            return; // silence
+        }
+        let u = disp.dot(right);
+        let d = Displacement {
+            one_side: u < 0.0,
+            fraction: (u.abs() / self.lateral_step).clamp(0.0, 1.0),
+        };
+        let Ok(symbol) = self.alphabet.decode(d) else {
+            return;
+        };
+        // Unpack the symbol's bits; if a frame completes mid-symbol, the
+        // remaining bits are sender-side padding — drop them.
+        let w = self.alphabet.bits_per_symbol().max(1);
+        for i in (0..w).rev() {
+            let bit = Bit::from_bool(symbol & (1 << i) != 0);
+            if let Some(msg) = self.decoder.push_bit(bit) {
+                self.inbox.push(msg);
+                break;
+            }
+        }
+    }
+}
+
+impl MovementProtocol for Sync2Coded {
+    fn on_activate(&mut self, view: &View) -> Point {
+        let c = self.counter;
+        self.counter += 1;
+
+        if self.home.is_none() {
+            self.home = Some(view.own_position());
+            let peer = view.others().first().map(|o| o.position);
+            self.peer_home = peer;
+            if let (Some(h), Some(p)) = (self.home, peer) {
+                self.lateral_step = (h.distance(p) / 4.0).min(view.sigma());
+            }
+        }
+        let (Some(home), Some(_)) = (self.home, self.peer_home) else {
+            return view.own_position();
+        };
+
+        if c.is_multiple_of(2) {
+            let Some(symbol) = self.outgoing.pop_front() else {
+                return home;
+            };
+            self.signals_sent += 1;
+            let d = self
+                .alphabet
+                .encode(symbol)
+                .expect("queued symbols are in range");
+            let right = self.my_right().expect("homes are distinct");
+            let dir = if d.one_side { -right } else { right };
+            home + dir * (self.lateral_step * d.fraction)
+        } else {
+            if let Some(peer) = view.others().first() {
+                self.decode_peer(peer.position);
+            }
+            home
+        }
+    }
+}
+
+impl Default for Sync2Coded {
+    fn default() -> Self {
+        Self::new(LevelAlphabet::binary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stigmergy_robots::Engine;
+
+    fn engine(levels: usize, seed: u64) -> Engine<Sync2Coded> {
+        let a = LevelAlphabet::new(levels).unwrap();
+        Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .protocols([Sync2Coded::new(a), Sync2Coded::new(a)])
+            .frame_seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn binary_alphabet_delivers() {
+        let mut e = engine(1, 1);
+        e.protocol_mut(0).send(b"plain");
+        let out = e
+            .run_until(500, |e| !e.protocol(1).inbox().is_empty())
+            .unwrap();
+        assert!(out.satisfied);
+        assert_eq!(e.protocol(1).inbox()[0], b"plain".to_vec());
+    }
+
+    #[test]
+    fn larger_alphabets_deliver() {
+        for levels in [2usize, 4, 8, 128] {
+            let mut e = engine(levels, 10 + levels as u64);
+            e.protocol_mut(0).send(b"waggle dance!");
+            let out = e
+                .run_until(800, |e| !e.protocol(1).inbox().is_empty())
+                .unwrap();
+            assert!(out.satisfied, "levels={levels}");
+            assert_eq!(e.protocol(1).inbox()[0], b"waggle dance!".to_vec());
+        }
+    }
+
+    #[test]
+    fn byte_alphabet_cuts_moves_eightfold() {
+        // levels = 128 → 256 symbols → 8 bits per move (the paper's
+        // "bytes").
+        let payload = vec![0xC3u8; 32];
+        let mut bin = engine(1, 2);
+        bin.protocol_mut(0).send(&payload);
+        bin.run_until(2_000, |e| !e.protocol(1).inbox().is_empty())
+            .unwrap();
+        let mut byte = engine(128, 3);
+        byte.protocol_mut(0).send(&payload);
+        byte.run_until(2_000, |e| !e.protocol(1).inbox().is_empty())
+            .unwrap();
+        let (b, y) = (
+            bin.protocol(0).signals_sent(),
+            byte.protocol(0).signals_sent(),
+        );
+        assert_eq!(b, y * 8, "binary {b} vs byte {y}");
+        assert_eq!(byte.protocol(1).inbox()[0], payload);
+    }
+
+    #[test]
+    fn back_to_back_messages_stay_aligned() {
+        // The padding-discard logic must keep frame boundaries straight.
+        let mut e = engine(4, 4); // 3 bits per symbol: frames misalign
+        e.protocol_mut(0).send(b"a");
+        e.protocol_mut(0).send(b"bc");
+        e.protocol_mut(0).send(b"def");
+        let out = e
+            .run_until(2_000, |e| e.protocol(1).inbox().len() == 3)
+            .unwrap();
+        assert!(out.satisfied);
+        assert_eq!(
+            e.protocol(1).inbox(),
+            &[b"a".to_vec(), b"bc".to_vec(), b"def".to_vec()]
+        );
+    }
+
+    #[test]
+    fn duplex_with_different_directions() {
+        let mut e = engine(8, 5);
+        e.protocol_mut(0).send(b"fwd");
+        e.protocol_mut(1).send(b"rev");
+        let out = e
+            .run_until(1_000, |e| {
+                !e.protocol(0).inbox().is_empty() && !e.protocol(1).inbox().is_empty()
+            })
+            .unwrap();
+        assert!(out.satisfied);
+        assert_eq!(e.protocol(1).inbox()[0], b"fwd".to_vec());
+        assert_eq!(e.protocol(0).inbox()[0], b"rev".to_vec());
+    }
+
+    #[test]
+    fn silent_when_idle() {
+        let mut e = engine(8, 6);
+        e.run(50).unwrap();
+        assert_eq!(e.trace().path_length(0), 0.0);
+        assert!(e.protocol(0).is_drained());
+        assert_eq!(e.protocol(0).alphabet().size(), 16);
+    }
+}

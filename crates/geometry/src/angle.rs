@@ -1,0 +1,219 @@
+//! Angles and clockwise ordering.
+//!
+//! The granular "keyboard" (Fig. 2 of the paper) labels diameters clockwise
+//! from a reference direction, and the chirality-only naming (Fig. 4) ranks
+//! robots by a clockwise radial sweep. Both need a well-defined *clockwise
+//! angle from a reference vector*, which is what [`Angle`] provides.
+
+use crate::approx::Tolerance;
+use crate::point::Vec2;
+use crate::GeometryError;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::f64::consts::{PI, TAU};
+use std::fmt;
+
+/// An angle normalized to `[0, 2π)`.
+///
+/// Stored in radians. Ordering is the numeric ordering of the normalized
+/// value, which corresponds to *clockwise* sweep order when angles are
+/// produced by [`Angle::clockwise_from`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// The zero angle.
+    pub const ZERO: Angle = Angle(0.0);
+
+    /// Creates an angle from radians, normalizing into `[0, 2π)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stigmergy_geometry::Angle;
+    /// use std::f64::consts::{PI, TAU};
+    /// assert!((Angle::from_radians(-PI).radians() - PI).abs() < 1e-12);
+    /// assert_eq!(Angle::from_radians(TAU).radians(), 0.0);
+    /// ```
+    #[must_use]
+    pub fn from_radians(radians: f64) -> Self {
+        let mut r = radians % TAU;
+        if r < 0.0 {
+            r += TAU;
+        }
+        // `r` can still round to TAU itself when `radians` is a tiny
+        // negative number; fold that back to zero.
+        if r >= TAU {
+            r = 0.0;
+        }
+        Angle(r)
+    }
+
+    /// The normalized value in radians, in `[0, 2π)`.
+    #[must_use]
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// The clockwise angle swept from `reference` to `v`, in `[0, 2π)`.
+    ///
+    /// With shared chirality every robot computes the same value regardless
+    /// of its private axis orientation, which is why the paper can label
+    /// slices and rank robots "in the clockwise direction".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::ZeroDirection`] when either vector has
+    /// (near-)zero length.
+    pub fn clockwise_from(reference: Vec2, v: Vec2) -> Result<Self, GeometryError> {
+        let r = reference.normalized()?;
+        let u = v.normalized()?;
+        // Counter-clockwise angle from r to u is atan2(cross, dot); clockwise
+        // is its negation.
+        let ccw = r.cross(u).atan2(r.dot(u));
+        Ok(Angle::from_radians(-ccw))
+    }
+
+    /// Compares two angles with a tolerance, treating values within the
+    /// tolerance as equal.
+    #[must_use]
+    pub fn approx_cmp(self, other: Angle, tol: Tolerance) -> Ordering {
+        if tol.eq(self.0, other.0) {
+            Ordering::Equal
+        } else if self.0 < other.0 {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    }
+
+    /// Folds the angle into `[0, π)`, identifying opposite directions.
+    ///
+    /// A diameter of a disc is an *undirected* line, so the two half-slice
+    /// directions `θ` and `θ + π` name the same diameter.
+    #[must_use]
+    pub fn fold_diameter(self) -> Angle {
+        let mut r = self.0 % PI;
+        if r < 0.0 {
+            r += PI;
+        }
+        Angle(r)
+    }
+
+    /// The unit vector obtained by rotating `reference` clockwise by this
+    /// angle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::ZeroDirection`] when `reference` has
+    /// (near-)zero length.
+    pub fn direction_from(self, reference: Vec2) -> Result<Vec2, GeometryError> {
+        let r = reference.normalized()?;
+        Ok(r.rotated(-self.0))
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}rad", self.0)
+    }
+}
+
+impl From<Angle> for f64 {
+    fn from(a: Angle) -> f64 {
+        a.radians()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn normalization_into_range() {
+        assert_eq!(Angle::from_radians(0.0).radians(), 0.0);
+        assert!(crate::approx_eq(Angle::from_radians(-FRAC_PI_2).radians(), 1.5 * PI));
+        assert!(crate::approx_eq(Angle::from_radians(3.0 * PI).radians(), PI));
+        assert!(Angle::from_radians(-1e-18).radians() < TAU);
+    }
+
+    #[test]
+    fn clockwise_sweep_from_north() {
+        // Clockwise from North: East is a quarter turn, South a half turn,
+        // West three quarters.
+        let n = Vec2::NORTH;
+        let east = Angle::clockwise_from(n, Vec2::EAST).unwrap();
+        let south = Angle::clockwise_from(n, -Vec2::NORTH).unwrap();
+        let west = Angle::clockwise_from(n, -Vec2::EAST).unwrap();
+        assert!(crate::approx_eq(east.radians(), FRAC_PI_2));
+        assert!(crate::approx_eq(south.radians(), PI));
+        assert!(crate::approx_eq(west.radians(), 1.5 * PI));
+    }
+
+    #[test]
+    fn clockwise_zero_for_aligned() {
+        let v = Vec2::new(2.5, -1.0);
+        let a = Angle::clockwise_from(v, v * 3.0).unwrap();
+        assert!(a.radians() < 1e-9 || a.radians() > TAU - 1e-9);
+    }
+
+    #[test]
+    fn zero_direction_rejected() {
+        assert_eq!(
+            Angle::clockwise_from(Vec2::ZERO, Vec2::EAST),
+            Err(GeometryError::ZeroDirection)
+        );
+        assert_eq!(
+            Angle::clockwise_from(Vec2::EAST, Vec2::ZERO),
+            Err(GeometryError::ZeroDirection)
+        );
+    }
+
+    #[test]
+    fn diameter_folding() {
+        let a = Angle::from_radians(PI + 0.3).fold_diameter();
+        assert!(crate::approx_eq(a.radians(), 0.3));
+        let b = Angle::from_radians(0.3).fold_diameter();
+        assert!(crate::approx_eq(b.radians(), 0.3));
+    }
+
+    #[test]
+    fn direction_roundtrip() {
+        let reference = Vec2::NORTH;
+        for k in 0..8 {
+            let theta = Angle::from_radians(f64::from(k) * TAU / 8.0);
+            let dir = theta.direction_from(reference).unwrap();
+            let back = Angle::clockwise_from(reference, dir).unwrap();
+            let diff = (back.radians() - theta.radians()).abs();
+            assert!(diff < 1e-9 || (TAU - diff) < 1e-9, "k={k} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn ordering_is_clockwise_rank() {
+        let n = Vec2::NORTH;
+        let mut dirs = [-Vec2::EAST, Vec2::EAST, -Vec2::NORTH];
+        dirs.sort_by(|a, b| {
+            Angle::clockwise_from(n, *a)
+                .unwrap()
+                .partial_cmp(&Angle::clockwise_from(n, *b).unwrap())
+                .unwrap()
+        });
+        // Clockwise from North: East, South, West.
+        assert!(dirs[0].approx_eq(Vec2::EAST));
+        assert!(dirs[1].approx_eq(-Vec2::NORTH));
+        assert!(dirs[2].approx_eq(-Vec2::EAST));
+    }
+
+    #[test]
+    fn approx_cmp_tolerance() {
+        let tol = Tolerance::absolute(1e-6);
+        let a = Angle::from_radians(1.0);
+        let b = Angle::from_radians(1.0 + 1e-9);
+        let c = Angle::from_radians(1.1);
+        assert_eq!(a.approx_cmp(b, tol), Ordering::Equal);
+        assert_eq!(a.approx_cmp(c, tol), Ordering::Less);
+        assert_eq!(c.approx_cmp(a, tol), Ordering::Greater);
+    }
+}

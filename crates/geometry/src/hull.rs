@@ -1,0 +1,164 @@
+//! Convex hull (Andrew's monotone chain).
+//!
+//! Used as a cross-check for the smallest enclosing circle (its defining
+//! points are hull vertices) and for workload diagnostics in the benchmark
+//! harness.
+
+use crate::approx::Tolerance;
+use crate::point::{orient, Point};
+
+/// Computes the convex hull of `points` in counter-clockwise order.
+///
+/// Collinear points on hull edges are *excluded* (only extreme vertices are
+/// returned). For fewer than three distinct points the result is the set of
+/// distinct points (sorted), which callers should treat as a degenerate
+/// hull.
+///
+/// # Examples
+///
+/// ```
+/// use stigmergy_geometry::{hull::convex_hull, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4); // the interior point (1,1) is dropped
+/// ```
+#[must_use]
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let tol = Tolerance::default();
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pts.dedup_by(|a, b| a.approx_eq(*b));
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && !is_ccw_turn(hull[hull.len() - 2], hull[hull.len() - 1], p, tol)
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && !is_ccw_turn(hull[hull.len() - 2], hull[hull.len() - 1], p, tol)
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the first point is repeated at the end
+    hull
+}
+
+fn is_ccw_turn(a: Point, b: Point, c: Point, tol: Tolerance) -> bool {
+    let o = orient(a, b, c);
+    o > 0.0 && !tol.zero(o)
+}
+
+/// Whether `p` lies inside (or on the boundary of) the convex polygon
+/// `hull`, given in counter-clockwise order.
+#[must_use]
+pub fn hull_contains(hull: &[Point], p: Point, tol: Tolerance) -> bool {
+    if hull.len() < 3 {
+        return false;
+    }
+    for i in 0..hull.len() {
+        let a = hull[i];
+        let b = hull[(i + 1) % hull.len()];
+        let o = orient(a, b, p);
+        if o < 0.0 && !tol.zero(o) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hull() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(hull_contains(&hull, Point::new(0.5, 0.5), Tolerance::default()));
+        assert!(!hull_contains(&hull, Point::new(1.5, 0.5), Tolerance::default()));
+    }
+
+    #[test]
+    fn collinear_interior_points_dropped() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 1.0)]);
+        assert_eq!(single.len(), 1);
+        let dup = convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
+        assert_eq!(dup.len(), 1);
+        let pair = convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert_eq!(pair.len(), 2);
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(2.0, 4.0),
+            Point::new(-1.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for i in 0..hull.len() {
+            let a = hull[i];
+            let b = hull[(i + 1) % hull.len()];
+            let c = hull[(i + 2) % hull.len()];
+            assert!(orient(a, b, c) > 0.0, "hull must turn counter-clockwise");
+        }
+    }
+
+    #[test]
+    fn containment_boundary() {
+        let hull = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!(hull_contains(&hull, Point::new(1.0, 0.0), Tolerance::default()));
+        assert!(hull_contains(&hull, Point::new(2.0, 2.0), Tolerance::default()));
+    }
+}

@@ -1,0 +1,253 @@
+//! Smallest enclosing circle (SEC).
+//!
+//! The chirality-only naming mechanism of the paper (§3.4, Fig. 4) hinges on
+//! the SEC of the robot positions: it is *unique*, every robot can compute
+//! it from its own view, and its centre `O` gives each robot a private
+//! "horizon line" through itself and `O`. The paper cites Megiddo's
+//! deterministic linear-time algorithm; we implement Welzl's randomized
+//! move-to-front algorithm, the standard practical equivalent — expected
+//! linear time and the *same* (unique) output circle. The shuffle is driven
+//! by a fixed internal linear congruential generator so results are
+//! deterministic across runs and platforms.
+
+use crate::approx::Tolerance;
+use crate::circle::Circle;
+use crate::point::Point;
+use crate::GeometryError;
+
+/// Computes the smallest circle enclosing all `points`.
+///
+/// The SEC is unique for any non-empty point set; for a single point it is
+/// the degenerate zero-radius circle.
+///
+/// # Errors
+///
+/// Returns [`GeometryError::TooFewPoints`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use stigmergy_geometry::{smallest_enclosing_circle, Point};
+/// let pts = [
+///     Point::new(-1.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(0.0, 0.5),
+/// ];
+/// let sec = smallest_enclosing_circle(&pts)?;
+/// assert!((sec.radius - 1.0).abs() < 1e-9);
+/// assert!(sec.center.approx_eq(Point::new(0.0, 0.0)));
+/// # Ok::<(), stigmergy_geometry::GeometryError>(())
+/// ```
+pub fn smallest_enclosing_circle(points: &[Point]) -> Result<Circle, GeometryError> {
+    if points.is_empty() {
+        return Err(GeometryError::TooFewPoints { needed: 1, got: 0 });
+    }
+    let mut pts = points.to_vec();
+    deterministic_shuffle(&mut pts);
+    Ok(welzl(&mut pts))
+}
+
+/// Deterministic Fisher–Yates driven by a fixed LCG, so the expected-linear
+/// behaviour of Welzl's algorithm does not depend on input order while the
+/// output stays reproducible (the SEC itself is order-independent anyway).
+fn deterministic_shuffle(pts: &mut [Point]) {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in (1..pts.len()).rev() {
+        // SplitMix64 step.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let j = (z % (i as u64 + 1)) as usize;
+        pts.swap(i, j);
+    }
+}
+
+/// Iterative Welzl (move-to-front) implementation.
+fn welzl(pts: &mut [Point]) -> Circle {
+    let tol = Tolerance::default();
+    let mut c = Circle::point(pts[0]);
+    for i in 1..pts.len() {
+        if c.contains(pts[i], tol) {
+            continue;
+        }
+        // pts[i] must be on the boundary.
+        c = Circle::point(pts[i]);
+        for j in 0..i {
+            if c.contains(pts[j], tol) {
+                continue;
+            }
+            // pts[i] and pts[j] on the boundary.
+            c = Circle::with_diameter(pts[i], pts[j]);
+            for k in 0..j {
+                if c.contains(pts[k], tol) {
+                    continue;
+                }
+                // Three boundary points determine the circle.
+                c = circle_from_three(pts[i], pts[j], pts[k]);
+            }
+        }
+    }
+    c
+}
+
+/// Smallest circle through three points: the circumcircle if the triangle is
+/// acute enough that the circumcentre serves, otherwise the diameter circle
+/// of the two farthest points. (For the Welzl inner loop, all three points
+/// are required on the boundary, but collinear triples degrade to the
+/// diameter of the extremes.)
+fn circle_from_three(a: Point, b: Point, c: Point) -> Circle {
+    match Circle::circumscribing(a, b, c) {
+        Ok(circ) => circ,
+        Err(_) => {
+            // Collinear: the smallest enclosing circle of three collinear
+            // points is the diameter circle of the extreme pair.
+            let dab = a.distance(b);
+            let dac = a.distance(c);
+            let dbc = b.distance(c);
+            if dab >= dac && dab >= dbc {
+                Circle::with_diameter(a, b)
+            } else if dac >= dbc {
+                Circle::with_diameter(a, c)
+            } else {
+                Circle::with_diameter(b, c)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tol() -> Tolerance {
+        Tolerance::default()
+    }
+
+    fn assert_encloses(c: &Circle, pts: &[Point]) {
+        for (i, p) in pts.iter().enumerate() {
+            assert!(
+                c.contains(*p, tol()),
+                "point {i} {p} escapes {c} by {}",
+                c.center.distance(*p) - c.radius
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(smallest_enclosing_circle(&[]).is_err());
+    }
+
+    #[test]
+    fn single_point() {
+        let c = smallest_enclosing_circle(&[Point::new(3.0, 4.0)]).unwrap();
+        assert_eq!(c.center, Point::new(3.0, 4.0));
+        assert_eq!(c.radius, 0.0);
+    }
+
+    #[test]
+    fn two_points() {
+        let c =
+            smallest_enclosing_circle(&[Point::new(-2.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
+        assert!(c.center.approx_eq(Point::ORIGIN));
+        assert!(crate::approx_eq(c.radius, 2.0));
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // Very obtuse triangle: SEC is the diameter circle of the long side.
+        let pts = [
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 0.1),
+        ];
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert!(c.center.approx_eq(Point::ORIGIN));
+        assert!(crate::approx_eq(c.radius, 2.0));
+        assert_encloses(&c, &pts);
+    }
+
+    #[test]
+    fn acute_triangle_uses_circumcircle() {
+        let pts = [
+            Point::new(0.0, 1.0),
+            Point::new(-3.0_f64.sqrt() / 2.0, -0.5),
+            Point::new(3.0_f64.sqrt() / 2.0, -0.5),
+        ];
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert!(c.center.approx_eq(Point::ORIGIN));
+        assert!(crate::approx_eq(c.radius, 1.0));
+    }
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.5, 1.5),
+        ];
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert!(c.center.approx_eq(Point::new(1.0, 1.0)));
+        assert!(crate::approx_eq(c.radius, 2.0_f64.sqrt()));
+        assert_encloses(&c, &pts);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(f64::from(i), 0.0)).collect();
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert!(c.center.approx_eq(Point::new(3.0, 0.0)));
+        assert!(crate::approx_eq(c.radius, 3.0));
+        assert_encloses(&c, &pts);
+    }
+
+    #[test]
+    fn order_independence() {
+        let mut pts = vec![
+            Point::new(0.3, 1.9),
+            Point::new(-1.2, 0.4),
+            Point::new(2.5, -0.7),
+            Point::new(0.0, -2.1),
+            Point::new(1.1, 1.1),
+        ];
+        let c1 = smallest_enclosing_circle(&pts).unwrap();
+        pts.reverse();
+        let c2 = smallest_enclosing_circle(&pts).unwrap();
+        assert!(c1.center.approx_eq(c2.center));
+        assert!(crate::approx_eq(c1.radius, c2.radius));
+    }
+
+    #[test]
+    fn duplicated_points_are_fine() {
+        let pts = [
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+        ];
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert!(crate::approx_eq(c.radius, 1.0));
+    }
+
+    #[test]
+    fn sec_boundary_has_two_or_three_points_on_circle() {
+        // Defining property check on a pseudo-random cloud.
+        let pts: Vec<Point> = (0..40)
+            .map(|i| {
+                let t = f64::from(i);
+                Point::new((t * 1.37).sin() * 5.0, (t * 2.11).cos() * 3.0)
+            })
+            .collect();
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert_encloses(&c, &pts);
+        let on_boundary = pts
+            .iter()
+            .filter(|p| c.on_boundary(**p, Tolerance::absolute(1e-7)))
+            .count();
+        assert!(on_boundary >= 2, "SEC must be determined by ≥2 points");
+    }
+}

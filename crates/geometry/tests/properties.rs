@@ -1,0 +1,181 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! These check the *defining* properties of each construction on arbitrary
+//! inputs: SEC encloses everything and is minimal-ish, granulars are
+//! pairwise disjoint and inside their Voronoi cells, slice classification
+//! inverts slice targeting, and angles order consistently.
+
+use proptest::prelude::*;
+use stigmergy_geometry::granular::{SliceSide, SliceZone, SlicedGranular};
+use stigmergy_geometry::hull::{convex_hull, hull_contains};
+use stigmergy_geometry::voronoi::{granular_radii, granular_radius, VoronoiCell};
+use stigmergy_geometry::{
+    smallest_enclosing_circle, Angle, Point, Tolerance, Vec2,
+};
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Bounded coordinates keep the tolerance model honest (see approx docs).
+    -1_000.0..1_000.0
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Distinct points: filter out near-coincident pairs, which the paper's
+/// model excludes (robots occupy distinct positions).
+fn distinct_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(point(), min..=max).prop_filter("points must be distinct", |pts| {
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].distance(pts[j]) < 1e-3 {
+                    return false;
+                }
+            }
+        }
+        true
+    })
+}
+
+proptest! {
+    #[test]
+    fn sec_encloses_all_points(pts in distinct_points(1, 24)) {
+        let sec = smallest_enclosing_circle(&pts).unwrap();
+        let tol = Tolerance::absolute(1e-6);
+        for p in &pts {
+            prop_assert!(tol.le(sec.center.distance(*p), sec.radius));
+        }
+    }
+
+    #[test]
+    fn sec_no_smaller_than_half_diameter(pts in distinct_points(2, 24)) {
+        // The SEC radius is at least half the farthest pairwise distance.
+        let sec = smallest_enclosing_circle(&pts).unwrap();
+        let mut max_d: f64 = 0.0;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                max_d = max_d.max(pts[i].distance(pts[j]));
+            }
+        }
+        prop_assert!(sec.radius >= max_d / 2.0 - 1e-6);
+        // And at most the full farthest distance (loose sanity bound).
+        prop_assert!(sec.radius <= max_d + 1e-6);
+    }
+
+    #[test]
+    fn sec_is_order_independent(pts in distinct_points(3, 16)) {
+        let a = smallest_enclosing_circle(&pts).unwrap();
+        let mut rev = pts.clone();
+        rev.reverse();
+        let b = smallest_enclosing_circle(&rev).unwrap();
+        prop_assert!(a.center.distance(b.center) < 1e-6);
+        prop_assert!((a.radius - b.radius).abs() < 1e-6);
+    }
+
+    #[test]
+    fn granulars_are_pairwise_disjoint(pts in distinct_points(2, 20)) {
+        let radii = granular_radii(&pts).unwrap();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                prop_assert!(
+                    pts[i].distance(pts[j]) >= radii[i] + radii[j] - 1e-9,
+                    "granulars {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn granular_boundary_inside_voronoi_cell(pts in distinct_points(2, 12)) {
+        let tol = Tolerance::absolute(1e-7);
+        for i in 0..pts.len() {
+            let r = granular_radius(&pts, i).unwrap();
+            let cell = VoronoiCell::build(&pts, i).unwrap();
+            for k in 0..16 {
+                let theta = (k as f64) * std::f64::consts::TAU / 16.0;
+                let p = pts[i] + Vec2::new(theta.cos(), theta.sin()) * (r * 0.999);
+                prop_assert!(cell.contains(p, tol));
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_cell_contains_exactly_nearest_site_region(
+        pts in distinct_points(2, 10),
+        probe in point(),
+    ) {
+        // A probe strictly nearer to site i than to any other site must be in
+        // cell i and in no other cell.
+        let dists: Vec<f64> = pts.iter().map(|s| s.distance(probe)).collect();
+        let mut order: Vec<usize> = (0..pts.len()).collect();
+        order.sort_by(|&a, &b| dists[a].partial_cmp(&dists[b]).unwrap());
+        let (first, second) = (order[0], order[1]);
+        prop_assume!(dists[second] - dists[first] > 1e-6);
+        let tol = Tolerance::absolute(1e-9);
+        for i in 0..pts.len() {
+            let cell = VoronoiCell::build(&pts, i).unwrap();
+            prop_assert_eq!(cell.contains(probe, tol), i == first);
+        }
+    }
+
+    #[test]
+    fn slice_classify_inverts_target(
+        n in 1usize..24,
+        slice_sel in 0usize..24,
+        bit in any::<bool>(),
+        frac in 0.05f64..1.0,
+        cx in coord(),
+        cy in coord(),
+    ) {
+        let slice = slice_sel % n;
+        let g = SlicedGranular::new(Point::new(cx, cy), 1.0, n).unwrap();
+        let side = SliceSide::from_bit(bit);
+        let p = g.target(slice, side, frac).unwrap();
+        match g.classify(p, Tolerance::default()) {
+            SliceZone::OnSlice { slice: s, side: got, deviation, .. } => {
+                prop_assert_eq!(s, slice);
+                prop_assert_eq!(got, side);
+                prop_assert!(deviation < 1e-6);
+            }
+            SliceZone::Center => prop_assert!(false, "classified as centre"),
+        }
+    }
+
+    #[test]
+    fn clockwise_angles_consistent_under_common_rotation(
+        vx in -10.0f64..10.0, vy in -10.0f64..10.0,
+        rx in -10.0f64..10.0, ry in -10.0f64..10.0,
+        rot in 0.0f64..std::f64::consts::TAU,
+    ) {
+        // Chirality: rotating BOTH the reference and the vector leaves the
+        // clockwise angle unchanged — this is why anonymous robots with
+        // arbitrary private orientations still agree on slice labels.
+        let v = Vec2::new(vx, vy);
+        let r = Vec2::new(rx, ry);
+        prop_assume!(v.norm() > 1e-6 && r.norm() > 1e-6);
+        let a = Angle::clockwise_from(r, v).unwrap();
+        let b = Angle::clockwise_from(r.rotated(rot), v.rotated(rot)).unwrap();
+        let diff = (a.radians() - b.radians()).abs();
+        prop_assert!(diff < 1e-6 || (std::f64::consts::TAU - diff) < 1e-6);
+    }
+
+    #[test]
+    fn hull_contains_all_input_points(pts in distinct_points(3, 20)) {
+        let hull = convex_hull(&pts);
+        prop_assume!(hull.len() >= 3);
+        let tol = Tolerance::absolute(1e-6);
+        for p in &pts {
+            prop_assert!(hull_contains(&hull, *p, tol));
+        }
+    }
+
+    #[test]
+    fn sec_center_inside_hull_or_on_segment(pts in distinct_points(3, 20)) {
+        // The SEC centre always lies in the convex hull of the points.
+        let sec = smallest_enclosing_circle(&pts).unwrap();
+        let hull = convex_hull(&pts);
+        if hull.len() >= 3 {
+            prop_assert!(hull_contains(&hull, sec.center, Tolerance::absolute(1e-6)));
+        }
+    }
+}

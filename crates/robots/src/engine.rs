@@ -1,0 +1,970 @@
+//! The simulation engine.
+//!
+//! The engine owns the world: true positions, per-robot frames, the
+//! activation schedule, and the trace. One [`Engine::step`] is one SSM time
+//! instant: the scheduler picks the active robots, each active robot
+//! observes the *same* snapshot through its own frame and returns a
+//! destination, and all moves are applied simultaneously, each capped by
+//! that robot's `σ`.
+//!
+//! The engine also enforces the model's physical invariant the paper's
+//! §3.2 machinery exists to guarantee: robots never collide. A step that
+//! brings two robots within the collision tolerance fails with
+//! [`ModelError::Collision`] — protocols are *supposed* to make that
+//! impossible, and tests rely on the engine to catch them out if not.
+
+use crate::capabilities::Capabilities;
+use crate::frame::{FrameGenerator, LocalFrame};
+use crate::identity::VisibleId;
+use crate::protocol::MovementProtocol;
+use crate::trace::{StepRecord, Trace};
+use crate::view::{Observed, View};
+use crate::ModelError;
+use stigmergy_geometry::{Point, Tolerance};
+use stigmergy_scheduler::{ActivationSet, Schedule, Synchronous};
+
+/// Default collision tolerance: two robots closer than this have collided.
+pub const DEFAULT_COLLISION_EPS: f64 = 1e-9;
+
+/// Report of one executed instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// The instant that just executed.
+    pub time: u64,
+    /// Robots that were active.
+    pub active: ActivationSet,
+    /// How many robots changed position.
+    pub moved: usize,
+}
+
+/// Outcome of [`Engine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Instants executed during this call.
+    pub steps_taken: u64,
+    /// Whether the predicate was satisfied (vs. the step budget running
+    /// out).
+    pub satisfied: bool,
+}
+
+/// The SSM simulation engine over a homogeneous cohort of protocol `P`.
+#[derive(Debug)]
+pub struct Engine<P> {
+    positions: Vec<Point>,
+    frames: Vec<LocalFrame>,
+    protocols: Vec<P>,
+    sigmas: Vec<f64>,
+    ids: Option<Vec<VisibleId>>,
+    schedule: Box<dyn Schedule>,
+    trace: Trace,
+    time: u64,
+    collision_eps: f64,
+    global_clock: bool,
+    visibility: Option<f64>,
+    record_trace: bool,
+}
+
+impl Engine<()> {
+    /// Starts building an engine.
+    #[must_use]
+    pub fn builder<P>() -> EngineBuilder<P> {
+        EngineBuilder::new()
+    }
+}
+
+impl<P: MovementProtocol> Engine<P> {
+    /// Executes one time instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Collision`] if the step brings two robots
+    /// within the collision tolerance; the engine state still reflects the
+    /// offending configuration for post-mortem inspection.
+    pub fn step(&mut self) -> Result<StepReport, ModelError> {
+        let n = self.positions.len();
+        let active = self.schedule.activations(self.time, n);
+        let snapshot = self.positions.clone();
+
+        let mut moved = 0usize;
+        for i in 0..n {
+            if !active.contains(i) {
+                continue;
+            }
+            let view = self.view_of(i, &snapshot);
+            let local_target = self.protocols[i].on_activate(&view);
+            let world_target = self.frames[i].to_world(local_target);
+            let new_pos = cap_move(snapshot[i], world_target, self.sigmas[i]);
+            if !new_pos.approx_eq(self.positions[i]) {
+                moved += 1;
+            }
+            self.positions[i] = new_pos;
+        }
+
+        if self.record_trace {
+            self.trace.record(StepRecord {
+                time: self.time,
+                active: active.clone(),
+                positions: self.positions.clone(),
+            });
+        }
+        let time = self.time;
+        self.time += 1;
+
+        self.check_collisions(time)?;
+        Ok(StepReport {
+            time,
+            active,
+            moved,
+        })
+    }
+
+    /// Runs until `predicate` returns `true` (checked after every instant)
+    /// or `max_steps` instants elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Engine::step`].
+    pub fn run_until<F>(&mut self, max_steps: u64, mut predicate: F) -> Result<RunOutcome, ModelError>
+    where
+        F: FnMut(&Engine<P>) -> bool,
+    {
+        for taken in 0..max_steps {
+            self.step()?;
+            if predicate(self) {
+                return Ok(RunOutcome {
+                    steps_taken: taken + 1,
+                    satisfied: true,
+                });
+            }
+        }
+        Ok(RunOutcome {
+            steps_taken: max_steps,
+            satisfied: false,
+        })
+    }
+
+    /// Runs exactly `steps` instants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Engine::step`].
+    pub fn run(&mut self, steps: u64) -> Result<(), ModelError> {
+        for _ in 0..steps {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    fn view_of(&self, i: usize, snapshot: &[Point]) -> View {
+        let frame = &self.frames[i];
+        let id_of = |j: usize| self.ids.as_ref().map(|ids| ids[j]);
+        let own = Observed {
+            position: frame.to_local(snapshot[i]),
+            id: id_of(i),
+        };
+        let others = snapshot
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .filter(|&(_, &p)| {
+                self.visibility
+                    .is_none_or(|r| snapshot[i].distance(p) <= r)
+            })
+            .map(|(j, &p)| Observed {
+                position: frame.to_local(p),
+                id: id_of(j),
+            })
+            .collect();
+        View::new(own, others, frame.len_to_local(self.sigmas[i]))
+            .with_time(self.global_clock.then_some(self.time))
+    }
+
+    fn check_collisions(&self, time: u64) -> Result<(), ModelError> {
+        for i in 0..self.positions.len() {
+            for j in (i + 1)..self.positions.len() {
+                let d = self.positions[i].distance(self.positions[j]);
+                if d < self.collision_eps {
+                    return Err(ModelError::Collision {
+                        time,
+                        first: i,
+                        second: j,
+                        distance: d,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Current world positions.
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The per-robot frames (world↔local similarity transforms).
+    #[must_use]
+    pub fn frames(&self) -> &[LocalFrame] {
+        &self.frames
+    }
+
+    /// The recorded trace so far.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The protocol instance of robot `i`.
+    #[must_use]
+    pub fn protocol(&self, i: usize) -> &P {
+        &self.protocols[i]
+    }
+
+    /// Mutable access to robot `i`'s protocol instance — how the
+    /// application layer hands a robot new messages to send.
+    pub fn protocol_mut(&mut self, i: usize) -> &mut P {
+        &mut self.protocols[i]
+    }
+
+    /// All protocol instances.
+    #[must_use]
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// Number of robots.
+    #[must_use]
+    pub fn cohort(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The next instant to execute.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Fault injection: teleports robot `i` by `offset` (world units),
+    /// outside the protocol's control.
+    ///
+    /// This models the transient faults the paper's §5 stabilization
+    /// discussion is about: a robot knocked off its position without its
+    /// protocol knowing. Tests use it to verify that self-stabilizing
+    /// wrappers recover and that plain protocols detectably fail.
+    ///
+    /// The displacement happens *between* instants and is not recorded as
+    /// a trace step; trace-derived metrics see the faulted position from
+    /// the next executed instant onward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Collision`] if the displacement lands the
+    /// robot on top of another (the fault must still be physical).
+    pub fn displace_robot(
+        &mut self,
+        i: usize,
+        offset: stigmergy_geometry::Vec2,
+    ) -> Result<(), ModelError> {
+        self.positions[i] += offset;
+        self.check_collisions(self.time)
+    }
+
+    /// The visible identifiers, if the system is identified.
+    #[must_use]
+    pub fn ids(&self) -> Option<&[VisibleId]> {
+        self.ids.as_deref()
+    }
+}
+
+/// Moves from `from` toward `target`, travelling at most `sigma`.
+fn cap_move(from: Point, target: Point, sigma: f64) -> Point {
+    let d = from.distance(target);
+    if d <= sigma {
+        target
+    } else {
+        from.lerp(target, sigma / d)
+    }
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug)]
+pub struct EngineBuilder<P> {
+    positions: Option<Vec<Point>>,
+    protocols: Option<Vec<P>>,
+    schedule: Option<Box<dyn Schedule>>,
+    capabilities: Capabilities,
+    frame_seed: u64,
+    unit_frames: bool,
+    sigma: f64,
+    sigmas: Option<Vec<f64>>,
+    collision_eps: f64,
+    global_clock: bool,
+    visibility: Option<f64>,
+    record_trace: bool,
+}
+
+impl<P> Default for EngineBuilder<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EngineBuilder<P> {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            positions: None,
+            protocols: None,
+            schedule: None,
+            capabilities: Capabilities::default(),
+            frame_seed: 0xC0FF_EE00,
+            unit_frames: false,
+            sigma: 1.0e6,
+            sigmas: None,
+            collision_eps: DEFAULT_COLLISION_EPS,
+            global_clock: false,
+            visibility: None,
+            record_trace: true,
+        }
+    }
+
+    /// Sets the initial world positions `P(t0)`.
+    #[must_use]
+    pub fn positions<I: IntoIterator<Item = Point>>(mut self, positions: I) -> Self {
+        self.positions = Some(positions.into_iter().collect());
+        self
+    }
+
+    /// Sets the per-robot protocol instances (one per position, same
+    /// order).
+    #[must_use]
+    pub fn protocols<I: IntoIterator<Item = P>>(mut self, protocols: I) -> Self {
+        self.protocols = Some(protocols.into_iter().collect());
+        self
+    }
+
+    /// Sets the activation schedule. Defaults to [`Synchronous`].
+    #[must_use]
+    pub fn schedule<S: Schedule + 'static>(mut self, schedule: S) -> Self {
+        self.schedule = Some(Box::new(schedule));
+        self
+    }
+
+    /// Sets the cohort capabilities (IDs, sense of direction). Defaults to
+    /// anonymous with chirality only.
+    #[must_use]
+    pub fn capabilities(mut self, capabilities: Capabilities) -> Self {
+        self.capabilities = capabilities;
+        self
+    }
+
+    /// Seed for generating the private frames.
+    #[must_use]
+    pub fn frame_seed(mut self, seed: u64) -> Self {
+        self.frame_seed = seed;
+        self
+    }
+
+    /// Uses identity frames (world = local) for every robot — debugging
+    /// aid; production tests should exercise random frames.
+    #[must_use]
+    pub fn unit_frames(mut self) -> Self {
+        self.unit_frames = true;
+        self
+    }
+
+    /// Uniform motion cap `σ` for every robot (world units). Defaults to a
+    /// generous 10⁶.
+    #[must_use]
+    pub fn sigma(mut self, sigma: f64) -> Self {
+        self.sigma = sigma;
+        self
+    }
+
+    /// Per-robot motion caps (world units), overriding [`EngineBuilder::sigma`].
+    #[must_use]
+    pub fn sigmas<I: IntoIterator<Item = f64>>(mut self, sigmas: I) -> Self {
+        self.sigmas = Some(sigmas.into_iter().collect());
+        self
+    }
+
+    /// Collision tolerance (world units).
+    #[must_use]
+    pub fn collision_epsilon(mut self, eps: f64) -> Self {
+        self.collision_eps = eps;
+        self
+    }
+
+    /// Grants the cohort a global clock: every view carries the current
+    /// time instant (the paper's §5 "GPS input" assumption, needed by
+    /// self-stabilizing protocols). Off by default — the base model has
+    /// no global time.
+    #[must_use]
+    pub fn global_clock(mut self) -> Self {
+        self.global_clock = true;
+        self
+    }
+
+    /// Disables per-instant trace recording (the initial configuration is
+    /// still kept). For multi-million-instant asynchronous runs the full
+    /// trace costs `O(steps × n)` memory; turn it off when only the final
+    /// state and inboxes matter. Trace-derived metrics (paths, drift,
+    /// collision margins) are unavailable on such engines.
+    #[must_use]
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Limits each robot's sensing to `radius` (world units): views omit
+    /// robots farther away. The paper's protocols assume **unbounded**
+    /// visibility; §5 poses limited visibility as an open problem, and
+    /// this option exists to study exactly how they fail without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive.
+    #[must_use]
+    pub fn visibility(mut self, radius: f64) -> Self {
+        assert!(radius > 0.0, "visibility radius must be positive");
+        self.visibility = Some(radius);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::IncompleteBuilder`] if positions or protocols are
+    ///   missing.
+    /// * [`ModelError::CardinalityMismatch`] if counts disagree.
+    /// * [`ModelError::CoincidentRobots`] if two robots share a position.
+    /// * [`ModelError::NonPositiveSigma`] for a bad motion cap.
+    pub fn build(self) -> Result<Engine<P>, ModelError> {
+        let positions = self.positions.ok_or(ModelError::IncompleteBuilder {
+            missing: "positions",
+        })?;
+        let protocols = self.protocols.ok_or(ModelError::IncompleteBuilder {
+            missing: "protocols",
+        })?;
+        if protocols.len() != positions.len() {
+            return Err(ModelError::CardinalityMismatch {
+                what: "protocols",
+                expected: positions.len(),
+                got: protocols.len(),
+            });
+        }
+        let sigmas = match self.sigmas {
+            Some(s) => {
+                if s.len() != positions.len() {
+                    return Err(ModelError::CardinalityMismatch {
+                        what: "sigmas",
+                        expected: positions.len(),
+                        got: s.len(),
+                    });
+                }
+                s
+            }
+            None => vec![self.sigma; positions.len()],
+        };
+        for (i, &s) in sigmas.iter().enumerate() {
+            if s.is_nan() || s <= 0.0 {
+                return Err(ModelError::NonPositiveSigma { robot: i });
+            }
+        }
+        let tol = Tolerance::absolute(self.collision_eps);
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if tol.zero(positions[i].distance(positions[j])) {
+                    return Err(ModelError::CoincidentRobots { first: i, second: j });
+                }
+            }
+        }
+
+        let frames = if self.unit_frames {
+            positions.iter().map(|_| LocalFrame::identity()).collect()
+        } else {
+            FrameGenerator::new(self.frame_seed, self.capabilities.sense_of_direction())
+                .frames(&positions)
+        };
+        let ids = self.capabilities.observable_ids().then(|| {
+            // Arbitrary distinct values — deliberately not 0..n, so no
+            // protocol can conflate an ID with an engine index.
+            positions
+                .iter()
+                .enumerate()
+                .map(|(i, _)| VisibleId::new(1000 + 37 * i as u32))
+                .collect()
+        });
+
+        let trace = Trace::new(positions.clone());
+        Ok(Engine {
+            positions,
+            frames,
+            protocols,
+            sigmas,
+            ids,
+            schedule: self.schedule.unwrap_or_else(|| Box::new(Synchronous)),
+            trace,
+            time: 0,
+            collision_eps: self.collision_eps,
+            global_clock: self.global_clock,
+            visibility: self.visibility,
+            record_trace: self.record_trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stigmergy_geometry::Vec2;
+    use stigmergy_scheduler::RoundRobin;
+
+    /// Walks toward a fixed local target forever.
+    struct Walker {
+        target: Point,
+    }
+    impl MovementProtocol for Walker {
+        fn on_activate(&mut self, _view: &View) -> Point {
+            self.target
+        }
+    }
+
+    /// Stays put.
+    struct Still;
+    impl MovementProtocol for Still {
+        fn on_activate(&mut self, view: &View) -> Point {
+            view.own_position()
+        }
+    }
+
+    fn two_still() -> Engine<Still> {
+        Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(4.0, 0.0)])
+            .protocols([Still, Still])
+            .unit_frames()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validation() {
+        let missing: Result<Engine<Still>, _> = Engine::builder().build();
+        assert!(matches!(
+            missing,
+            Err(ModelError::IncompleteBuilder { missing: "positions" })
+        ));
+
+        let mismatch = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(1.0, 0.0)])
+            .protocols([Still])
+            .build();
+        assert!(matches!(
+            mismatch,
+            Err(ModelError::CardinalityMismatch { .. })
+        ));
+
+        let coincident = Engine::builder()
+            .positions([Point::ORIGIN, Point::ORIGIN])
+            .protocols([Still, Still])
+            .build();
+        assert!(matches!(
+            coincident,
+            Err(ModelError::CoincidentRobots { first: 0, second: 1 })
+        ));
+
+        let bad_sigma = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(1.0, 0.0)])
+            .protocols([Still, Still])
+            .sigma(0.0)
+            .build();
+        assert!(matches!(bad_sigma, Err(ModelError::NonPositiveSigma { robot: 0 })));
+    }
+
+    #[test]
+    fn still_robots_do_not_move() {
+        let mut e = two_still();
+        let report = e.step().unwrap();
+        assert_eq!(report.moved, 0);
+        assert_eq!(e.positions()[0], Point::new(0.0, 0.0));
+        assert_eq!(e.time(), 1);
+        assert_eq!(e.trace().len(), 1);
+    }
+
+    #[test]
+    fn sigma_caps_movement() {
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(100.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(10.0, 0.0),
+                },
+                Walker {
+                    target: Point::new(100.0, 0.0),
+                },
+            ])
+            .unit_frames()
+            .sigma(1.0)
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        // Robot 0 wanted to go 10 units but σ = 1.
+        assert!(e.positions()[0].approx_eq(Point::new(1.0, 0.0)));
+        // Robot 1's target is its own position: no move.
+        assert!(e.positions()[1].approx_eq(Point::new(100.0, 0.0)));
+        e.step().unwrap();
+        assert!(e.positions()[0].approx_eq(Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn per_robot_sigmas() {
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(10.0, 10.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(5.0, 0.0),
+                },
+                Walker {
+                    target: Point::new(10.0, 0.0),
+                },
+            ])
+            .unit_frames()
+            .sigmas([1.0, 2.0])
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        assert!(e.positions()[0].approx_eq(Point::new(1.0, 0.0)));
+        assert!(e.positions()[1].approx_eq(Point::new(10.0, 8.0)));
+    }
+
+    #[test]
+    fn scheduler_gates_activations() {
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(5.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(0.0, 1.0),
+                },
+                Walker {
+                    target: Point::new(5.0, 1.0),
+                },
+            ])
+            .unit_frames()
+            .schedule(RoundRobin)
+            .sigma(0.25)
+            .build()
+            .unwrap();
+        // t=0: only robot 0 active.
+        e.step().unwrap();
+        assert!(e.positions()[0].y > 0.0);
+        assert_eq!(e.positions()[1].y, 0.0);
+        // t=1: only robot 1 active.
+        e.step().unwrap();
+        assert!(e.positions()[1].y > 0.0);
+    }
+
+    #[test]
+    fn views_are_local() {
+        // Robot 1's frame has origin at its own start; it must see itself
+        // at the origin and the other robot offset.
+        struct AssertView {
+            checked: bool,
+        }
+        impl MovementProtocol for AssertView {
+            fn on_activate(&mut self, view: &View) -> Point {
+                assert!(view.own_position().approx_eq(Point::ORIGIN));
+                assert_eq!(view.others().len(), 1);
+                assert!(view.sigma() > 0.0);
+                self.checked = true;
+                view.own_position()
+            }
+        }
+        let mut e = Engine::builder()
+            .positions([Point::new(3.0, 3.0), Point::new(-2.0, 5.0)])
+            .protocols([AssertView { checked: false }, AssertView { checked: false }])
+            .frame_seed(7)
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        assert!(e.protocol(0).checked && e.protocol(1).checked);
+    }
+
+    #[test]
+    fn frames_consistent_with_world() {
+        // A robot commanded to move +1 local North moves scale·(rotated
+        // North) in the world; distances observed by others agree.
+        struct NorthOnce {
+            done: bool,
+        }
+        impl MovementProtocol for NorthOnce {
+            fn on_activate(&mut self, view: &View) -> Point {
+                if self.done {
+                    view.own_position()
+                } else {
+                    self.done = true;
+                    view.own_position() + Vec2::NORTH
+                }
+            }
+        }
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(9.0, 0.0)])
+            .protocols([NorthOnce { done: false }, NorthOnce { done: false }])
+            .frame_seed(99)
+            .build()
+            .unwrap();
+        let scale0 = e.frames()[0].scale();
+        e.step().unwrap();
+        let moved = Point::ORIGIN.distance(e.positions()[0]);
+        assert!((moved - scale0).abs() < 1e-9, "moved {moved}, scale {scale0}");
+    }
+
+    #[test]
+    fn collision_detected() {
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(1.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(0.5, 0.0),
+                },
+                Walker {
+                    target: Point::new(-0.5, 0.0),
+                },
+            ])
+            .unit_frames()
+            .collision_epsilon(1e-6)
+            .build()
+            .unwrap();
+        // Both robots head to x=0.5 / x=0.5: robot 1 targets local -0.5
+        // which in identity frame is world -0.5... robot 0 goes to 0.5,
+        // robot 1 goes to -0.5: they swap sides and pass through each other
+        // but end apart. Make them meet instead:
+        let r = e.step();
+        // They end at (0.5,0) and (-0.5,0): distance 1, no collision.
+        assert!(r.is_ok());
+
+        let mut e2 = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(1.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(0.5, 0.0),
+                },
+                Walker {
+                    target: Point::new(0.5, 0.0),
+                },
+            ])
+            .unit_frames()
+            .collision_epsilon(1e-6)
+            .build()
+            .unwrap();
+        let r2 = e2.step();
+        assert!(matches!(r2, Err(ModelError::Collision { first: 0, second: 1, .. })));
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(50.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(100.0, 0.0),
+                },
+                Still.into_walker(),
+            ])
+            .unit_frames()
+            .sigma(1.0)
+            .build()
+            .unwrap();
+        let out = e
+            .run_until(100, |eng| eng.positions()[0].x >= 5.0)
+            .unwrap();
+        assert!(out.satisfied);
+        assert_eq!(out.steps_taken, 5);
+
+        let out2 = e.run_until(3, |eng| eng.positions()[0].x >= 100.0).unwrap();
+        assert!(!out2.satisfied);
+        assert_eq!(out2.steps_taken, 3);
+    }
+
+    impl Still {
+        fn into_walker(self) -> Walker {
+            Walker {
+                target: Point::new(50.0, 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn ids_present_only_when_identified() {
+        struct CheckIds {
+            expect: bool,
+            seen: bool,
+        }
+        impl MovementProtocol for CheckIds {
+            fn on_activate(&mut self, view: &View) -> Point {
+                assert_eq!(view.own_id().is_some(), self.expect);
+                assert!(view.others().iter().all(|o| o.id.is_some() == self.expect));
+                self.seen = true;
+                view.own_position()
+            }
+        }
+        for expect in [false, true] {
+            let caps = if expect {
+                Capabilities::identified_with_direction()
+            } else {
+                Capabilities::anonymous()
+            };
+            let mut e = Engine::builder()
+                .positions([Point::ORIGIN, Point::new(2.0, 0.0)])
+                .protocols([
+                    CheckIds { expect, seen: false },
+                    CheckIds { expect, seen: false },
+                ])
+                .capabilities(caps)
+                .build()
+                .unwrap();
+            e.step().unwrap();
+            assert!(e.protocol(0).seen);
+        }
+        // IDs are distinct and not 0..n.
+        let e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(2.0, 0.0)])
+            .protocols([Still, Still])
+            .capabilities(Capabilities::identified())
+            .build()
+            .unwrap();
+        let ids = e.ids().unwrap();
+        assert_ne!(ids[0], ids[1]);
+        assert!(ids[0].raw() >= 1000);
+    }
+
+    #[test]
+    fn trace_records_every_step() {
+        let mut e = two_still();
+        e.run(5).unwrap();
+        assert_eq!(e.trace().len(), 5);
+        let log = e.trace().activation_log();
+        let report = stigmergy_scheduler::audit_fairness(&log, 2);
+        assert!(report.is_fair(0)); // synchronous default
+    }
+
+    #[test]
+    fn displace_robot_teleports_and_checks_collisions() {
+        let mut e = two_still();
+        e.displace_robot(0, Vec2::new(0.0, 3.0)).unwrap();
+        assert!(e.positions()[0].approx_eq(Point::new(0.0, 3.0)));
+        // Displacing onto the other robot is a (fault-model) collision.
+        let err = e.displace_robot(0, Vec2::new(4.0, -3.0));
+        assert!(matches!(err, Err(ModelError::Collision { .. })));
+    }
+
+    #[test]
+    fn global_clock_appears_in_views_when_enabled() {
+        struct ClockCheck {
+            expect: bool,
+            seen: Vec<Option<u64>>,
+        }
+        impl MovementProtocol for ClockCheck {
+            fn on_activate(&mut self, view: &View) -> Point {
+                assert_eq!(view.time().is_some(), self.expect);
+                self.seen.push(view.time());
+                view.own_position()
+            }
+        }
+        for expect in [false, true] {
+            let mut builder = Engine::builder()
+                .positions([Point::ORIGIN, Point::new(3.0, 0.0)])
+                .protocols([
+                    ClockCheck {
+                        expect,
+                        seen: vec![],
+                    },
+                    ClockCheck {
+                        expect,
+                        seen: vec![],
+                    },
+                ]);
+            if expect {
+                builder = builder.global_clock();
+            }
+            let mut e = builder.build().unwrap();
+            e.run(3).unwrap();
+            if expect {
+                assert_eq!(e.protocol(0).seen, vec![Some(0), Some(1), Some(2)]);
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_limits_views() {
+        struct CountOthers {
+            counts: Vec<usize>,
+        }
+        impl MovementProtocol for CountOthers {
+            fn on_activate(&mut self, view: &View) -> Point {
+                self.counts.push(view.others().len());
+                view.own_position()
+            }
+        }
+        // Line 0 -- 10 -- 20: with radius 12, the middle sees both ends,
+        // the ends see only the middle.
+        let mut e = Engine::builder()
+            .positions([
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ])
+            .protocols([
+                CountOthers { counts: vec![] },
+                CountOthers { counts: vec![] },
+                CountOthers { counts: vec![] },
+            ])
+            .visibility(12.0)
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        assert_eq!(e.protocol(0).counts, vec![1]);
+        assert_eq!(e.protocol(1).counts, vec![2]);
+        assert_eq!(e.protocol(2).counts, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_visibility_rejected() {
+        let _: EngineBuilder<Still> = Engine::builder()
+            .positions([Point::ORIGIN])
+            .visibility(0.0);
+    }
+
+    #[test]
+    fn trace_recording_can_be_disabled() {
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(4.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(0.0, 9.0),
+                },
+                Walker {
+                    target: Point::new(4.0, 9.0),
+                },
+            ])
+            .unit_frames()
+            .sigma(1.0)
+            .record_trace(false)
+            .build()
+            .unwrap();
+        e.run(20).unwrap();
+        assert!(e.trace().is_empty(), "no steps recorded");
+        assert_eq!(e.trace().initial().len(), 2, "initial kept");
+        // The simulation itself is unaffected.
+        assert!(e.positions()[0].approx_eq(Point::new(0.0, 9.0)));
+    }
+
+    #[test]
+    fn default_schedule_is_synchronous() {
+        let mut e = two_still();
+        let report = e.step().unwrap();
+        assert_eq!(report.active.len(), 2);
+    }
+}

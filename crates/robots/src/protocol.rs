@@ -1,0 +1,53 @@
+//! The protocol interface.
+
+use crate::view::View;
+use stigmergy_geometry::Point;
+
+/// A robot's behaviour: the deterministic algorithm run at each activation.
+///
+/// The engine calls [`MovementProtocol::on_activate`] with the robot's
+/// current [`View`] and moves the robot toward the returned destination
+/// (expressed in the robot's **local frame**), travelling at most `σ`.
+/// Returning [`View::own_position`] keeps the robot still.
+///
+/// Implementations are **non-oblivious** by construction — they are
+/// stateful values that persist across activations, matching the paper's
+/// model. They must derive everything from views: no global clock, no
+/// world coordinates, no access to other robots' state.
+pub trait MovementProtocol {
+    /// Computes the destination for this activation, in local coordinates.
+    fn on_activate(&mut self, view: &View) -> Point;
+}
+
+impl<P: MovementProtocol + ?Sized> MovementProtocol for Box<P> {
+    fn on_activate(&mut self, view: &View) -> Point {
+        (**self).on_activate(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::Observed;
+
+    struct Still;
+    impl MovementProtocol for Still {
+        fn on_activate(&mut self, view: &View) -> Point {
+            view.own_position()
+        }
+    }
+
+    #[test]
+    fn boxed_protocols_delegate() {
+        let view = View::new(
+            Observed {
+                position: Point::new(1.0, 2.0),
+                id: None,
+            },
+            vec![],
+            1.0,
+        );
+        let mut boxed: Box<dyn MovementProtocol> = Box::new(Still);
+        assert_eq!(boxed.on_activate(&view), Point::new(1.0, 2.0));
+    }
+}

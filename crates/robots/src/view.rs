@@ -1,0 +1,212 @@
+//! Views: what an active robot observes.
+//!
+//! §2 of the paper: "P(tj) expressed in the local coordinate system of any
+//! robot ri is called a view." A [`View`] is the *only* information a
+//! protocol ever receives. It contains every robot's instantaneous position
+//! in the observer's local frame, with observable IDs attached only in
+//! identified systems.
+//!
+//! To keep anonymous systems honest, the *other* robots appear in an order
+//! sorted by their local coordinates — there is no stable hidden index a
+//! protocol could exploit as a covert identity. Anything identity-like must
+//! be derived the way the paper derives it: from home positions, granular
+//! membership, or the naming mechanisms of §3.3/§3.4.
+
+use crate::identity::VisibleId;
+use serde::{Deserialize, Serialize};
+use stigmergy_geometry::Point;
+use std::fmt;
+
+/// One observed robot: a position (in the observer's frame), plus its
+/// visible identifier in identified systems.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observed {
+    /// The robot's position in the observer's local frame.
+    pub position: Point,
+    /// Its observable identifier, if the system is identified.
+    pub id: Option<VisibleId>,
+}
+
+/// The instantaneous configuration in one robot's local frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct View {
+    own: Observed,
+    others: Vec<Observed>,
+    sigma: f64,
+    time: Option<u64>,
+}
+
+impl View {
+    /// Assembles a view. `others` is sorted by local coordinates so the
+    /// ordering carries no covert identity.
+    #[must_use]
+    pub fn new(own: Observed, mut others: Vec<Observed>, sigma: f64) -> Self {
+        others.sort_by(|a, b| {
+            (a.position.x, a.position.y)
+                .partial_cmp(&(b.position.x, b.position.y))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self {
+            own,
+            others,
+            sigma,
+            time: None,
+        }
+    }
+
+    /// Attaches a global-clock reading (the engine sets this only when the
+    /// cohort is granted a global clock — the paper's §5 "GPS input"
+    /// assumption used by self-stabilization).
+    #[must_use]
+    pub fn with_time(mut self, time: Option<u64>) -> Self {
+        self.time = time;
+        self
+    }
+
+    /// The global-clock reading, if the cohort has one.
+    #[must_use]
+    pub fn time(&self) -> Option<u64> {
+        self.time
+    }
+
+    /// The observer's own position in its frame.
+    ///
+    /// At `t0` this is the frame origin; it changes as the robot moves.
+    #[must_use]
+    pub fn own_position(&self) -> Point {
+        self.own.position
+    }
+
+    /// The observer's own visible identifier, in identified systems.
+    #[must_use]
+    pub fn own_id(&self) -> Option<VisibleId> {
+        self.own.id
+    }
+
+    /// The other robots, sorted by local coordinates.
+    #[must_use]
+    pub fn others(&self) -> &[Observed] {
+        &self.others
+    }
+
+    /// All robots (observer first, then the others).
+    pub fn all(&self) -> impl Iterator<Item = Observed> + '_ {
+        std::iter::once(self.own).chain(self.others.iter().copied())
+    }
+
+    /// All positions, observer's first.
+    #[must_use]
+    pub fn positions(&self) -> Vec<Point> {
+        self.all().map(|o| o.position).collect()
+    }
+
+    /// Total number of robots visible (including the observer).
+    #[must_use]
+    pub fn cohort(&self) -> usize {
+        1 + self.others.len()
+    }
+
+    /// The observer's motion cap `σ` in *local* units: the farthest it can
+    /// travel in this activation.
+    ///
+    /// The paper's robots know their own maximal covered distance; the
+    /// engine supplies it converted into the robot's own unit measure.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The same view with every position shifted by `offset`.
+    ///
+    /// Used by flocking composition (§5 of the paper): robots subtract the
+    /// agreed-upon global flocking displacement before decoding, so the
+    /// communication protocol sees a stationary swarm.
+    #[must_use]
+    pub fn translated(&self, offset: stigmergy_geometry::Vec2) -> View {
+        let shift = |o: &Observed| Observed {
+            position: o.position + offset,
+            id: o.id,
+        };
+        View {
+            own: shift(&self.own),
+            others: self.others.iter().map(shift).collect(),
+            sigma: self.sigma,
+            time: self.time,
+        }
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view: self at {}, {} others", self.own.position, self.others.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(x: f64, y: f64) -> Observed {
+        Observed {
+            position: Point::new(x, y),
+            id: None,
+        }
+    }
+
+    #[test]
+    fn others_sorted_by_coordinates() {
+        let view = View::new(obs(0.0, 0.0), vec![obs(2.0, 0.0), obs(-1.0, 5.0), obs(2.0, -3.0)], 1.0);
+        let xs: Vec<(f64, f64)> = view
+            .others()
+            .iter()
+            .map(|o| (o.position.x, o.position.y))
+            .collect();
+        assert_eq!(xs, vec![(-1.0, 5.0), (2.0, -3.0), (2.0, 0.0)]);
+    }
+
+    #[test]
+    fn cohort_and_positions() {
+        let view = View::new(obs(1.0, 1.0), vec![obs(0.0, 0.0)], 2.0);
+        assert_eq!(view.cohort(), 2);
+        assert_eq!(view.positions().len(), 2);
+        assert_eq!(view.positions()[0], Point::new(1.0, 1.0));
+        assert_eq!(view.sigma(), 2.0);
+        assert_eq!(view.own_position(), Point::new(1.0, 1.0));
+        assert_eq!(view.own_id(), None);
+    }
+
+    #[test]
+    fn ids_travel_with_positions() {
+        let mut a = obs(5.0, 5.0);
+        a.id = Some(VisibleId::new(7));
+        let view = View::new(a, vec![], 1.0);
+        assert_eq!(view.own_id(), Some(VisibleId::new(7)));
+    }
+
+    #[test]
+    fn all_puts_observer_first() {
+        let view = View::new(obs(9.0, 9.0), vec![obs(0.0, 0.0)], 1.0);
+        let all: Vec<Observed> = view.all().collect();
+        assert_eq!(all[0].position, Point::new(9.0, 9.0));
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn time_defaults_to_none_and_attaches() {
+        let view = View::new(obs(0.0, 0.0), vec![], 1.0);
+        assert_eq!(view.time(), None);
+        let timed = view.clone().with_time(Some(9));
+        assert_eq!(timed.time(), Some(9));
+        // Translation preserves the clock.
+        assert_eq!(
+            timed.translated(stigmergy_geometry::Vec2::new(1.0, 0.0)).time(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn display() {
+        let view = View::new(obs(0.0, 0.0), vec![obs(1.0, 1.0)], 1.0);
+        assert!(format!("{view}").contains("1 others"));
+    }
+}

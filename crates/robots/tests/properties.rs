@@ -1,0 +1,179 @@
+//! Property-based tests for the SSM simulator: frames are exact
+//! similarity transforms, the engine honours σ caps and snapshot
+//! semantics, and views leak nothing they shouldn't.
+
+use proptest::prelude::*;
+use stigmergy_geometry::{Point, Vec2};
+use stigmergy_robots::{
+    Capabilities, Engine, FrameGenerator, LocalFrame, MovementProtocol, View,
+};
+use stigmergy_scheduler::FairAsync;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -500.0..500.0
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrip_is_exact_enough(
+        ox in coord(), oy in coord(),
+        rot in 0.0f64..std::f64::consts::TAU,
+        scale in 0.1f64..10.0,
+        px in coord(), py in coord(),
+    ) {
+        let f = LocalFrame::new(Point::new(ox, oy), rot, scale);
+        let p = Point::new(px, py);
+        let there_and_back = f.to_world(f.to_local(p));
+        prop_assert!(p.distance(there_and_back) < 1e-9 * (1.0 + p.to_vec().norm()));
+        // Lengths transform by the scale, directions stay unit.
+        let v = Vec2::new(3.0, -4.0);
+        prop_assert!((f.dir_to_world(v).norm() - 5.0 * scale).abs() < 1e-9 * scale.max(1.0));
+    }
+
+    #[test]
+    fn frames_never_flip_handedness(seed in any::<u64>(), n in 1usize..12) {
+        let pts: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * 7.0, 0.0)).collect();
+        for f in FrameGenerator::new(seed, false).frames(&pts) {
+            let cross = f.dir_to_local(Vec2::EAST).cross(f.dir_to_local(Vec2::NORTH));
+            prop_assert!(cross > 0.0, "chirality violated by {f:?}");
+        }
+    }
+
+    #[test]
+    fn sigma_cap_is_never_exceeded(
+        seed in any::<u64>(),
+        sigma in 0.01f64..5.0,
+        steps in 1u64..40,
+    ) {
+        /// Tries to jump far every activation.
+        struct Jumper;
+        impl MovementProtocol for Jumper {
+            fn on_activate(&mut self, view: &View) -> Point {
+                view.own_position() + Vec2::new(100.0, 77.0)
+            }
+        }
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(300.0, 0.0)])
+            .protocols([Jumper, Jumper])
+            .schedule(FairAsync::new(seed, 0.6, 8))
+            .frame_seed(seed)
+            .sigma(sigma)
+            .build()
+            .unwrap();
+        let mut prev = e.positions().to_vec();
+        for _ in 0..steps {
+            e.step().unwrap();
+            for i in 0..2 {
+                let moved = prev[i].distance(e.positions()[i]);
+                prop_assert!(moved <= sigma + 1e-9, "robot {i} moved {moved} > σ {sigma}");
+            }
+            prev = e.positions().to_vec();
+        }
+    }
+
+    #[test]
+    fn active_robots_observe_a_common_snapshot(seed in any::<u64>()) {
+        // Every active robot's view, mapped back to world coordinates,
+        // must equal the same snapshot — simultaneity of observation.
+        #[derive(Default)]
+        struct Recorder {
+            seen: Vec<Vec<Point>>, // world positions implied by each view
+            frame: Option<LocalFrame>,
+        }
+        impl MovementProtocol for Recorder {
+            fn on_activate(&mut self, view: &View) -> Point {
+                if let Some(f) = &self.frame {
+                    let mut world: Vec<Point> =
+                        view.positions().iter().map(|&p| f.to_world(p)).collect();
+                    world.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+                    self.seen.push(world);
+                }
+                view.own_position() + Vec2::NORTH * 0.25
+            }
+        }
+        let positions = [Point::new(0.0, 0.0), Point::new(20.0, 0.0), Point::new(10.0, 15.0)];
+        let mut e = Engine::builder()
+            .positions(positions)
+            .protocols([Recorder::default(), Recorder::default(), Recorder::default()])
+            .frame_seed(seed)
+            .build()
+            .unwrap();
+        // Give each recorder its own frame (test-side knowledge).
+        for i in 0..3 {
+            let f = e.frames()[i];
+            e.protocol_mut(i).frame = Some(f);
+        }
+        for _ in 0..5 {
+            // Synchronous default: all three observe each instant.
+            let before: Vec<Point> = e.positions().to_vec();
+            let mut expected = before.clone();
+            expected.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+            e.step().unwrap();
+            for i in 0..3 {
+                let got = e.protocol(i).seen.last().unwrap();
+                for (g, x) in got.iter().zip(&expected) {
+                    prop_assert!(g.distance(*x) < 1e-6, "robot {i} saw a stale world");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn views_have_ids_iff_identified(seed in any::<u64>(), identified in any::<bool>()) {
+        struct Check {
+            expect: bool,
+        }
+        impl MovementProtocol for Check {
+            fn on_activate(&mut self, view: &View) -> Point {
+                assert_eq!(view.own_id().is_some(), self.expect);
+                assert!(view.others().iter().all(|o| o.id.is_some() == self.expect));
+                view.own_position()
+            }
+        }
+        let caps = if identified {
+            Capabilities::identified_with_direction()
+        } else {
+            Capabilities::anonymous()
+        };
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(9.0, 0.0)])
+            .protocols([Check { expect: identified }, Check { expect: identified }])
+            .capabilities(caps)
+            .frame_seed(seed)
+            .build()
+            .unwrap();
+        e.run(3).unwrap();
+    }
+
+    #[test]
+    fn trace_is_append_only_and_consistent(seed in any::<u64>(), steps in 1u64..30) {
+        struct Drift;
+        impl MovementProtocol for Drift {
+            fn on_activate(&mut self, view: &View) -> Point {
+                view.own_position() + Vec2::new(0.5, 0.25)
+            }
+        }
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(50.0, 0.0)])
+            .protocols([Drift, Drift])
+            .schedule(FairAsync::new(seed, 0.5, 6))
+            .unit_frames()
+            .build()
+            .unwrap();
+        e.run(steps).unwrap();
+        let trace = e.trace();
+        prop_assert_eq!(trace.len() as u64, steps);
+        // Times are 0..steps in order.
+        for (k, s) in trace.steps().iter().enumerate() {
+            prop_assert_eq!(s.time, k as u64);
+            prop_assert_eq!(s.positions.len(), 2);
+        }
+        // The final recorded positions equal the engine's.
+        prop_assert_eq!(&trace.steps().last().unwrap().positions, &e.positions().to_vec());
+        // Path length ≥ net displacement.
+        for i in 0..2 {
+            let net = trace.initial()[i].distance(e.positions()[i]);
+            prop_assert!(trace.path_length(i) >= net - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Activation schedulers for the Semi-Synchronous Model (SSM).
+//!
+//! In the SSM of Suzuki & Yamashita — the model of *Deaf, Dumb, and
+//! Chatting Robots* — time is an infinite sequence of instants. At each
+//! instant every robot is either **active** (it observes, computes, and
+//! moves) or **inactive** (it does nothing and sees nothing). The paper's
+//! two regimes are:
+//!
+//! * **synchronous** — every robot is active at every instant (§3);
+//! * **asynchronous** — only *fairness* is guaranteed: at least one robot is
+//!   active at each instant, and no robot stays inactive forever (§4).
+//!
+//! This crate provides the [`Schedule`] trait plus a family of concrete
+//! schedulers: the synchronous one, seeded random fair schedulers, the
+//! harshest one-robot-at-a-time adversary, round-robin, and fully scripted
+//! (adversarial) schedules. A [`fairness`] auditor validates recorded
+//! activation logs, so tests can *prove* a run satisfied the model's
+//! assumptions.
+//!
+//! # Examples
+//!
+//! ```
+//! use stigmergy_scheduler::{FairAsync, Schedule, Synchronous};
+//!
+//! let mut sync = Synchronous;
+//! assert_eq!(sync.activations(0, 3).iter().count(), 3);
+//!
+//! let mut fair = FairAsync::new(42, 0.5, 16);
+//! let set = fair.activations(0, 3);
+//! assert!(!set.is_empty()); // at least one robot per instant
+//! ```
+
+pub mod activation;
+pub mod fairness;
+pub mod rng;
+pub mod schedules;
+
+pub use activation::ActivationSet;
+pub use fairness::{audit_fairness, FairnessReport};
+pub use schedules::{FairAsync, RoundRobin, Scripted, SingleActive, Synchronous, WakeAllFirst};
+
+use std::fmt;
+
+/// A scheduler: decides which robots are active at each time instant.
+///
+/// Implementations must uphold the SSM contract: the returned set is never
+/// empty when `n > 0`. Asynchronous schedulers must additionally be *fair*
+/// (every robot is activated infinitely often); the concrete types in
+/// [`schedules`] enforce a bounded activation gap, which implies fairness.
+pub trait Schedule {
+    /// Returns the set of robots (indices `0..n`) active at instant `t`.
+    fn activations(&mut self, t: u64, n: usize) -> ActivationSet;
+
+    /// A short human-readable name for reports and traces.
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+}
+
+impl fmt::Debug for dyn Schedule + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schedule({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_object_debug() {
+        let mut s = Synchronous;
+        let _ = s.activations(0, 1);
+        let obj: &dyn Schedule = &s;
+        assert!(format!("{obj:?}").contains("synchronous"));
+    }
+}

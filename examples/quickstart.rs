@@ -1,0 +1,54 @@
+//! Quickstart: three deaf and dumb robots exchange messages by moving.
+//!
+//! ```text
+//! cargo run -p stigmergy-examples --bin quickstart
+//! ```
+//!
+//! Three robots sit in a plane. They have no radios — only eyes (they see
+//! each other's instantaneous positions) and wheels. Each robot privately
+//! uses its own coordinate system; they share only handedness and, in this
+//! example, a compass ("sense of direction"). Messages travel as tiny,
+//! carefully-aimed excursions: which *diameter* of a robot's private disc
+//! it darts along names the addressee, and which *half* of the diameter
+//! carries the bit.
+
+use stigmergy::session::SyncNetwork;
+use stigmergy_geometry::Point;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // P(t0): where the robots start. Positions are all a robot ever needs
+    // to know about its peers.
+    let positions = vec![
+        Point::new(0.0, 0.0),
+        Point::new(12.0, 0.0),
+        Point::new(6.0, 10.0),
+    ];
+    let mut net = SyncNetwork::anonymous_with_direction(positions, 42)?;
+
+    net.send(0, 2, b"status report?")?;
+    net.send(2, 0, b"all sensors nominal")?;
+    net.send(1, 2, b"low battery")?;
+
+    let instants = net.run_until_delivered(10_000)?;
+    println!("all messages delivered after {instants} time instants\n");
+
+    for robot in 0..net.cohort() {
+        println!("robot {robot} inbox:");
+        for (sender, payload) in net.inbox(robot) {
+            println!("  from robot {sender}: {:?}", String::from_utf8_lossy(&payload));
+        }
+    }
+
+    // Nothing was transmitted except movement: the trace records every
+    // excursion.
+    let trace = net.engine().trace();
+    println!("\nmovement totals (the only \"medium\" used):");
+    for robot in 0..net.cohort() {
+        println!(
+            "  robot {robot}: {} moves, {:.2} distance units travelled",
+            trace.move_count(robot),
+            trace.path_length(robot),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the cross-crate integration tests (the tests live
+//! in `tests/`).
+
+use stigmergy_geometry::Point;
+
+/// An irregular ring: the workhorse valid configuration.
+#[must_use]
+pub fn ring(n: usize, radius: f64) -> Vec<Point> {
+    (0..n)
+        .map(|k| {
+            let theta = std::f64::consts::TAU * (k as f64) / (n as f64);
+            let r = radius * (1.0 + 0.03 * (k as f64 + 1.0) / (n as f64));
+            Point::new(r * theta.sin(), r * theta.cos())
+        })
+        .collect()
+}

@@ -1,0 +1,216 @@
+//! Adversarial and degenerate-input tests: scripted worst-case schedules,
+//! configurations the paper excludes, and resource-bound behaviour.
+
+use stigmergy::session::{AsyncNetwork, SyncNetwork};
+use stigmergy::CoreError;
+use stigmergy_geometry::Point;
+use stigmergy_integration::ring;
+use stigmergy_scheduler::Scripted;
+
+#[test]
+fn async_survives_starvation_bursts() {
+    // Robot 2 (the receiver) wakes once every 12 instants; the others
+    // churn. Delivery must still happen (fairness is all that's needed).
+    let script: Vec<Vec<usize>> = (0..12)
+        .map(|k| if k == 11 { vec![2] } else { vec![0, 1] })
+        .collect();
+    let mut net =
+        AsyncNetwork::anonymous_with_schedule(ring(3, 20.0), 0xC01, Scripted::new(script))
+            .unwrap();
+    net.send(0, 2, b"burst-proof").unwrap();
+    net.run_until_delivered(2_000_000).unwrap();
+    assert_eq!(net.inbox(2), vec![(0, b"burst-proof".to_vec())]);
+}
+
+#[test]
+fn async_survives_alternating_halves() {
+    // The swarm is split into two halves that are never awake together
+    // (except t0) — observations across the halves are maximally stale.
+    let script: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 3]];
+    let mut net =
+        AsyncNetwork::anonymous_with_schedule(ring(4, 25.0), 0xC02, Scripted::new(script))
+            .unwrap();
+    net.send(0, 3, b"cross-half").unwrap();
+    net.run_until_delivered(2_000_000).unwrap();
+    assert_eq!(net.inbox(3), vec![(0, b"cross-half".to_vec())]);
+}
+
+#[test]
+fn coincident_robots_rejected_at_build() {
+    let positions = vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)];
+    assert!(matches!(
+        SyncNetwork::anonymous_with_direction(positions, 1),
+        Err(CoreError::Model(_))
+    ));
+}
+
+#[test]
+fn robot_at_sec_center_rejected_for_sec_naming_only() {
+    let positions = vec![
+        Point::new(0.0, 10.0),
+        Point::new(0.0, -10.0),
+        Point::new(0.0, 0.0), // dead centre of the SEC
+    ];
+    // BySec: the horizon of robot 2 is undefined → send fails eagerly.
+    let mut sec = SyncNetwork::anonymous(positions.clone(), 2).unwrap();
+    assert!(matches!(sec.send(0, 1, b"x"), Err(CoreError::Naming(_))));
+    // ByLex tolerates the same configuration.
+    let mut lex = SyncNetwork::anonymous_with_direction(positions, 2).unwrap();
+    lex.send(0, 1, b"x").unwrap();
+    lex.run_until_delivered(10_000).unwrap();
+    assert_eq!(lex.inbox(1), vec![(0, b"x".to_vec())]);
+}
+
+#[test]
+fn collinear_configurations_work() {
+    // All robots on one line: Voronoi cells are slabs, SEC is pinned by
+    // the extremes — everything still routes.
+    let positions: Vec<Point> = (0..5)
+        .map(|i| Point::new(f64::from(i) * 10.0, 0.0))
+        .collect();
+    let mut net = SyncNetwork::anonymous_with_direction(positions, 0xC03).unwrap();
+    net.send(0, 4, b"end to end").unwrap();
+    net.run_until_delivered(20_000).unwrap();
+    assert_eq!(net.inbox(4), vec![(0, b"end to end".to_vec())]);
+}
+
+#[test]
+fn very_close_and_very_far_robots() {
+    // Granular radii differing by orders of magnitude.
+    let positions = vec![
+        Point::new(0.0, 0.0),
+        Point::new(0.5, 0.0),    // tiny granulars here
+        Point::new(500.0, 0.0),  // huge granular there
+    ];
+    let mut net = SyncNetwork::anonymous_with_direction(positions, 0xC04).unwrap();
+    net.send(0, 2, b"far").unwrap();
+    net.send(2, 1, b"near").unwrap();
+    net.run_until_delivered(20_000).unwrap();
+    assert_eq!(net.inbox(2), vec![(0, b"far".to_vec())]);
+    assert_eq!(net.inbox(1), vec![(2, b"near".to_vec())]);
+}
+
+#[test]
+fn timeout_is_clean_and_resumable() {
+    let mut net = SyncNetwork::anonymous_with_direction(ring(3, 20.0), 0xC05).unwrap();
+    net.send(0, 1, b"slow boat").unwrap();
+    // Far too few steps.
+    assert!(matches!(
+        net.run_until_delivered(3),
+        Err(CoreError::Timeout { steps: 3 })
+    ));
+    // …but the run can simply continue.
+    net.run_until_delivered(20_000).unwrap();
+    assert_eq!(net.inbox(1), vec![(0, b"slow boat".to_vec())]);
+}
+
+#[test]
+fn tiny_sigma_still_delivers_sync() {
+    // A motion cap far below the natural step size: the engine clamps
+    // every move; the synchronous protocol's excursions shrink but decode
+    // fine because magnitude does not carry information in bit coding.
+    use stigmergy::sync_swarm::SyncSwarm;
+    use stigmergy_robots::{Capabilities, Engine};
+    let positions = ring(3, 20.0);
+    let mut e = Engine::builder()
+        .positions(positions)
+        .protocols((0..3).map(|_| SyncSwarm::anonymous_with_direction()))
+        .capabilities(Capabilities::anonymous_with_direction())
+        .sigma(0.8)
+        .build()
+        .unwrap();
+    e.step().unwrap();
+    let label = stigmergy::label_by_lex(e.trace().initial())
+        .unwrap()
+        .label_of(2)
+        .unwrap();
+    e.protocol_mut(0).send_label(label, b"capped");
+    let out = e
+        .run_until(20_000, |e| {
+            e.protocol(2).inbox().iter().any(|m| m.payload == b"capped")
+        })
+        .unwrap();
+    assert!(out.satisfied);
+}
+
+#[test]
+fn self_send_and_bad_indices_rejected() {
+    let mut net = SyncNetwork::anonymous_with_direction(ring(3, 20.0), 0xC06).unwrap();
+    assert!(matches!(net.send(1, 1, b"me"), Err(CoreError::SelfAddressed)));
+    assert!(matches!(
+        net.send(0, 3, b"x"),
+        Err(CoreError::UnknownDestination { dest: 3, cohort: 3 })
+    ));
+    assert!(matches!(
+        net.send(9, 0, b"x"),
+        Err(CoreError::UnknownDestination { .. })
+    ));
+}
+
+#[test]
+fn limited_visibility_breaks_the_keyboard_protocols() {
+    // §5 poses limited visibility as an open problem. This is the negative
+    // half: with a sensing radius smaller than the swarm's diameter,
+    // robots disagree on the cohort (their granular keyboards have
+    // different slice counts and labels), so routing fails — exactly why
+    // the paper's protocols assume unbounded visibility.
+    use stigmergy::sync_swarm::SyncSwarm;
+    use stigmergy_robots::{Capabilities, Engine};
+
+    // A line of robots where the ends cannot see each other.
+    let positions: Vec<Point> = (0..4)
+        .map(|i| Point::new(f64::from(i) * 10.0, 0.0))
+        .collect();
+    let mut e = Engine::builder()
+        .positions(positions)
+        .protocols((0..4).map(|_| SyncSwarm::anonymous_with_direction()))
+        .capabilities(Capabilities::anonymous_with_direction())
+        .visibility(15.0) // sees only immediate neighbours
+        .build()
+        .unwrap();
+    e.step().unwrap();
+    // Robot 0 sees {0,1}: a 2-robot cohort. Robot 1 sees {0,1,2}: 3.
+    assert_eq!(e.protocol(0).geometry().unwrap().cohort(), 2);
+    assert_eq!(e.protocol(1).geometry().unwrap().cohort(), 3);
+    // A message from 0 addressed by its (wrong) naming never reaches 3 —
+    // robot 3 is not even in robot 0's world.
+    e.protocol_mut(0).send_label(1, b"doomed");
+    let out = e
+        .run_until(2_000, |e| {
+            (1..4).any(|i| e.protocol(i).inbox().iter().any(|m| m.payload == b"doomed"))
+        })
+        .unwrap();
+    // The bit excursions still happen, but whoever decodes them maps them
+    // onto a different labelling — robot 3 can never be addressed, and
+    // cross-cohort decodes disagree. The strongest guaranteed statement:
+    // robot 3 receives nothing.
+    let _ = out;
+    assert!(e.protocol(3).inbox().is_empty(), "robot 3 is unreachable");
+}
+
+#[test]
+fn full_visibility_radius_behaves_like_unbounded() {
+    use stigmergy_robots::{Capabilities, Engine};
+    use stigmergy::sync_swarm::SyncSwarm;
+    let positions = ring(4, 20.0);
+    let mut e = Engine::builder()
+        .positions(positions)
+        .protocols((0..4).map(|_| SyncSwarm::anonymous_with_direction()))
+        .capabilities(Capabilities::anonymous_with_direction())
+        .visibility(1_000.0) // larger than the diameter: no effect
+        .build()
+        .unwrap();
+    e.step().unwrap();
+    assert_eq!(e.protocol(0).geometry().unwrap().cohort(), 4);
+    let label = stigmergy::label_by_lex(e.trace().initial())
+        .unwrap()
+        .label_of(2)
+        .unwrap();
+    e.protocol_mut(0).send_label(label, b"fine");
+    let out = e
+        .run_until(2_000, |e| {
+            e.protocol(2).inbox().iter().any(|m| m.payload == b"fine")
+        })
+        .unwrap();
+    assert!(out.satisfied);
+}

@@ -1,0 +1,202 @@
+//! Model-conformance tests: the simulated runs must satisfy the SSM's
+//! physical and logical invariants end-to-end, and protocol outcomes must
+//! be invariant under the robots' private frames.
+
+use stigmergy::session::{AsyncNetwork, SyncNetwork};
+use stigmergy_geometry::voronoi::granular_radii;
+use stigmergy_integration::ring;
+use stigmergy_scheduler::audit_fairness;
+
+#[test]
+fn sync_runs_are_collision_free_and_granular_confined() {
+    let positions = ring(6, 30.0);
+    let radii = granular_radii(&positions).unwrap();
+    let mut net = SyncNetwork::anonymous_with_direction(positions.clone(), 0xB01).unwrap();
+    for i in 0..6 {
+        net.send(i, (i + 1) % 6, format!("m{i}").as_bytes()).unwrap();
+    }
+    net.run_until_delivered(50_000).unwrap();
+
+    let trace = net.engine().trace();
+    // Collision freedom (engine would also have errored).
+    assert!(trace.min_pairwise_distance() > 1.0);
+    // Granular confinement: every recorded position within its granular.
+    for step in trace.steps() {
+        for (i, p) in step.positions.iter().enumerate() {
+            assert!(
+                positions[i].distance(*p) <= radii[i] + 1e-9,
+                "robot {i} outside granular at t={}",
+                step.time
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_protocols_are_silent() {
+    // No queued messages ⇒ no movement, ever (§3's silence property).
+    let mut net = SyncNetwork::anonymous(ring(5, 25.0), 0xB02).unwrap();
+    net.run(200).unwrap();
+    for i in 0..5 {
+        assert_eq!(net.engine().trace().path_length(i), 0.0, "robot {i} moved");
+    }
+}
+
+#[test]
+fn async_robots_always_move_and_scheduler_is_fair() {
+    let mut net = AsyncNetwork::anonymous(ring(4, 25.0), 0xB03).unwrap();
+    net.run(500).unwrap();
+    let trace = net.engine().trace();
+    // Remark 4.3: every activation moves. So move_count ≈ activation count.
+    let log = trace.activation_log();
+    let report = audit_fairness(&log, 4);
+    assert!(report.is_valid_ssm());
+    for i in 0..4 {
+        assert_eq!(
+            trace.move_count(i) as u64,
+            report.activations[i],
+            "robot {i}: activations without movement"
+        );
+    }
+}
+
+#[test]
+fn outcome_is_invariant_under_private_frames() {
+    // The same scenario under ten different frame assignments (rotations
+    // and scales) must produce identical inbox contents.
+    let mut reference: Option<Vec<(usize, Vec<u8>)>> = None;
+    for seed in 0..10u64 {
+        let mut net = SyncNetwork::anonymous(ring(5, 30.0), seed).unwrap();
+        net.send(0, 3, b"frame test").unwrap();
+        net.send(2, 4, b"second").unwrap();
+        net.run_until_delivered(50_000)
+            .unwrap_or_else(|e| panic!("frame seed {seed}: {e}"));
+        let mut inbox3 = net.inbox(3);
+        inbox3.extend(net.inbox(4));
+        match &reference {
+            None => reference = Some(inbox3),
+            Some(r) => assert_eq!(&inbox3, r, "frame seed {seed} changed the outcome"),
+        }
+    }
+}
+
+#[test]
+fn world_trajectories_are_frame_invariant() {
+    // Stronger than delivery invariance: every protocol move is a
+    // fraction of a world-geometric quantity (granular radius, initial
+    // separation), so the *world* trajectory is bit-identical no matter
+    // how the private frames are rotated and scaled. This is the
+    // machine-checkable form of "the protocol only uses
+    // similarity-invariant constructions".
+    let run = |seed: u64| {
+        let mut net = SyncNetwork::anonymous(ring(4, 25.0), seed).unwrap();
+        net.send(1, 2, b"x").unwrap();
+        net.run_until_delivered(50_000).unwrap();
+        (
+            format!("{:?}", net.engine().trace().steps().last().unwrap().positions),
+            net.inbox(2),
+        )
+    };
+    let (pos_a, inbox_a) = run(100);
+    let (pos_b, inbox_b) = run(200);
+    assert_eq!(inbox_a, inbox_b);
+    // Frames genuinely differ between the two seeds…
+    let net_a = SyncNetwork::anonymous(ring(4, 25.0), 100).unwrap();
+    let net_b = SyncNetwork::anonymous(ring(4, 25.0), 200).unwrap();
+    assert_ne!(
+        net_a.engine().frames()[0].rotation(),
+        net_b.engine().frames()[0].rotation()
+    );
+    // …yet the world-space trajectories agree exactly.
+    assert_eq!(pos_a, pos_b);
+}
+
+#[test]
+fn sync_runs_are_deterministic() {
+    let run = |_: ()| {
+        let mut net = SyncNetwork::anonymous_with_direction(ring(4, 22.0), 7).unwrap();
+        net.send(0, 3, b"det").unwrap();
+        net.run_until_delivered(20_000).unwrap();
+        format!("{:?}", net.engine().trace().steps().last().unwrap())
+    };
+    assert_eq!(run(()), run(()));
+}
+
+#[test]
+fn async_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut net = AsyncNetwork::anonymous(ring(3, 20.0), seed).unwrap();
+        net.send(0, 2, b"det").unwrap();
+        let steps = net.run_until_delivered(300_000).unwrap();
+        (steps, format!("{:?}", net.engine().positions()))
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11).0, run(12).0);
+}
+
+#[test]
+fn overhearing_matches_the_direct_inbox() {
+    // A third party's overheard copy equals the addressee's received copy
+    // (the redundancy/fault-tolerance property).
+    let mut net = SyncNetwork::anonymous_with_direction(ring(4, 25.0), 0xB04).unwrap();
+    net.send(0, 1, b"the record").unwrap();
+    net.run_until_delivered(20_000).unwrap();
+    let direct = net.inbox(1)[0].1.clone();
+    for observer in [2usize, 3] {
+        let heard = net
+            .engine()
+            .protocol(observer)
+            .overheard()
+            .iter()
+            .find(|m| m.payload == direct)
+            .unwrap_or_else(|| panic!("robot {observer} missed the message"));
+        assert_eq!(heard.payload, direct);
+    }
+}
+
+#[test]
+fn async_trace_fairness_audit_under_custom_scheduler() {
+    use stigmergy_scheduler::FairAsync;
+    let mut net = AsyncNetwork::anonymous_with_schedule(
+        ring(3, 20.0),
+        0xB05,
+        FairAsync::new(0xB05, 0.3, 10),
+    )
+    .unwrap();
+    net.send(0, 1, b"audit").unwrap();
+    net.run_until_delivered(500_000).unwrap();
+    let report = audit_fairness(&net.engine().trace().activation_log(), 3);
+    assert!(report.is_valid_ssm());
+    // Gap bound: max_gap plus the wake-all-first instant.
+    assert!(report.is_fair(11), "worst gap {}", report.worst_gap());
+}
+
+#[test]
+fn async_swarm_survives_corda_decoupling() {
+    // The e14 finding generalized to n > 2: with atomic movement, Look→Move
+    // decoupling does not break the κ-keyboard protocol either.
+    use stigmergy::async_n::AsyncSwarm;
+    use stigmergy_robots::CordaEngine;
+    let positions = ring(3, 22.0);
+    let mut e = CordaEngine::new(
+        positions,
+        (0..3).map(|_| AsyncSwarm::anonymous()).collect(),
+        8,
+        0xD01,
+    )
+    .unwrap();
+    // CordaEngine has no WakeAllFirst; its first instant Looks everyone
+    // (nobody has a pending move), which is the same t0 guarantee.
+    e.step().unwrap();
+    let label = stigmergy::label_by_sec(e.trace().initial(), 0)
+        .unwrap()
+        .label_of(2)
+        .unwrap();
+    e.protocol_mut(0).send_label(label, b"corda-n");
+    let ok = e
+        .run_until(400_000, |e| {
+            e.protocol(2).inbox().iter().any(|m| m.payload == b"corda-n")
+        })
+        .unwrap();
+    assert!(ok, "AsyncSwarm should survive atomic-move CORDA");
+}
