@@ -60,8 +60,7 @@ fn bench_async_swarm(c: &mut Criterion) {
     for n in [3usize, 5] {
         group.bench_with_input(BenchmarkId::new("1byte", n), &n, |b, &n| {
             b.iter(|| {
-                let mut net =
-                    AsyncNetwork::anonymous(workloads::ring(n, 20.0), 0xC0).unwrap();
+                let mut net = AsyncNetwork::anonymous(workloads::ring(n, 20.0), 0xC0).unwrap();
                 net.send(0, n - 1, black_box(b"x")).unwrap();
                 net.run_until_delivered(500_000).unwrap()
             });

@@ -41,9 +41,7 @@ pub fn e1() -> Vec<Table> {
             net.send(0, n - 1, &payload).expect("valid route");
             let steps = net.run_until_delivered(10_000).expect("delivery");
             // Silence: robots other than the sender never move.
-            let idle_moves: usize = (1..n)
-                .map(|i| net.engine().trace().move_count(i))
-                .sum();
+            let idle_moves: usize = (1..n).map(|i| net.engine().trace().move_count(i)).sum();
             t.row([
                 name.to_string(),
                 n.to_string(),
@@ -233,8 +231,7 @@ pub fn e3() -> Vec<Table> {
             .run_until(400_000, |e| !e.protocol(1).inbox().is_empty())
             .expect("collision-free");
         assert!(out.satisfied, "{name}: message not delivered");
-        let world_step =
-            e.frames()[0].len_to_world(e.protocol(0).current_step());
+        let world_step = e.frames()[0].len_to_world(e.protocol(0).current_step());
         t.row([
             name.to_string(),
             out.steps_taken.to_string(),
@@ -270,9 +267,8 @@ pub fn e4() -> Vec<Table> {
     // Full keyboard baseline (§3.3 protocol): the slice choice is the
     // address, zero extra moves.
     {
-        let mut net =
-            SyncNetwork::anonymous_with_direction(workloads::ring(n, 300.0), 0xE4)
-                .expect("valid ring");
+        let mut net = SyncNetwork::anonymous_with_direction(workloads::ring(n, 300.0), 0xE4)
+            .expect("valid ring");
         net.send(0, 40, &payload).expect("valid route");
         let steps = net.run_until_delivered(10_000).expect("delivery");
         let moves = net.engine().protocol(0).signals_sent();
@@ -306,10 +302,7 @@ pub fn e4() -> Vec<Table> {
         e.protocol_mut(0).send_label(label, &payload);
         let out = e
             .run_until(10_000, |e| {
-                e.protocol(40)
-                    .inbox()
-                    .iter()
-                    .any(|m| m.payload == payload)
+                e.protocol(40).inbox().iter().any(|m| m.payload == payload)
             })
             .expect("collision-free");
         assert!(out.satisfied, "k={k}: not delivered");
@@ -356,8 +349,8 @@ pub fn e5() -> Vec<Table> {
         ("dead from start", Wireless::new(0xE5, 0.0, 0.0, Some(0))),
     ];
     for (name, wireless) in cases {
-        let mut ch = BackupChannel::new(wireless, square.clone(), 0xE5, 100_000)
-            .expect("valid square");
+        let mut ch =
+            BackupChannel::new(wireless, square.clone(), 0xE5, 100_000).expect("valid square");
         let mut delivered = 0usize;
         for i in 0..20u8 {
             let payload = [i, 0xE5];

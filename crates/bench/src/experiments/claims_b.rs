@@ -42,9 +42,8 @@ pub fn e6() -> Vec<Table> {
             .flat_map(|i| {
                 let positions = &positions;
                 let radii = &radii;
-                ((i + 1)..n).map(move |j| {
-                    positions[i].distance(positions[j]) - (radii[i] + radii[j]) / 2.0
-                })
+                ((i + 1)..n)
+                    .map(move |j| positions[i].distance(positions[j]) - (radii[i] + radii[j]) / 2.0)
             })
             .fold(f64::INFINITY, f64::min);
         let mut net =
@@ -100,7 +99,12 @@ pub fn e6() -> Vec<Table> {
 pub fn e7() -> Vec<Table> {
     let mut t = Table::new(
         "e7: t0 preprocessing cost (mean of 10 runs, this machine)",
-        ["n", "SEC (µs)", "granular radii (µs)", "full SwarmGeometry (µs)"],
+        [
+            "n",
+            "SEC (µs)",
+            "granular radii (µs)",
+            "full SwarmGeometry (µs)",
+        ],
     );
     for n in [8usize, 32, 128, 512] {
         let positions = workloads::uniform(n, 100.0 * (n as f64).sqrt(), 2.0, 0xE7);
@@ -130,12 +134,7 @@ pub fn e7() -> Vec<Table> {
             let _ = SwarmGeometry::build(&view, stigmergy::NamingScheme::BySec, true)
                 .expect("valid configuration");
         });
-        t.row([
-            n.to_string(),
-            fnum(sec_us),
-            fnum(radii_us),
-            fnum(geom_us),
-        ]);
+        t.row([n.to_string(), fnum(sec_us), fnum(radii_us), fnum(geom_us)]);
     }
     vec![t]
 }
@@ -185,7 +184,8 @@ pub fn e8() -> Vec<Table> {
             .expect("valid naming")
             .label_of(2)
             .expect("in range");
-        e.protocol_mut(0).send_label(label, &workloads::payload(2, 0xE8));
+        e.protocol_mut(0)
+            .send_label(label, &workloads::payload(2, 0xE8));
         let out = e
             .run_until(2_000_000, |e| !e.protocol(2).inbox().is_empty())
             .expect("collision-free");
@@ -277,9 +277,7 @@ pub fn e10() -> Vec<Table> {
     let positions = workloads::ring(5, 15.0);
     let mut e = Engine::builder()
         .positions(positions.clone())
-        .protocols(
-            (0..5).map(|_| Flocking::new(SyncSwarm::anonymous_with_direction(), v)),
-        )
+        .protocols((0..5).map(|_| Flocking::new(SyncSwarm::anonymous_with_direction(), v)))
         .capabilities(Capabilities::anonymous_with_direction())
         .unit_frames()
         .build()
@@ -303,8 +301,14 @@ pub fn e10() -> Vec<Table> {
         "e10: broadcast while flocking (5 robots, velocity (0.05, 0.02)/instant)",
         ["metric", "value"],
     );
-    t.row(["all 4 peers received the broadcast", out.satisfied.to_string().as_str()]);
-    t.row(["instants elapsed", (out.steps_taken + 1).to_string().as_str()]);
+    t.row([
+        "all 4 peers received the broadcast",
+        out.satisfied.to_string().as_str(),
+    ]);
+    t.row([
+        "instants elapsed",
+        (out.steps_taken + 1).to_string().as_str(),
+    ]);
     let expected_travel = v.norm() * steps;
     let worst_coherence = (0..5)
         .map(|i| {

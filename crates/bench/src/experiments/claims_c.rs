@@ -36,7 +36,9 @@ pub fn e11() -> Vec<Table> {
     e.protocol_mut(0).send_id(dest, b"post-fault");
     let out = e
         .run_until(4_000, |e| {
-            e.protocol(2).inbox().contains(&(me, b"post-fault".to_vec()))
+            e.protocol(2)
+                .inbox()
+                .contains(&(me, b"post-fault".to_vec()))
         })
         .expect("collision-free");
 
@@ -88,7 +90,14 @@ pub fn e11() -> Vec<Table> {
 pub fn e12() -> Vec<Table> {
     let mut t = Table::new(
         "e12: distributed computation over movement signals",
-        ["algorithm", "n", "rounds", "movement instants", "result", "correct"],
+        [
+            "algorithm",
+            "n",
+            "rounds",
+            "movement instants",
+            "result",
+            "correct",
+        ],
     );
 
     // Leader election by nonce flooding.
@@ -122,13 +131,10 @@ pub fn e12() -> Vec<Table> {
         let n = 5usize;
         let values: Vec<u32> = (0..n as u32).map(|i| 10 * (i + 1)).collect();
         let expected: u64 = values.iter().map(|&v| u64::from(v)).sum();
-        let mut net =
-            SyncNetwork::anonymous_with_direction(workloads::ring(n, 60.0), 0xE12)
-                .expect("valid ring");
-        let mut apps: Vec<EchoAggregate> = values
-            .iter()
-            .map(|&v| EchoAggregate::new(v, 0))
-            .collect();
+        let mut net = SyncNetwork::anonymous_with_direction(workloads::ring(n, 60.0), 0xE12)
+            .expect("valid ring");
+        let mut apps: Vec<EchoAggregate> =
+            values.iter().map(|&v| EchoAggregate::new(v, 0)).collect();
         let rounds = run_app(&mut net, &mut apps, 10, 400_000).expect("quiescence");
         t.row([
             "echo aggregation (sum)".to_string(),
@@ -178,7 +184,11 @@ pub fn e13() -> Vec<Table> {
             let mut correct = 0u32;
             for s in 0..samples {
                 let slice = (s as usize) % slices;
-                let side = if s % 2 == 0 { SliceSide::Zero } else { SliceSide::One };
+                let side = if s % 2 == 0 {
+                    SliceSide::Zero
+                } else {
+                    SliceSide::One
+                };
                 let ideal = kb.target(slice, side, excursion).expect("in range");
                 // Uniform noise in a disc of radius ε.
                 let theta = rng.next_f64() * std::f64::consts::TAU;
@@ -243,8 +253,18 @@ pub fn e14() -> Vec<Table> {
     );
     let cases: [(u64, f64, &str, &str); 5] = [
         (0, f64::INFINITY, "atomic", "the SSM baseline"),
-        (8, f64::INFINITY, "atomic", "decoupling alone: Lemma 4.1 survives"),
-        (32, f64::INFINITY, "atomic", "decoupling alone: Lemma 4.1 survives"),
+        (
+            8,
+            f64::INFINITY,
+            "atomic",
+            "decoupling alone: Lemma 4.1 survives",
+        ),
+        (
+            32,
+            f64::INFINITY,
+            "atomic",
+            "decoupling alone: Lemma 4.1 survives",
+        ),
         (
             8,
             0.5,
@@ -354,9 +374,8 @@ pub fn e15() -> Vec<Table> {
     });
 
     row("SyncSwarm n=8 (§3.3)", &mut |size| {
-        let mut net =
-            SyncNetwork::anonymous_with_direction(workloads::ring(8, 80.0), 0xE15)
-                .expect("valid ring");
+        let mut net = SyncNetwork::anonymous_with_direction(workloads::ring(8, 80.0), 0xE15)
+            .expect("valid ring");
         net.send(0, 5, &workloads::payload(size, 0xE15))
             .expect("valid route");
         net.run_until_delivered(20_000).expect("delivery")
@@ -376,8 +395,7 @@ pub fn e15() -> Vec<Table> {
     });
 
     row("AsyncSwarm n=4 (§4.2)", &mut |size| {
-        let mut net = AsyncNetwork::anonymous(workloads::ring(4, 25.0), 0xE15)
-            .expect("valid ring");
+        let mut net = AsyncNetwork::anonymous(workloads::ring(4, 25.0), 0xE15).expect("valid ring");
         net.send(0, 2, &workloads::payload(size, 0xE15))
             .expect("valid route");
         net.run_until_delivered(4_000_000).expect("delivery")
@@ -408,11 +426,20 @@ mod tests {
         // At ε/R = 1e-4 everything decodes; at 5e-2 the 64-diameter
         // keyboard has collapsed while the 4-diameter one survives.
         let pct = |row: &str, col: usize| -> f64 {
-            row.split('|').nth(col).unwrap().trim().trim_end_matches('%').parse().unwrap()
+            row.split('|')
+                .nth(col)
+                .unwrap()
+                .trim()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
         };
         assert!(pct(rows[0], 3) > 99.0, "{s}");
         assert!(pct(rows[3], 3) > 99.0, "{s}");
-        assert!(pct(rows[0], 6) > 90.0, "coarse keyboard should survive:\n{s}");
+        assert!(
+            pct(rows[0], 6) > 90.0,
+            "coarse keyboard should survive:\n{s}"
+        );
         assert!(pct(rows[3], 6) < 60.0, "fine keyboard should degrade:\n{s}");
     }
 

@@ -43,7 +43,12 @@ pub fn fig1() -> Vec<Table> {
         } else {
             "back home"
         };
-        steps.row([t.to_string(), phase.to_string(), p.to_string(), meaning.to_string()]);
+        steps.row([
+            t.to_string(),
+            phase.to_string(),
+            p.to_string(),
+            meaning.to_string(),
+        ]);
     }
 
     let decoded: String = e
@@ -67,8 +72,7 @@ pub fn fig1() -> Vec<Table> {
 #[must_use]
 pub fn fig2() -> Vec<Table> {
     let positions = workloads::fig2_layout();
-    let mut net =
-        SyncNetwork::identified(positions.clone(), 0xF162).expect("valid configuration");
+    let mut net = SyncNetwork::identified(positions.clone(), 0xF162).expect("valid configuration");
     net.run(1).expect("warm-up step");
 
     let mut keyboards = Table::new(
@@ -102,10 +106,7 @@ pub fn fig2() -> Vec<Table> {
     let steps = net.run_until_delivered(2_000).expect("delivery");
     let mut outcome = Table::new("fig2: robot 9 sends \"01\" to robot 3", ["metric", "value"]);
     outcome.row(["instants to deliver", steps.to_string().as_str()]);
-    outcome.row([
-        "robot 3 inbox",
-        format!("{:?}", net.inbox(3)).as_str(),
-    ]);
+    outcome.row(["robot 3 inbox", format!("{:?}", net.inbox(3)).as_str()]);
     outcome.row([
         "robots 0..12 all decoded it (redundancy)",
         (0..12)
@@ -260,11 +261,7 @@ pub fn fig5() -> Vec<Table> {
         fnum(e.trace().initial()[0].distance(e.positions()[0])).as_str(),
         fnum(e.trace().initial()[1].distance(e.positions()[1])).as_str(),
     ]);
-    t.row([
-        "instants elapsed",
-        out.steps_taken.to_string().as_str(),
-        "",
-    ]);
+    t.row(["instants elapsed", out.steps_taken.to_string().as_str(), ""]);
     vec![t]
 }
 
@@ -297,8 +294,7 @@ pub fn fig6() -> Vec<Table> {
     }
 
     // One delivery through the κ machinery, via the session facade.
-    let mut net = AsyncNetwork::anonymous(workloads::ring(4, 18.0), 0xF166)
-        .expect("valid ring");
+    let mut net = AsyncNetwork::anonymous(workloads::ring(4, 18.0), 0xF166).expect("valid ring");
     net.send(0, 2, b"k").expect("valid route");
     let steps = net.run_until_delivered(200_000).expect("delivery");
     let mut outcome = Table::new("fig6: asynchronous delivery 0 → 2", ["metric", "value"]);
@@ -310,7 +306,6 @@ pub fn fig6() -> Vec<Table> {
     outcome.row(["robot 2 inbox", format!("{:?}", net.inbox(2)).as_str()]);
     vec![slices, outcome]
 }
-
 
 /// Renders the figure scenarios as SVG files into `dir`.
 ///
@@ -359,8 +354,7 @@ pub fn render_all(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
     {
         let positions = workloads::fig2_layout();
         let radii = granular_radii(&positions).expect("distinct");
-        let mut net =
-            SyncNetwork::identified(positions, 0xF162).expect("valid configuration");
+        let mut net = SyncNetwork::identified(positions, 0xF162).expect("valid configuration");
         net.send(9, 3, b"01").expect("valid route");
         net.run_until_delivered(2_000).expect("delivery");
         save(
@@ -489,7 +483,8 @@ mod tests {
         let tables = fig6();
         assert_eq!(tables[0].len(), 5); // n + 1 slices for n = 4
         assert!(tables[0].to_string().contains("κ"));
-        assert!(tables[1].to_string().contains("107")
-            || tables[1].to_string().contains("instants"));
+        assert!(
+            tables[1].to_string().contains("107") || tables[1].to_string().contains("instants")
+        );
     }
 }

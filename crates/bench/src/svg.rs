@@ -81,10 +81,7 @@ pub fn render_trace(trace: &Trace, options: &SvgOptions) -> String {
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" viewBox="0 0 {s} {s}">"#,
         s = options.size
     );
-    let _ = write!(
-        svg,
-        r#"<rect width="100%" height="100%" fill="white"/>"#
-    );
+    let _ = write!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
     if !options.title.is_empty() {
         let _ = write!(
             svg,
@@ -98,15 +95,13 @@ pub fn render_trace(trace: &Trace, options: &SvgOptions) -> String {
         let lo = Point::new(min.x - margin, min.y - margin);
         let hi = Point::new(max.x + margin, max.y + margin);
         for i in 0..trace.initial().len() {
-            if let Ok(poly) =
-                stigmergy_geometry::voronoi::cell_polygon(trace.initial(), i, lo, hi)
+            if let Ok(poly) = stigmergy_geometry::voronoi::cell_polygon(trace.initial(), i, lo, hi)
             {
                 if poly.len() >= 3 {
                     let mut d = String::new();
                     for (k, &p) in poly.iter().enumerate() {
                         let (x, y) = map(p);
-                        let _ =
-                            write!(d, "{}{x:.2} {y:.2} ", if k == 0 { "M" } else { "L" });
+                        let _ = write!(d, "{}{x:.2} {y:.2} ", if k == 0 { "M" } else { "L" });
                     }
                     d.push('Z');
                     let _ = write!(
@@ -164,7 +159,9 @@ pub fn render_trace(trace: &Trace, options: &SvgOptions) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -147,7 +147,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fnum(0.0), "0");
         assert_eq!(fnum(1234.7), "1235");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(2.3456), "2.35");
         assert_eq!(fnum(0.000123), "1.230e-4");
     }
 }

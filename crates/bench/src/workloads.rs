@@ -54,10 +54,7 @@ pub fn grid(w: usize, h: usize, spacing: f64, seed: u64) -> Vec<Point> {
         for x in 0..w {
             let jx = (rng.next_f64() - 0.5) * spacing * 0.05;
             let jy = (rng.next_f64() - 0.5) * spacing * 0.05;
-            pts.push(Point::new(
-                x as f64 * spacing + jx,
-                y as f64 * spacing + jy,
-            ));
+            pts.push(Point::new(x as f64 * spacing + jx, y as f64 * spacing + jy));
         }
     }
     pts
@@ -69,18 +66,18 @@ pub fn fig2_layout() -> Vec<Point> {
     // Hand-placed so every granular is comfortably large and the SEC is
     // pinned by rim robots.
     vec![
-        Point::new(0.0, 0.0),    // 0
-        Point::new(14.0, 2.0),   // 1
-        Point::new(26.0, -1.0),  // 2
-        Point::new(5.0, 12.0),   // 3
-        Point::new(18.0, 13.0),  // 4
-        Point::new(30.0, 11.0),  // 5
-        Point::new(-3.0, 24.0),  // 6
-        Point::new(11.0, 25.0),  // 7
-        Point::new(24.0, 26.0),  // 8
-        Point::new(2.0, 37.0),   // 9
-        Point::new(16.0, 38.0),  // 10
-        Point::new(29.0, 36.0),  // 11
+        Point::new(0.0, 0.0),   // 0
+        Point::new(14.0, 2.0),  // 1
+        Point::new(26.0, -1.0), // 2
+        Point::new(5.0, 12.0),  // 3
+        Point::new(18.0, 13.0), // 4
+        Point::new(30.0, 11.0), // 5
+        Point::new(-3.0, 24.0), // 6
+        Point::new(11.0, 25.0), // 7
+        Point::new(24.0, 26.0), // 8
+        Point::new(2.0, 37.0),  // 9
+        Point::new(16.0, 38.0), // 10
+        Point::new(29.0, 36.0), // 11
     ]
 }
 
@@ -154,10 +151,7 @@ mod tests {
         let pts = fig3_symmetric();
         let sec = smallest_enclosing_circle(&pts).unwrap();
         for p in &pts {
-            let mirrored = Point::new(
-                2.0 * sec.center.x - p.x,
-                2.0 * sec.center.y - p.y,
-            );
+            let mirrored = Point::new(2.0 * sec.center.x - p.x, 2.0 * sec.center.y - p.y);
             assert!(
                 pts.iter().any(|q| q.distance(mirrored) < 1e-6),
                 "half-turn image of {p} missing"

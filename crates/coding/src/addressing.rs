@@ -171,7 +171,10 @@ mod tests {
     fn bad_digit_rejected() {
         assert!(matches!(
             decode_digits(&[0, 5, 1], 4),
-            Err(CodingError::SymbolOutOfRange { symbol: 5, alphabet: 4 })
+            Err(CodingError::SymbolOutOfRange {
+                symbol: 5,
+                alphabet: 4
+            })
         ));
     }
 

@@ -109,10 +109,15 @@ impl LevelAlphabet {
                 alphabet: self.size(),
             });
         }
-        let level = (d.fraction * self.levels as f64).round().clamp(1.0, self.levels as f64)
-            as usize
+        let level = (d.fraction * self.levels as f64)
+            .round()
+            .clamp(1.0, self.levels as f64) as usize
             - 1;
-        Ok(if d.one_side { self.levels + level } else { level })
+        Ok(if d.one_side {
+            self.levels + level
+        } else {
+            level
+        })
     }
 
     /// Packs a bit string into symbols, `bits_per_symbol` bits each,
@@ -227,7 +232,10 @@ mod tests {
         let a = LevelAlphabet::new(2).unwrap();
         assert!(matches!(
             a.encode(4),
-            Err(CodingError::SymbolOutOfRange { symbol: 4, alphabet: 4 })
+            Err(CodingError::SymbolOutOfRange {
+                symbol: 4,
+                alphabet: 4
+            })
         ));
     }
 

@@ -105,7 +105,10 @@ impl BitString {
     /// Encodes a byte most-significant-bit first.
     #[must_use]
     pub fn from_byte(b: u8) -> Self {
-        (0..8).rev().map(|i| Bit::from_bool(b & (1 << i) != 0)).collect()
+        (0..8)
+            .rev()
+            .map(|i| Bit::from_bool(b & (1 << i) != 0))
+            .collect()
     }
 
     /// Encodes bytes MSB-first, in order.

@@ -102,8 +102,7 @@ impl FrameDecoder {
     /// Feeds one observed bit; returns a message if this bit completed one.
     pub fn push_bit(&mut self, bit: Bit) -> Option<Vec<u8>> {
         self.buffer.push(bit);
-        let (mut msgs, rest) =
-            decode_frames(&self.buffer).expect("frame decoding is infallible");
+        let (mut msgs, rest) = decode_frames(&self.buffer).expect("frame decoding is infallible");
         self.buffer = rest;
         debug_assert!(msgs.len() <= 1, "one bit completes at most one frame");
         let msg = msgs.pop();

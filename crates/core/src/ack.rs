@@ -104,6 +104,112 @@ impl ChangeTracker {
     }
 }
 
+/// A bounded retransmission schedule with exponential backoff.
+///
+/// The movement protocols' implicit acks ([`ChangeTracker`]) guarantee
+/// receipt only while every robot keeps getting activated and observing.
+/// Under injected faults (crash-stops, observation dropouts) a signal
+/// can stall, so the hardened session layer re-sends: attempt `k` gets a
+/// step budget of `initial_budget × backoff_factor^k`, and after
+/// `max_attempts` failed attempts the sender gives up on the movement
+/// channel and degrades to its secondary channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetransmitPolicy {
+    max_attempts: u32,
+    initial_budget: u64,
+    backoff_factor: u32,
+}
+
+impl Default for RetransmitPolicy {
+    /// Three attempts with budgets 2 000 / 4 000 / 8 000 instants.
+    fn default() -> Self {
+        Self::new(3, 2_000, 2)
+    }
+}
+
+impl RetransmitPolicy {
+    /// Creates a policy of `max_attempts` attempts, the first with
+    /// `initial_budget` instants and each later one multiplied by
+    /// `backoff_factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    #[must_use]
+    pub fn new(max_attempts: u32, initial_budget: u64, backoff_factor: u32) -> Self {
+        assert!(max_attempts > 0, "need at least one attempt");
+        assert!(initial_budget > 0, "budget must be positive");
+        assert!(backoff_factor > 0, "backoff factor must be positive");
+        Self {
+            max_attempts,
+            initial_budget,
+            backoff_factor,
+        }
+    }
+
+    /// Number of attempts before degrading.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The step budget of attempt `attempt` (0-based), saturating.
+    #[must_use]
+    pub fn budget_for(&self, attempt: u32) -> u64 {
+        let factor = u64::from(self.backoff_factor).saturating_pow(attempt);
+        self.initial_budget.saturating_mul(factor)
+    }
+
+    /// The total step budget across all attempts, saturating.
+    #[must_use]
+    pub fn total_budget(&self) -> u64 {
+        (0..self.max_attempts).fold(0u64, |acc, k| acc.saturating_add(self.budget_for(k)))
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    #[test]
+    fn budgets_back_off_exponentially() {
+        let p = RetransmitPolicy::new(4, 100, 3);
+        assert_eq!(p.budget_for(0), 100);
+        assert_eq!(p.budget_for(1), 300);
+        assert_eq!(p.budget_for(2), 900);
+        assert_eq!(p.budget_for(3), 2_700);
+        assert_eq!(p.total_budget(), 4_000);
+        assert_eq!(p.max_attempts(), 4);
+    }
+
+    #[test]
+    fn factor_one_is_constant_budget() {
+        let p = RetransmitPolicy::new(3, 50, 1);
+        assert_eq!(p.budget_for(2), 50);
+        assert_eq!(p.total_budget(), 150);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let p = RetransmitPolicy::new(200, u64::MAX / 2, 2);
+        assert_eq!(p.budget_for(150), u64::MAX);
+        assert_eq!(p.total_budget(), u64::MAX);
+    }
+
+    #[test]
+    fn default_is_bounded() {
+        let p = RetransmitPolicy::default();
+        assert_eq!(p.max_attempts(), 3);
+        assert_eq!(p.total_budget(), 2_000 + 4_000 + 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let _ = RetransmitPolicy::new(0, 1, 1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -298,10 +298,8 @@ mod tests {
     fn echo_aggregate_sums_all_values() {
         let values = [10u32, 20, 30, 40];
         let mut net = SyncNetwork::anonymous_with_direction(ring(4), 3).unwrap();
-        let mut apps: Vec<EchoAggregate> = values
-            .iter()
-            .map(|&v| EchoAggregate::new(v, 2))
-            .collect();
+        let mut apps: Vec<EchoAggregate> =
+            values.iter().map(|&v| EchoAggregate::new(v, 2)).collect();
         run_app(&mut net, &mut apps, 10, 200_000).unwrap();
         assert_eq!(apps[2].sum(), 100);
         assert_eq!(apps[2].replies(), 3);

@@ -40,8 +40,7 @@ use stigmergy_geometry::{Point, Vec2};
 use stigmergy_robots::{MovementProtocol, View};
 
 /// How the robots manage their drift along the horizon line (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DriftPolicy {
     /// The base protocol: always walk away from the peer with constant
     /// steps. Robust, but the robots drift apart without bound.
@@ -54,7 +53,6 @@ pub enum DriftPolicy {
         x: f64,
     },
 }
-
 
 /// Contraction floor: steps never shrink below `2⁻³⁰` of the base step.
 ///
@@ -291,22 +289,40 @@ impl Default for Async2 {
 
 impl MovementProtocol for Async2 {
     fn on_activate(&mut self, view: &View) -> Point {
+        let own = view.own_position();
+        let peer = view.others().first().map(|o| o.position);
         if self.home.is_none() {
+            if peer.is_none() {
+                // Cannot establish the horizon frame without seeing the
+                // peer (transient observation dropout): wait for a clean
+                // view before bootstrapping.
+                return own;
+            }
             self.init(view);
         }
-        let own = view.own_position();
-        let peer_pos = view
-            .others()
-            .first()
-            .map(|o| o.position)
-            .expect("peer visible");
 
-        // Observe: acknowledgement counting + decoding.
-        self.tracker.observe(0, peer_pos);
-        self.decode(peer_pos);
+        // Observe: acknowledgement counting + decoding. A transiently
+        // hidden peer yields no observation this instant; change counts
+        // and zone state simply carry over.
+        if let Some(peer_pos) = peer {
+            self.tracker.observe(0, peer_pos);
+            self.decode(peer_pos);
+        }
 
         match self.phase {
             Phase::North => {
+                // A non-rigid (shortened) landing can leave the robot east
+                // or west of `H` even though the return phase has ended.
+                // Finish the landing first: a lateral offset reads as a
+                // signal zone to the peer, so neither walking nor a fresh
+                // excursion is safe until back on `H`. Restarting the
+                // acknowledgement count at each correction keeps the
+                // "peer saw me on H between excursions" argument intact.
+                let lateral = (own - self.home.expect("initialized")).dot(self.east);
+                if lateral.abs() > self.zone_tol {
+                    self.tracker.reset();
+                    return own - self.east * lateral;
+                }
                 if self.tracker.changed_at_least(0, 2) {
                     if let Some(bit) = self.outgoing.dequeue() {
                         // Start an excursion.
@@ -407,8 +423,7 @@ mod tests {
             .send_raw(&stigmergy_coding::BitString::parse("0").unwrap());
         let out = e
             .run_until(20_000, |e| {
-                e.protocol(1).decoded_bits().len() >= 3
-                    && !e.protocol(0).decoded_bits().is_empty()
+                e.protocol(1).decoded_bits().len() >= 3 && !e.protocol(0).decoded_bits().is_empty()
             })
             .unwrap();
         assert!(out.satisfied);
@@ -422,7 +437,11 @@ mod tests {
     #[test]
     fn many_seeds_never_corrupt() {
         for seed in 0..8u64 {
-            let mut e = engine(FairAsync::new(seed, 0.4, 10), DriftPolicy::Diverge, 50 + seed);
+            let mut e = engine(
+                FairAsync::new(seed, 0.4, 10),
+                DriftPolicy::Diverge,
+                50 + seed,
+            );
             e.protocol_mut(0).send(&[seed as u8, 0x5A]);
             let out = e
                 .run_until(40_000, |e| !e.protocol(1).inbox().is_empty())
@@ -439,7 +458,11 @@ mod tests {
         e.run_until(20_000, |e| !e.protocol(1).inbox().is_empty())
             .unwrap();
         // The robots walked away from their homes along H.
-        assert!(e.trace().max_drift() > 4.0, "drift {}", e.trace().max_drift());
+        assert!(
+            e.trace().max_drift() > 4.0,
+            "drift {}",
+            e.trace().max_drift()
+        );
     }
 
     #[test]

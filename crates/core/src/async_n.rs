@@ -512,9 +512,9 @@ mod tests {
         e.protocol_mut(1).send_broadcast(b"all");
         let out = e
             .run_until(150_000, |e| {
-                [0usize, 2, 3].iter().all(|&i| {
-                    e.protocol(i).inbox().iter().any(|m| m.payload == b"all")
-                })
+                [0usize, 2, 3]
+                    .iter()
+                    .all(|&i| e.protocol(i).inbox().iter().any(|m| m.payload == b"all"))
             })
             .unwrap();
         assert!(out.satisfied);
@@ -579,9 +579,7 @@ mod tests {
         assert!(out.satisfied);
         // The receiver gets the last bit while the sender is still on its
         // final return leg; give the sender time to finish.
-        let settled = e
-            .run_until(10_000, |e| e.protocol(0).is_drained())
-            .unwrap();
+        let settled = e.run_until(10_000, |e| e.protocol(0).is_drained()).unwrap();
         assert!(settled.satisfied);
     }
 

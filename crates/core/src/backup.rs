@@ -252,52 +252,31 @@ mod tests {
     #[test]
     fn dead_device_uses_movement() {
         // Device dies immediately: every message goes by movement.
-        let mut ch = BackupChannel::new(
-            Wireless::new(2, 0.0, 0.0, Some(0)),
-            square(),
-            2,
-            50_000,
-        )
-        .unwrap();
+        let mut ch =
+            BackupChannel::new(Wireless::new(2, 0.0, 0.0, Some(0)), square(), 2, 50_000).unwrap();
         let route = ch.send(1, 3, b"rescued").unwrap();
         assert_eq!(route, Route::MovementAfterLoss);
         assert_eq!(ch.stats().fallbacks(), 1);
         assert!(ch.stats().movement_steps > 0);
-        assert!(ch
-            .movement()
-            .inbox(3)
-            .contains(&(1, b"rescued".to_vec())));
+        assert!(ch.movement().inbox(3).contains(&(1, b"rescued".to_vec())));
     }
 
     #[test]
     fn corruption_is_detected_and_recovered() {
         // 100% corruption: CRC-8 flags every frame; payloads still arrive
         // via movement.
-        let mut ch = BackupChannel::new(
-            Wireless::new(3, 0.0, 1.0, None),
-            square(),
-            3,
-            50_000,
-        )
-        .unwrap();
+        let mut ch =
+            BackupChannel::new(Wireless::new(3, 0.0, 1.0, None), square(), 3, 50_000).unwrap();
         let route = ch.send(0, 1, b"integrity").unwrap();
         assert_eq!(route, Route::MovementAfterCorruption);
-        assert!(ch
-            .movement()
-            .inbox(1)
-            .contains(&(0, b"integrity".to_vec())));
+        assert!(ch.movement().inbox(1).contains(&(0, b"integrity".to_vec())));
     }
 
     #[test]
     fn device_dying_mid_stream() {
         // First 3 transmissions fine, then the device dies.
-        let mut ch = BackupChannel::new(
-            Wireless::new(4, 0.0, 0.0, Some(3)),
-            square(),
-            4,
-            50_000,
-        )
-        .unwrap();
+        let mut ch =
+            BackupChannel::new(Wireless::new(4, 0.0, 0.0, Some(3)), square(), 4, 50_000).unwrap();
         let mut routes = Vec::new();
         for i in 0..6u8 {
             routes.push(ch.send(0, 2, &[i]).unwrap());
@@ -311,13 +290,8 @@ mod tests {
 
     #[test]
     fn lossy_channel_mixes_routes() {
-        let mut ch = BackupChannel::new(
-            Wireless::new(5, 0.4, 0.0, None),
-            square(),
-            5,
-            50_000,
-        )
-        .unwrap();
+        let mut ch =
+            BackupChannel::new(Wireless::new(5, 0.4, 0.0, None), square(), 5, 50_000).unwrap();
         for i in 0..20u8 {
             ch.send(0, 1, &[i]).unwrap();
         }

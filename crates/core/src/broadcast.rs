@@ -128,8 +128,6 @@ mod tests {
             assert_eq!(a.inbox(i), b.inbox(i), "robot {i}");
         }
         // …but multicast cost 4× the moves.
-        assert!(
-            a.engine().protocol(1).signals_sent() > 3 * b.engine().protocol(1).signals_sent()
-        );
+        assert!(a.engine().protocol(1).signals_sent() > 3 * b.engine().protocol(1).signals_sent());
     }
 }

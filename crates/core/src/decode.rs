@@ -268,9 +268,7 @@ mod tests {
     fn kappa_signals_are_ignored() {
         let g = geometry(true);
         let mut streams = MessageStreams::new();
-        assert!(streams
-            .on_signal(&g, 1, 0, SliceSide::Zero)
-            .is_none());
+        assert!(streams.on_signal(&g, 1, 0, SliceSide::Zero).is_none());
         assert_eq!(streams.pending_bits(), 0);
     }
 

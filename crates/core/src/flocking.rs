@@ -122,7 +122,10 @@ mod tests {
         let v = Vec2::new(0.3, 0.1);
         let mut e = Engine::builder()
             .positions([Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
-            .protocols([Flocking::new(Sync2::new(), v), Flocking::new(Sync2::new(), v)])
+            .protocols([
+                Flocking::new(Sync2::new(), v),
+                Flocking::new(Sync2::new(), v),
+            ])
             .unit_frames()
             .schedule(Synchronous)
             .build()
@@ -164,9 +167,7 @@ mod tests {
         let g = e.protocol(0).inner().geometry().unwrap().clone();
         // Home of world robot 2 in robot 0's (identity) frame is its
         // initial position.
-        let home2 = (0..3)
-            .find(|&h| g.home(h).approx_eq(positions[2]))
-            .unwrap();
+        let home2 = (0..3).find(|&h| g.home(h).approx_eq(positions[2])).unwrap();
         let label = g.label_for(0, home2);
         e.protocol_mut(0).inner_mut().send_label(label, b"flock");
         let out = e
@@ -182,7 +183,10 @@ mod tests {
         // And the whole swarm drifted together.
         let t = e.trace().len() as f64;
         for (i, &p0) in positions.iter().enumerate() {
-            assert!(e.positions()[i].distance(p0 + v * t) < 1e-6, "robot {i} strayed");
+            assert!(
+                e.positions()[i].distance(p0 + v * t) < 1e-6,
+                "robot {i} strayed"
+            );
         }
     }
 

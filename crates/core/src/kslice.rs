@@ -178,7 +178,10 @@ impl KSliceSync {
         let tol = Tolerance::default();
         let mut events = Vec::new();
         for o in view.others() {
-            let Some(home) = g.keyboards.iter().position(|kb| kb.contains(o.position, tol))
+            let Some(home) = g
+                .keyboards
+                .iter()
+                .position(|kb| kb.contains(o.position, tol))
             else {
                 continue;
             };
@@ -294,10 +297,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let theta = std::f64::consts::TAU * (i as f64) / (n as f64);
-                Point::new(
-                    20.0 * theta.cos() + (i as f64) * 0.07,
-                    20.0 * theta.sin(),
-                )
+                Point::new(20.0 * theta.cos() + (i as f64) * 0.07, 20.0 * theta.sin())
             })
             .collect()
     }
@@ -362,11 +362,7 @@ mod tests {
             e.protocol_mut(0).send_label(label, b"c");
             e.run_until(2_000, |e| e.protocol(0).is_drained() && e.time() % 2 == 0)
                 .unwrap();
-            assert_eq!(
-                e.protocol(0).signals_sent(),
-                expected_digits + 24,
-                "k={k}"
-            );
+            assert_eq!(e.protocol(0).signals_sent(), expected_digits + 24, "k={k}");
         }
     }
 

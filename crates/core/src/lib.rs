@@ -118,7 +118,10 @@ impl fmt::Display for CoreError {
                 write!(f, "goal not reached within {steps} steps")
             }
             CoreError::PayloadTooLarge { len } => {
-                write!(f, "payload of {len} bytes exceeds the 65535-byte frame maximum")
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the 65535-byte frame maximum"
+                )
             }
         }
     }

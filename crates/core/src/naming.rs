@@ -237,7 +237,9 @@ pub fn label_by_sec(positions: &[Point], observer: usize) -> Result<Labeling, Na
             });
         }
     }
-    Ok(Labeling::from_order(keys.into_iter().map(|k| k.2).collect()))
+    Ok(Labeling::from_order(
+        keys.into_iter().map(|k| k.2).collect(),
+    ))
 }
 
 /// Finds the non-trivial rotational symmetries of a configuration about
@@ -327,7 +329,10 @@ mod tests {
         let ids = [VisibleId::new(5), VisibleId::new(5)];
         assert!(matches!(
             label_by_id(&ids),
-            Err(NamingError::AmbiguousPositions { first: 0, second: 1 })
+            Err(NamingError::AmbiguousPositions {
+                first: 0,
+                second: 1
+            })
         ));
     }
 
@@ -408,10 +413,10 @@ mod tests {
         // the same radius: the inner robot gets the smaller label (the
         // paper: "r is not necessarily labeled 0").
         let pts = vec![
-            Point::new(0.0, 2.0),   // 0: observer at rim (North)
-            Point::new(0.0, 1.0),   // 1: same radius, nearer O
-            Point::new(0.0, -2.0),  // 2: South rim (pins the SEC)
-            Point::new(1.9, 0.0),   // 3: East-ish
+            Point::new(0.0, 2.0),  // 0: observer at rim (North)
+            Point::new(0.0, 1.0),  // 1: same radius, nearer O
+            Point::new(0.0, -2.0), // 2: South rim (pins the SEC)
+            Point::new(1.9, 0.0),  // 3: East-ish
         ];
         let l = label_by_sec(&pts, 0).unwrap();
         assert_eq!(l.label_of(1), Some(0), "inner robot first");

@@ -79,7 +79,10 @@ impl SwarmGeometry {
         let labelings: Vec<Labeling> = match scheme {
             NamingScheme::ById => {
                 let ids = ids.as_ref().ok_or(CoreError::Naming(
-                    crate::naming::NamingError::AmbiguousPositions { first: 0, second: 0 },
+                    crate::naming::NamingError::AmbiguousPositions {
+                        first: 0,
+                        second: 0,
+                    },
                 ))?;
                 let l = label_by_id(ids)?;
                 vec![l; n]
@@ -98,10 +101,7 @@ impl SwarmGeometry {
             NamingScheme::ById | NamingScheme::ByLex => vec![Vec2::NORTH; n],
             NamingScheme::BySec => {
                 let sec = smallest_enclosing_circle(&homes)?;
-                homes
-                    .iter()
-                    .map(|&h| h - sec.center)
-                    .collect()
+                homes.iter().map(|&h| h - sec.center).collect()
             }
         };
 
@@ -213,9 +213,7 @@ impl SwarmGeometry {
     #[must_use]
     pub fn identify(&self, p: Point) -> Option<usize> {
         let tol = Tolerance::default();
-        self.granulars
-            .iter()
-            .position(|g| g.contains(p, tol))
+        self.granulars.iter().position(|g| g.contains(p, tol))
     }
 
     /// Classifies an observed point on its owner's keyboard.

@@ -23,16 +23,19 @@
 //! # Ok::<(), stigmergy::CoreError>(())
 //! ```
 
+use crate::ack::RetransmitPolicy;
 use crate::async2::{Async2, DriftPolicy};
 use crate::async_n::AsyncSwarm;
+use crate::backup::{Channel, Delivery, Wireless};
 use crate::decode::InboxEntry;
 use crate::naming::{label_by_id, label_by_lex, label_by_sec};
 use crate::preprocess::{NamingScheme, SwarmGeometry};
 use crate::sync_swarm::SyncSwarm;
 use crate::CoreError;
+use stigmergy_coding::checksum::{protect, verify};
 use stigmergy_geometry::Point;
 use stigmergy_robots::{Capabilities, Engine, MovementProtocol};
-use stigmergy_scheduler::{FairAsync, Schedule, Synchronous, WakeAllFirst};
+use stigmergy_scheduler::{FairAsync, FaultPlan, Schedule, Synchronous, WakeAllFirst};
 
 /// The protocol-side interface a [`Network`] drives.
 ///
@@ -123,10 +126,7 @@ impl SyncNetwork {
     /// # Errors
     ///
     /// As [`SyncNetwork::anonymous`].
-    pub fn anonymous_with_direction(
-        positions: Vec<Point>,
-        seed: u64,
-    ) -> Result<Self, CoreError> {
+    pub fn anonymous_with_direction(positions: Vec<Point>, seed: u64) -> Result<Self, CoreError> {
         Self::build_sync(
             positions,
             seed,
@@ -249,9 +249,7 @@ impl<P: SwarmProtocol> Network<P> {
             return Err(CoreError::SelfAddressed);
         }
         if payload.len() > stigmergy_coding::framing::MAX_PAYLOAD {
-            return Err(CoreError::PayloadTooLarge {
-                len: payload.len(),
-            });
+            return Err(CoreError::PayloadTooLarge { len: payload.len() });
         }
         let label = self.label_from_world(from, to)?;
         self.engine.protocol_mut(from).queue_label(label, payload);
@@ -272,9 +270,7 @@ impl<P: SwarmProtocol> Network<P> {
             });
         }
         if payload.len() > stigmergy_coding::framing::MAX_PAYLOAD {
-            return Err(CoreError::PayloadTooLarge {
-                len: payload.len(),
-            });
+            return Err(CoreError::PayloadTooLarge { len: payload.len() });
         }
         self.engine.protocol_mut(from).queue_broadcast(payload);
         for to in (0..self.cohort()).filter(|&i| i != from) {
@@ -338,7 +334,9 @@ impl<P: SwarmProtocol> Network<P> {
         }
         let mut expected: HashMap<(usize, usize, &[u8]), usize> = HashMap::new();
         for (from, to, payload) in &self.expectations {
-            *expected.entry((*from, *to, payload.as_slice())).or_insert(0) += 1;
+            *expected
+                .entry((*from, *to, payload.as_slice()))
+                .or_insert(0) += 1;
         }
         let mut inboxes: HashMap<usize, Vec<(usize, Vec<u8>)>> = HashMap::new();
         expected.into_iter().all(|((from, to, payload), need)| {
@@ -363,12 +361,7 @@ impl<P: SwarmProtocol> Network<P> {
             .protocol(robot)
             .inbox_entries()
             .iter()
-            .filter_map(|e| {
-                Some((
-                    self.home_to_engine(robot, g, e.sender)?,
-                    e.payload.clone(),
-                ))
-            })
+            .filter_map(|e| Some((self.home_to_engine(robot, g, e.sender)?, e.payload.clone())))
             .collect()
     }
 
@@ -398,12 +391,10 @@ impl<P: SwarmProtocol> Network<P> {
                 label_by_id(ids)?
             }
         };
-        labeling
-            .label_of(to)
-            .ok_or(CoreError::UnknownDestination {
-                dest: to,
-                cohort: homes.len(),
-            })
+        labeling.label_of(to).ok_or(CoreError::UnknownDestination {
+            dest: to,
+            cohort: homes.len(),
+        })
     }
 }
 
@@ -506,6 +497,271 @@ impl AsyncPair {
     }
 }
 
+/// Why a hardened session abandoned the movement channel for a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// An endpoint of the message crash-stopped; a crashed robot can
+    /// neither signal nor observe, so movement delivery is hopeless.
+    PeerCrashed {
+        /// The crashed endpoint.
+        robot: usize,
+    },
+    /// Every retransmission attempt exhausted its step budget.
+    MovementExhausted,
+}
+
+/// How a hardened delivery ultimately got through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionRoute {
+    /// Delivered by movement signals.
+    Movement {
+        /// Attempts used (1 = no retransmission needed).
+        attempts: u32,
+        /// Engine instants spent across all attempts.
+        steps: u64,
+    },
+    /// Delivered over the secondary wireless channel after degradation.
+    Secondary {
+        /// Why the session degraded.
+        reason: DegradeReason,
+        /// Secondary transmissions used.
+        attempts: u32,
+    },
+}
+
+/// Hardened-session delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Messages delivered over movement signals.
+    pub movement_ok: u64,
+    /// Retransmissions issued (attempts beyond each message's first).
+    pub retransmissions: u64,
+    /// Degradations caused by a crash-stopped endpoint.
+    pub degraded_crash: u64,
+    /// Degradations caused by exhausted movement budgets.
+    pub degraded_timeout: u64,
+    /// Messages recovered over the secondary channel.
+    pub secondary_ok: u64,
+    /// Engine instants spent on movement delivery.
+    pub movement_steps: u64,
+}
+
+/// A fault-tolerant session: movement signals first, with per-message
+/// timeout budgets and bounded backed-off retransmission, degrading to a
+/// secondary wireless channel when an endpoint crash-stops or the
+/// budgets run dry.
+///
+/// This is [`crate::backup::BackupChannel`] inverted. There, wireless is
+/// primary and movement is the backup; here the movement channel — the
+/// paper's subject — carries the traffic, and the wireless device is the
+/// contingency for faults movement cannot survive (a crash-stopped
+/// robot cannot wiggle out a frame). Payloads crossing the secondary
+/// channel are CRC-8 protected, so a corrupted recovery is rejected and
+/// retried rather than silently accepted.
+#[derive(Debug)]
+pub struct HardenedSession {
+    net: SyncNetwork,
+    policy: RetransmitPolicy,
+    secondary: Wireless,
+    secondary_inbox: Vec<(usize, usize, Vec<u8>)>,
+    stats: SessionStats,
+}
+
+impl HardenedSession {
+    /// Builds a hardened session over the robots at `positions`, with a
+    /// benign fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Fails on configurations the movement network rejects.
+    pub fn new(
+        positions: Vec<Point>,
+        seed: u64,
+        policy: RetransmitPolicy,
+        secondary: Wireless,
+    ) -> Result<Self, CoreError> {
+        Ok(Self {
+            net: SyncNetwork::anonymous_with_direction(positions, seed)?,
+            policy,
+            secondary,
+            secondary_inbox: Vec::new(),
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// As [`HardenedSession::new`], with a fault plan injected into the
+    /// movement engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`HardenedSession::new`].
+    pub fn with_faults(
+        positions: Vec<Point>,
+        seed: u64,
+        policy: RetransmitPolicy,
+        secondary: Wireless,
+        plan: FaultPlan,
+    ) -> Result<Self, CoreError> {
+        let mut session = Self::new(positions, seed, policy, secondary)?;
+        session.net.engine_mut().set_fault_plan(plan);
+        Ok(session)
+    }
+
+    /// Sends `payload` from `from` to `to` and drives the session until
+    /// the message is through (movement or secondary) or every recourse
+    /// is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// * Validation errors from the movement network (bad indices,
+    ///   oversized payload, degenerate naming).
+    /// * [`CoreError::Timeout`] when the movement budgets *and* the
+    ///   secondary retries are exhausted — the clean-failure outcome the
+    ///   adversarial suite asserts on.
+    /// * [`CoreError::Model`] on a model violation (collision).
+    pub fn send(
+        &mut self,
+        from: usize,
+        to: usize,
+        payload: &[u8],
+    ) -> Result<SessionRoute, CoreError> {
+        let n = self.net.cohort();
+        if from >= n || to >= n {
+            return Err(CoreError::UnknownDestination {
+                dest: from.max(to),
+                cohort: n,
+            });
+        }
+        if from == to {
+            return Err(CoreError::SelfAddressed);
+        }
+        let baseline = self.delivered_copies(from, to, payload);
+        let mut total_steps = 0u64;
+        for attempt in 0..self.policy.max_attempts() {
+            if let Some(robot) = self.crashed_endpoint(from, to) {
+                self.stats.degraded_crash += 1;
+                return self.send_secondary(
+                    from,
+                    to,
+                    payload,
+                    DegradeReason::PeerCrashed { robot },
+                );
+            }
+            self.net.send(from, to, payload)?;
+            if attempt > 0 {
+                self.stats.retransmissions += 1;
+            }
+            let budget = self.policy.budget_for(attempt);
+            let mut crashed = None;
+            for step in 0..budget {
+                self.net.run(1)?;
+                total_steps += 1;
+                self.stats.movement_steps += 1;
+                if attempt == 0 && step == 0 {
+                    for i in 0..self.net.cohort() {
+                        if let Some(e) = self.net.engine().protocol(i).failure() {
+                            return Err(e.clone());
+                        }
+                    }
+                }
+                if self.delivered_copies(from, to, payload) > baseline {
+                    self.stats.movement_ok += 1;
+                    return Ok(SessionRoute::Movement {
+                        attempts: attempt + 1,
+                        steps: total_steps,
+                    });
+                }
+                if let Some(robot) = self.crashed_endpoint(from, to) {
+                    crashed = Some(robot);
+                    break;
+                }
+            }
+            if let Some(robot) = crashed {
+                self.stats.degraded_crash += 1;
+                return self.send_secondary(
+                    from,
+                    to,
+                    payload,
+                    DegradeReason::PeerCrashed { robot },
+                );
+            }
+        }
+        self.stats.degraded_timeout += 1;
+        self.send_secondary(from, to, payload, DegradeReason::MovementExhausted)
+    }
+
+    fn send_secondary(
+        &mut self,
+        from: usize,
+        to: usize,
+        payload: &[u8],
+        reason: DegradeReason,
+    ) -> Result<SessionRoute, CoreError> {
+        let framed = protect(payload);
+        for attempt in 1..=self.policy.max_attempts() {
+            if let Delivery::Arrived(data) = self.secondary.transmit(from, to, &framed) {
+                if verify(&data).is_ok_and(|p| p == payload) {
+                    self.secondary_inbox.push((from, to, payload.to_vec()));
+                    self.stats.secondary_ok += 1;
+                    return Ok(SessionRoute::Secondary {
+                        reason,
+                        attempts: attempt,
+                    });
+                }
+            }
+        }
+        Err(CoreError::Timeout {
+            steps: self.policy.total_budget(),
+        })
+    }
+
+    fn crashed_endpoint(&self, from: usize, to: usize) -> Option<usize> {
+        [from, to]
+            .into_iter()
+            .find(|&r| self.net.engine().is_crashed(r))
+    }
+
+    fn delivered_copies(&self, from: usize, to: usize, payload: &[u8]) -> usize {
+        self.net
+            .inbox(to)
+            .iter()
+            .filter(|(s, p)| *s == from && p == payload)
+            .count()
+    }
+
+    /// Robot `robot`'s combined inbox: movement deliveries first, then
+    /// secondary-channel recoveries, each as `(sender, payload)`.
+    #[must_use]
+    pub fn inbox(&self, robot: usize) -> Vec<(usize, Vec<u8>)> {
+        let mut entries = self.net.inbox(robot);
+        entries.extend(
+            self.secondary_inbox
+                .iter()
+                .filter(|(_, to, _)| *to == robot)
+                .map(|(from, _, p)| (*from, p.clone())),
+        );
+        entries
+    }
+
+    /// Delivery statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The underlying movement network.
+    #[must_use]
+    pub fn network(&self) -> &SyncNetwork {
+        &self.net
+    }
+
+    /// The retransmission policy.
+    #[must_use]
+    pub fn policy(&self) -> RetransmitPolicy {
+        self.policy
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,7 +826,10 @@ mod tests {
             net.send(0, 9, b"x"),
             Err(CoreError::UnknownDestination { dest: 9, cohort: 3 })
         ));
-        assert!(matches!(net.send(1, 1, b"x"), Err(CoreError::SelfAddressed)));
+        assert!(matches!(
+            net.send(1, 1, b"x"),
+            Err(CoreError::SelfAddressed)
+        ));
         assert!(matches!(
             net.broadcast(7, b"x"),
             Err(CoreError::UnknownDestination { .. })
@@ -647,6 +906,144 @@ mod tests {
         let net = SyncNetwork::anonymous_with_direction(triangle(), 11).unwrap();
         assert!(net.inbox(0).is_empty());
         assert_eq!(net.cohort(), 3);
+    }
+
+    #[test]
+    fn hardened_delivers_over_movement_when_healthy() {
+        let mut s = HardenedSession::new(
+            triangle(),
+            21,
+            RetransmitPolicy::default(),
+            Wireless::reliable(21),
+        )
+        .unwrap();
+        let route = s.send(0, 2, b"primary path").unwrap();
+        assert!(
+            matches!(route, SessionRoute::Movement { attempts: 1, steps } if steps > 0),
+            "got {route:?}"
+        );
+        assert_eq!(s.inbox(2), vec![(0, b"primary path".to_vec())]);
+        let stats = s.stats();
+        assert_eq!(stats.movement_ok, 1);
+        assert_eq!(stats.retransmissions, 0);
+        assert_eq!(stats.secondary_ok, 0);
+    }
+
+    #[test]
+    fn hardened_degrades_to_secondary_on_peer_crash() {
+        let mut s = HardenedSession::with_faults(
+            triangle(),
+            22,
+            RetransmitPolicy::default(),
+            Wireless::reliable(22),
+            FaultPlan::new(22).crash_stop(2, 0),
+        )
+        .unwrap();
+        let route = s.send(0, 2, b"rescued").unwrap();
+        assert!(
+            matches!(
+                route,
+                SessionRoute::Secondary {
+                    reason: DegradeReason::PeerCrashed { robot: 2 },
+                    ..
+                }
+            ),
+            "got {route:?}"
+        );
+        assert_eq!(s.inbox(2), vec![(0, b"rescued".to_vec())]);
+        assert_eq!(s.stats().degraded_crash, 1);
+        assert_eq!(s.stats().secondary_ok, 1);
+    }
+
+    #[test]
+    fn hardened_crash_mid_delivery_degrades() {
+        // The receiver crashes 10 instants in — long before a 40-bit frame
+        // can cross the movement channel.
+        let mut s = HardenedSession::with_faults(
+            triangle(),
+            23,
+            RetransmitPolicy::new(3, 2_000, 2),
+            Wireless::reliable(23),
+            FaultPlan::new(23).crash_stop(1, 10),
+        )
+        .unwrap();
+        let route = s.send(0, 1, b"mid-crash").unwrap();
+        assert!(
+            matches!(
+                route,
+                SessionRoute::Secondary {
+                    reason: DegradeReason::PeerCrashed { robot: 1 },
+                    ..
+                }
+            ),
+            "got {route:?}"
+        );
+        assert_eq!(s.inbox(1), vec![(0, b"mid-crash".to_vec())]);
+    }
+
+    #[test]
+    fn hardened_retransmits_then_degrades_on_exhausted_budgets() {
+        // Budgets of 4 + 8 instants cannot carry any frame, so both
+        // movement attempts time out and the secondary channel recovers.
+        let mut s = HardenedSession::new(
+            triangle(),
+            24,
+            RetransmitPolicy::new(2, 4, 2),
+            Wireless::reliable(24),
+        )
+        .unwrap();
+        let route = s.send(1, 0, b"slow road").unwrap();
+        assert!(
+            matches!(
+                route,
+                SessionRoute::Secondary {
+                    reason: DegradeReason::MovementExhausted,
+                    ..
+                }
+            ),
+            "got {route:?}"
+        );
+        let stats = s.stats();
+        assert_eq!(
+            stats.retransmissions, 1,
+            "second attempt was a retransmission"
+        );
+        assert_eq!(stats.degraded_timeout, 1);
+        assert_eq!(stats.movement_steps, 12);
+        assert_eq!(s.inbox(0), vec![(1, b"slow road".to_vec())]);
+    }
+
+    #[test]
+    fn hardened_total_failure_is_clean_timeout() {
+        // Receiver crashed AND the secondary device is dead: the send must
+        // fail with a clean timeout, never hang or panic.
+        let mut s = HardenedSession::with_faults(
+            triangle(),
+            25,
+            RetransmitPolicy::new(2, 50, 2),
+            Wireless::new(25, 0.0, 0.0, Some(0)),
+            FaultPlan::new(25).crash_stop(2, 0),
+        )
+        .unwrap();
+        let err = s.send(0, 2, b"doomed").unwrap_err();
+        assert!(matches!(err, CoreError::Timeout { .. }), "got {err:?}");
+        assert!(s.inbox(2).is_empty());
+    }
+
+    #[test]
+    fn hardened_validation_errors_propagate() {
+        let mut s = HardenedSession::new(
+            triangle(),
+            26,
+            RetransmitPolicy::default(),
+            Wireless::reliable(26),
+        )
+        .unwrap();
+        assert!(matches!(
+            s.send(0, 9, b"x"),
+            Err(CoreError::UnknownDestination { .. })
+        ));
+        assert!(matches!(s.send(1, 1, b"x"), Err(CoreError::SelfAddressed)));
     }
 
     #[test]

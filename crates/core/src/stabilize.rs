@@ -291,9 +291,9 @@ mod tests {
         // has an out-of-home robot.
         e.protocol_mut(0).send_id(dest2, &[0xAA; 8]);
         e.run(10).unwrap(); // 11 instants done: the next activation is
-        // t = 11, whose snapshot shows robot 0 mid-excursion — the fresh
-        // instance rebuilds geometry from a non-home configuration AND
-        // starts with misaligned signal/return parity.
+                            // t = 11, whose snapshot shows robot 0 mid-excursion — the fresh
+                            // instance rebuilds geometry from a non-home configuration AND
+                            // starts with misaligned signal/return parity.
         *e.protocol_mut(3) = SyncSwarm::routed();
         // A later message to robot 3 (whose geometry is now corrupt).
         let dest3 = e.ids().unwrap()[3];
@@ -322,7 +322,9 @@ mod tests {
         e.protocol_mut(2).send_id(dest, b"still here");
         let out = e
             .run_until(4_000, |e| {
-                e.protocol(1).inbox().contains(&(me, b"still here".to_vec()))
+                e.protocol(1)
+                    .inbox()
+                    .contains(&(me, b"still here".to_vec()))
             })
             .unwrap();
         assert!(out.satisfied);

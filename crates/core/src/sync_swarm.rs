@@ -180,7 +180,13 @@ impl SyncSwarm {
             let Some((home, zone)) = g.classify(o.position) else {
                 continue;
             };
-            if let SliceZone::OnSlice { slice, side, distance, deviation } = zone {
+            if let SliceZone::OnSlice {
+                slice,
+                side,
+                distance,
+                deviation,
+            } = zone
+            {
                 // Reject noise: a genuine signal is a substantial excursion
                 // dead on a diameter.
                 if distance > g.keyboard(home).radius() * 1e-6

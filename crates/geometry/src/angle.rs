@@ -133,8 +133,14 @@ mod tests {
     #[test]
     fn normalization_into_range() {
         assert_eq!(Angle::from_radians(0.0).radians(), 0.0);
-        assert!(crate::approx_eq(Angle::from_radians(-FRAC_PI_2).radians(), 1.5 * PI));
-        assert!(crate::approx_eq(Angle::from_radians(3.0 * PI).radians(), PI));
+        assert!(crate::approx_eq(
+            Angle::from_radians(-FRAC_PI_2).radians(),
+            1.5 * PI
+        ));
+        assert!(crate::approx_eq(
+            Angle::from_radians(3.0 * PI).radians(),
+            PI
+        ));
         assert!(Angle::from_radians(-1e-18).radians() < TAU);
     }
 

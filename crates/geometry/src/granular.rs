@@ -414,8 +414,7 @@ mod tests {
     #[test]
     fn custom_reference() {
         // Reference pointing East: slice 0 zero-side is East.
-        let g =
-            SlicedGranular::with_reference(Point::ORIGIN, 1.0, 4, Vec2::new(3.0, 0.0)).unwrap();
+        let g = SlicedGranular::with_reference(Point::ORIGIN, 1.0, 4, Vec2::new(3.0, 0.0)).unwrap();
         assert!(g.zero_direction(0).unwrap().approx_eq(Vec2::EAST));
         // Slice 1 is 45° clockwise from East: pointing south-east.
         let d = g.zero_direction(1).unwrap();

@@ -46,9 +46,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && !is_ccw_turn(hull[hull.len() - 2], hull[hull.len() - 1], p, tol)
-        {
+        while hull.len() >= 2 && !is_ccw_turn(hull[hull.len() - 2], hull[hull.len() - 1], p, tol) {
             hull.pop();
         }
         hull.push(p);
@@ -105,8 +103,16 @@ mod tests {
         ];
         let hull = convex_hull(&pts);
         assert_eq!(hull.len(), 4);
-        assert!(hull_contains(&hull, Point::new(0.5, 0.5), Tolerance::default()));
-        assert!(!hull_contains(&hull, Point::new(1.5, 0.5), Tolerance::default()));
+        assert!(hull_contains(
+            &hull,
+            Point::new(0.5, 0.5),
+            Tolerance::default()
+        ));
+        assert!(!hull_contains(
+            &hull,
+            Point::new(1.5, 0.5),
+            Tolerance::default()
+        ));
     }
 
     #[test]
@@ -158,7 +164,15 @@ mod tests {
             Point::new(2.0, 2.0),
             Point::new(0.0, 2.0),
         ]);
-        assert!(hull_contains(&hull, Point::new(1.0, 0.0), Tolerance::default()));
-        assert!(hull_contains(&hull, Point::new(2.0, 2.0), Tolerance::default()));
+        assert!(hull_contains(
+            &hull,
+            Point::new(1.0, 0.0),
+            Tolerance::default()
+        ));
+        assert!(hull_contains(
+            &hull,
+            Point::new(2.0, 2.0),
+            Tolerance::default()
+        ));
     }
 }

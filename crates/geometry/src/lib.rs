@@ -116,7 +116,10 @@ mod tests {
     fn error_display_is_nonempty() {
         let errors = [
             GeometryError::TooFewPoints { needed: 2, got: 0 },
-            GeometryError::CoincidentPoints { first: 0, second: 1 },
+            GeometryError::CoincidentPoints {
+                first: 0,
+                second: 1,
+            },
             GeometryError::NonPositiveRadius,
             GeometryError::IndexOutOfRange { index: 5, len: 3 },
             GeometryError::ZeroDirection,

@@ -266,8 +266,14 @@ mod tests {
     #[test]
     fn signed_distance_matches_geometry() {
         let l = Line::through(Point::new(0.0, 0.0), Point::new(1.0, 0.0)).unwrap();
-        assert!(crate::approx_eq(l.signed_distance(Point::new(3.0, 2.0)), 2.0));
-        assert!(crate::approx_eq(l.signed_distance(Point::new(3.0, -2.0)), -2.0));
+        assert!(crate::approx_eq(
+            l.signed_distance(Point::new(3.0, 2.0)),
+            2.0
+        ));
+        assert!(crate::approx_eq(
+            l.signed_distance(Point::new(3.0, -2.0)),
+            -2.0
+        ));
     }
 
     #[test]

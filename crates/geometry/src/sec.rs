@@ -149,8 +149,7 @@ mod tests {
 
     #[test]
     fn two_points() {
-        let c =
-            smallest_enclosing_circle(&[Point::new(-2.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
+        let c = smallest_enclosing_circle(&[Point::new(-2.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
         assert!(c.center.approx_eq(Point::ORIGIN));
         assert!(crate::approx_eq(c.radius, 2.0));
     }

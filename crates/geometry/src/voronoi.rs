@@ -32,23 +32,20 @@ impl VoronoiCell {
     /// * [`GeometryError::CoincidentPoints`] if two sites coincide (the
     ///   paper's robots occupy distinct positions).
     pub fn build(sites: &[Point], index: usize) -> Result<Self, GeometryError> {
-        let site = *sites
-            .get(index)
-            .ok_or(GeometryError::IndexOutOfRange {
-                index,
-                len: sites.len(),
-            })?;
+        let site = *sites.get(index).ok_or(GeometryError::IndexOutOfRange {
+            index,
+            len: sites.len(),
+        })?;
         let mut constraints = Vec::with_capacity(sites.len().saturating_sub(1));
         for (j, other) in sites.iter().enumerate() {
             if j == index {
                 continue;
             }
-            let hp = HalfPlane::voronoi(site, *other).map_err(|_| {
-                GeometryError::CoincidentPoints {
+            let hp =
+                HalfPlane::voronoi(site, *other).map_err(|_| GeometryError::CoincidentPoints {
                     first: index.min(j),
                     second: index.max(j),
-                }
-            })?;
+                })?;
             constraints.push(hp);
         }
         Ok(Self { site, constraints })
@@ -104,12 +101,10 @@ impl VoronoiCell {
 /// # Ok::<(), stigmergy_geometry::GeometryError>(())
 /// ```
 pub fn granular_radius(sites: &[Point], index: usize) -> Result<f64, GeometryError> {
-    let site = *sites
-        .get(index)
-        .ok_or(GeometryError::IndexOutOfRange {
-            index,
-            len: sites.len(),
-        })?;
+    let site = *sites.get(index).ok_or(GeometryError::IndexOutOfRange {
+        index,
+        len: sites.len(),
+    })?;
     if sites.len() < 2 {
         return Err(GeometryError::TooFewPoints {
             needed: 2,
@@ -144,7 +139,9 @@ pub fn granular_radius(sites: &[Point], index: usize) -> Result<f64, GeometryErr
 ///
 /// Propagates the first error from [`granular_radius`].
 pub fn granular_radii(sites: &[Point]) -> Result<Vec<f64>, GeometryError> {
-    (0..sites.len()).map(|i| granular_radius(sites, i)).collect()
+    (0..sites.len())
+        .map(|i| granular_radius(sites, i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -245,8 +242,7 @@ mod tests {
             // the cell.
             for k in 0..64 {
                 let theta = f64::from(k) * std::f64::consts::TAU / 64.0;
-                let p = sites[i]
-                    + crate::point::Vec2::new(theta.cos(), theta.sin()) * (r * 0.999);
+                let p = sites[i] + crate::point::Vec2::new(theta.cos(), theta.sin()) * (r * 0.999);
                 assert!(cell.contains(p, tol()), "site {i} angle {theta}");
             }
         }
@@ -288,7 +284,10 @@ mod tests {
         ));
         assert!(matches!(
             VoronoiCell::build(&dup, 0),
-            Err(GeometryError::CoincidentPoints { first: 0, second: 1 })
+            Err(GeometryError::CoincidentPoints {
+                first: 0,
+                second: 1
+            })
         ));
         assert!(matches!(
             VoronoiCell::build(&sites, 9),
@@ -408,7 +407,10 @@ mod polygon_tests {
         let total: f64 = (0..sites.len())
             .map(|i| polygon_area(&cell_polygon(&sites, i, lo, hi).unwrap()))
             .sum();
-        assert!((total - 400.0).abs() < 1e-6, "areas sum to the box: {total}");
+        assert!(
+            (total - 400.0).abs() < 1e-6,
+            "areas sum to the box: {total}"
+        );
     }
 
     #[test]
@@ -422,7 +424,10 @@ mod polygon_tests {
         let hi = Point::new(16.0, 16.0);
         for i in 0..3 {
             let poly = cell_polygon(&sites, i, lo, hi).unwrap();
-            assert!(point_in_convex(&poly, sites[i]), "site {i} outside its cell");
+            assert!(
+                point_in_convex(&poly, sites[i]),
+                "site {i} outside its cell"
+            );
             // Granular boundary samples are inside too.
             let r = granular_radius(&sites, i).unwrap();
             for k in 0..16 {

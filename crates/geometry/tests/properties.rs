@@ -9,9 +9,7 @@ use proptest::prelude::*;
 use stigmergy_geometry::granular::{SliceSide, SliceZone, SlicedGranular};
 use stigmergy_geometry::hull::{convex_hull, hull_contains};
 use stigmergy_geometry::voronoi::{granular_radii, granular_radius, VoronoiCell};
-use stigmergy_geometry::{
-    smallest_enclosing_circle, Angle, Point, Tolerance, Vec2,
-};
+use stigmergy_geometry::{smallest_enclosing_circle, Angle, Point, Tolerance, Vec2};
 
 fn coord() -> impl Strategy<Value = f64> {
     // Bounded coordinates keep the tolerance model honest (see approx docs).

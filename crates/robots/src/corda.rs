@@ -99,7 +99,10 @@ impl<P: MovementProtocol> CordaEngine<P> {
         for i in 0..positions.len() {
             for j in (i + 1)..positions.len() {
                 if positions[i].distance(positions[j]) < 1e-9 {
-                    return Err(ModelError::CoincidentRobots { first: i, second: j });
+                    return Err(ModelError::CoincidentRobots {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -363,9 +366,7 @@ mod tests {
             3,
         )
         .unwrap();
-        let hit = e
-            .run_until(200, |e| e.positions()[0].y >= 5.0)
-            .unwrap();
+        let hit = e.run_until(200, |e| e.positions()[0].y >= 5.0).unwrap();
         assert!(hit);
         assert_eq!(e.max_delay(), 2);
     }

@@ -17,11 +17,11 @@ use crate::capabilities::Capabilities;
 use crate::frame::{FrameGenerator, LocalFrame};
 use crate::identity::VisibleId;
 use crate::protocol::MovementProtocol;
-use crate::trace::{StepRecord, Trace};
+use crate::trace::{FaultEvent, StepRecord, Trace};
 use crate::view::{Observed, View};
 use crate::ModelError;
 use stigmergy_geometry::{Point, Tolerance};
-use stigmergy_scheduler::{ActivationSet, Schedule, Synchronous};
+use stigmergy_scheduler::{ActivationSet, FaultPlan, Schedule, Synchronous};
 
 /// Default collision tolerance: two robots closer than this have collided.
 pub const DEFAULT_COLLISION_EPS: f64 = 1e-9;
@@ -62,6 +62,7 @@ pub struct Engine<P> {
     global_clock: bool,
     visibility: Option<f64>,
     record_trace: bool,
+    faults: FaultPlan,
 }
 
 impl Engine<()> {
@@ -82,18 +83,67 @@ impl<P: MovementProtocol> Engine<P> {
     /// offending configuration for post-mortem inspection.
     pub fn step(&mut self) -> Result<StepReport, ModelError> {
         let n = self.positions.len();
-        let active = self.schedule.activations(self.time, n);
+        let time = self.time;
+        let scheduled = self.schedule.activations(time, n);
         let snapshot = self.positions.clone();
+
+        // Crash-stop: a crashed robot is never activated again (its body
+        // stays visible). The crash itself is recorded at its instant so
+        // the trace pins when the adversary struck.
+        let active = if self.faults.is_benign() {
+            scheduled
+        } else {
+            for &(robot, when) in self.faults.crash_stops() {
+                if when == time && robot < n && self.record_trace {
+                    self.trace
+                        .record_fault(FaultEvent::CrashStop { time, robot });
+                }
+            }
+            let mut live = ActivationSet::empty(n);
+            for i in scheduled.iter() {
+                if !self.faults.is_crashed(i, time) {
+                    live.insert(i);
+                }
+            }
+            live
+        };
 
         let mut moved = 0usize;
         for i in 0..n {
             if !active.contains(i) {
                 continue;
             }
-            let view = self.view_of(i, &snapshot);
+            // Transient observation dropout: this activation fails to see
+            // some other robots. A robot always sees itself.
+            let dropped: Vec<usize> = (0..n)
+                .filter(|&j| self.faults.drops_observation(i, j, time))
+                .collect();
+            if self.record_trace {
+                for &j in &dropped {
+                    self.trace.record_fault(FaultEvent::ObservationDropout {
+                        time,
+                        observer: i,
+                        observed: j,
+                    });
+                }
+            }
+            let view = self.view_of(i, &snapshot, &dropped);
             let local_target = self.protocols[i].on_activate(&view);
             let world_target = self.frames[i].to_world(local_target);
-            let new_pos = cap_move(snapshot[i], world_target, self.sigmas[i]);
+            let mut new_pos = cap_move(snapshot[i], world_target, self.sigmas[i]);
+            // Non-rigid motion: the adversary interrupts the move after a
+            // fraction in [δ, 1) of the σ-capped distance.
+            let fraction = self.faults.motion_fraction(i, time);
+            if fraction < 1.0 {
+                new_pos = snapshot[i].lerp(new_pos, fraction);
+                if self.record_trace {
+                    self.trace.record_fault(FaultEvent::NonRigidMotion {
+                        time,
+                        robot: i,
+                        fraction,
+                    });
+                }
+            }
             if !new_pos.approx_eq(self.positions[i]) {
                 moved += 1;
             }
@@ -102,12 +152,11 @@ impl<P: MovementProtocol> Engine<P> {
 
         if self.record_trace {
             self.trace.record(StepRecord {
-                time: self.time,
+                time,
                 active: active.clone(),
                 positions: self.positions.clone(),
             });
         }
-        let time = self.time;
         self.time += 1;
 
         self.check_collisions(time)?;
@@ -124,7 +173,11 @@ impl<P: MovementProtocol> Engine<P> {
     /// # Errors
     ///
     /// Propagates the first error from [`Engine::step`].
-    pub fn run_until<F>(&mut self, max_steps: u64, mut predicate: F) -> Result<RunOutcome, ModelError>
+    pub fn run_until<F>(
+        &mut self,
+        max_steps: u64,
+        mut predicate: F,
+    ) -> Result<RunOutcome, ModelError>
     where
         F: FnMut(&Engine<P>) -> bool,
     {
@@ -155,7 +208,7 @@ impl<P: MovementProtocol> Engine<P> {
         Ok(())
     }
 
-    fn view_of(&self, i: usize, snapshot: &[Point]) -> View {
+    fn view_of(&self, i: usize, snapshot: &[Point], dropped: &[usize]) -> View {
         let frame = &self.frames[i];
         let id_of = |j: usize| self.ids.as_ref().map(|ids| ids[j]);
         let own = Observed {
@@ -165,11 +218,8 @@ impl<P: MovementProtocol> Engine<P> {
         let others = snapshot
             .iter()
             .enumerate()
-            .filter(|&(j, _)| j != i)
-            .filter(|&(_, &p)| {
-                self.visibility
-                    .is_none_or(|r| snapshot[i].distance(p) <= r)
-            })
+            .filter(|&(j, _)| j != i && !dropped.contains(&j))
+            .filter(|&(_, &p)| self.visibility.is_none_or(|r| snapshot[i].distance(p) <= r))
             .map(|(j, &p)| Observed {
                 position: frame.to_local(p),
                 id: id_of(j),
@@ -274,6 +324,25 @@ impl<P: MovementProtocol> Engine<P> {
     pub fn ids(&self) -> Option<&[VisibleId]> {
         self.ids.as_deref()
     }
+
+    /// The engine's fault plan (benign unless one was installed).
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Replaces the fault plan. Layers that wrap an already-built engine
+    /// (the session networks) use this to inject faults; decisions for
+    /// instants not yet executed follow the new plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Whether robot `i` has crash-stopped by the current instant.
+    #[must_use]
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.faults.is_crashed(i, self.time)
+    }
 }
 
 /// Moves from `from` toward `target`, travelling at most `sigma`.
@@ -301,6 +370,7 @@ pub struct EngineBuilder<P> {
     global_clock: bool,
     visibility: Option<f64>,
     record_trace: bool,
+    faults: Option<FaultPlan>,
 }
 
 impl<P> Default for EngineBuilder<P> {
@@ -326,6 +396,7 @@ impl<P> EngineBuilder<P> {
             global_clock: false,
             visibility: None,
             record_trace: true,
+            faults: None,
         }
     }
 
@@ -417,6 +488,18 @@ impl<P> EngineBuilder<P> {
         self
     }
 
+    /// Installs a fault plan: crash-stops, non-rigid motion, and
+    /// observation dropouts injected during execution, all decided
+    /// deterministically from the plan's seed. Every injected fault is
+    /// recorded in the trace (when recording is on), so a faulted run
+    /// replays bit-for-bit from the same engine configuration and seed.
+    /// Defaults to a benign plan.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Limits each robot's sensing to `radius` (world units): views omit
     /// robots farther away. The paper's protocols assume **unbounded**
     /// visibility; §5 poses limited visibility as an open problem, and
@@ -477,7 +560,10 @@ impl<P> EngineBuilder<P> {
         for i in 0..positions.len() {
             for j in (i + 1)..positions.len() {
                 if tol.zero(positions[i].distance(positions[j])) {
-                    return Err(ModelError::CoincidentRobots { first: i, second: j });
+                    return Err(ModelError::CoincidentRobots {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -512,6 +598,7 @@ impl<P> EngineBuilder<P> {
             global_clock: self.global_clock,
             visibility: self.visibility,
             record_trace: self.record_trace,
+            faults: self.faults.unwrap_or_else(|| FaultPlan::new(0)),
         })
     }
 }
@@ -554,7 +641,9 @@ mod tests {
         let missing: Result<Engine<Still>, _> = Engine::builder().build();
         assert!(matches!(
             missing,
-            Err(ModelError::IncompleteBuilder { missing: "positions" })
+            Err(ModelError::IncompleteBuilder {
+                missing: "positions"
+            })
         ));
 
         let mismatch = Engine::builder()
@@ -572,7 +661,10 @@ mod tests {
             .build();
         assert!(matches!(
             coincident,
-            Err(ModelError::CoincidentRobots { first: 0, second: 1 })
+            Err(ModelError::CoincidentRobots {
+                first: 0,
+                second: 1
+            })
         ));
 
         let bad_sigma = Engine::builder()
@@ -580,7 +672,10 @@ mod tests {
             .protocols([Still, Still])
             .sigma(0.0)
             .build();
-        assert!(matches!(bad_sigma, Err(ModelError::NonPositiveSigma { robot: 0 })));
+        assert!(matches!(
+            bad_sigma,
+            Err(ModelError::NonPositiveSigma { robot: 0 })
+        ));
     }
 
     #[test]
@@ -717,7 +812,10 @@ mod tests {
         let scale0 = e.frames()[0].scale();
         e.step().unwrap();
         let moved = Point::ORIGIN.distance(e.positions()[0]);
-        assert!((moved - scale0).abs() < 1e-9, "moved {moved}, scale {scale0}");
+        assert!(
+            (moved - scale0).abs() < 1e-9,
+            "moved {moved}, scale {scale0}"
+        );
     }
 
     #[test]
@@ -759,7 +857,14 @@ mod tests {
             .build()
             .unwrap();
         let r2 = e2.step();
-        assert!(matches!(r2, Err(ModelError::Collision { first: 0, second: 1, .. })));
+        assert!(matches!(
+            r2,
+            Err(ModelError::Collision {
+                first: 0,
+                second: 1,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -776,9 +881,7 @@ mod tests {
             .sigma(1.0)
             .build()
             .unwrap();
-        let out = e
-            .run_until(100, |eng| eng.positions()[0].x >= 5.0)
-            .unwrap();
+        let out = e.run_until(100, |eng| eng.positions()[0].x >= 5.0).unwrap();
         assert!(out.satisfied);
         assert_eq!(out.steps_taken, 5);
 
@@ -818,8 +921,14 @@ mod tests {
             let mut e = Engine::builder()
                 .positions([Point::ORIGIN, Point::new(2.0, 0.0)])
                 .protocols([
-                    CheckIds { expect, seen: false },
-                    CheckIds { expect, seen: false },
+                    CheckIds {
+                        expect,
+                        seen: false,
+                    },
+                    CheckIds {
+                        expect,
+                        seen: false,
+                    },
                 ])
                 .capabilities(caps)
                 .build()
@@ -932,9 +1041,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_visibility_rejected() {
-        let _: EngineBuilder<Still> = Engine::builder()
-            .positions([Point::ORIGIN])
-            .visibility(0.0);
+        let _: EngineBuilder<Still> = Engine::builder().positions([Point::ORIGIN]).visibility(0.0);
     }
 
     #[test]
@@ -966,5 +1073,175 @@ mod tests {
         let mut e = two_still();
         let report = e.step().unwrap();
         assert_eq!(report.active.len(), 2);
+    }
+
+    fn faulted_walkers(plan: FaultPlan) -> Engine<Walker> {
+        Engine::builder()
+            .positions([Point::ORIGIN, Point::new(10.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(0.0, 100.0),
+                },
+                Walker {
+                    target: Point::new(10.0, 100.0),
+                },
+            ])
+            .unit_frames()
+            .sigma(1.0)
+            .faults(plan)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn crash_stopped_robot_freezes_but_stays_visible() {
+        let mut e = faulted_walkers(FaultPlan::new(1).crash_stop(1, 3));
+        e.run(8).unwrap();
+        // Robot 0 kept walking all 8 instants; robot 1 stopped after 3.
+        assert!(e.positions()[0].approx_eq(Point::new(0.0, 8.0)));
+        assert!(e.positions()[1].approx_eq(Point::new(10.0, 3.0)));
+        assert!(e.is_crashed(1) && !e.is_crashed(0));
+        // The crash is in the trace, and post-crash activation sets
+        // exclude the crashed robot.
+        assert!(e
+            .trace()
+            .faults()
+            .contains(&FaultEvent::CrashStop { time: 3, robot: 1 }));
+        for s in e.trace().steps() {
+            assert_eq!(s.active.contains(1), s.time < 3);
+        }
+    }
+
+    #[test]
+    fn crashed_robot_still_observed_by_others() {
+        struct CountOthers {
+            counts: Vec<usize>,
+        }
+        impl MovementProtocol for CountOthers {
+            fn on_activate(&mut self, view: &View) -> Point {
+                self.counts.push(view.others().len());
+                view.own_position()
+            }
+        }
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(5.0, 0.0)])
+            .protocols([
+                CountOthers { counts: vec![] },
+                CountOthers { counts: vec![] },
+            ])
+            .unit_frames()
+            .faults(FaultPlan::new(2).crash_stop(1, 0))
+            .build()
+            .unwrap();
+        e.run(4).unwrap();
+        assert_eq!(
+            e.protocol(0).counts,
+            vec![1; 4],
+            "crashed body stays visible"
+        );
+        assert!(e.protocol(1).counts.is_empty(), "crashed robot never ran");
+    }
+
+    #[test]
+    fn non_rigid_motion_shortens_moves_but_respects_delta() {
+        let delta = 0.25;
+        let mut e = faulted_walkers(FaultPlan::new(77).non_rigid(delta, 1.0));
+        e.run(10).unwrap();
+        let faults = e.trace().faults();
+        assert_eq!(faults.len(), 20, "every activation was non-rigid");
+        for f in faults {
+            match *f {
+                FaultEvent::NonRigidMotion { fraction, .. } => {
+                    assert!((delta..1.0).contains(&fraction));
+                }
+                ref other => panic!("unexpected fault {other:?}"),
+            }
+        }
+        // Each instant both robots still advanced at least δ·σ.
+        for (prev, s) in std::iter::once(&e.trace().initial().to_vec())
+            .chain(e.trace().steps().iter().map(|s| &s.positions))
+            .zip(e.trace().steps().iter().map(|s| &s.positions))
+        {
+            for (p, q) in prev.iter().zip(s.iter()) {
+                let step = p.distance(*q);
+                assert!(step >= delta - 1e-12 && step <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn observation_dropout_hides_other_robots_transiently() {
+        struct CountOthers {
+            counts: Vec<usize>,
+        }
+        impl MovementProtocol for CountOthers {
+            fn on_activate(&mut self, view: &View) -> Point {
+                self.counts.push(view.others().len());
+                view.own_position()
+            }
+        }
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(5.0, 0.0), Point::new(0.0, 5.0)])
+            .protocols([
+                CountOthers { counts: vec![] },
+                CountOthers { counts: vec![] },
+                CountOthers { counts: vec![] },
+            ])
+            .unit_frames()
+            .faults(FaultPlan::new(5).observation_dropout(0.5))
+            .build()
+            .unwrap();
+        e.run(40).unwrap();
+        let all: Vec<usize> = (0..3).flat_map(|i| e.protocol(i).counts.clone()).collect();
+        assert!(all.iter().any(|&c| c < 2), "dropout never struck");
+        assert!(all.contains(&2), "dropout was not transient");
+        let dropouts = e
+            .trace()
+            .faults()
+            .iter()
+            .filter(|f| matches!(f, FaultEvent::ObservationDropout { .. }))
+            .count();
+        let hidden: usize = all.iter().map(|&c| 2 - c).sum();
+        assert_eq!(dropouts, hidden, "every dropout is recorded exactly once");
+    }
+
+    #[test]
+    fn faulted_runs_replay_identically_from_the_seed() {
+        let plan = || {
+            FaultPlan::new(123)
+                .crash_stop(0, 6)
+                .non_rigid(0.3, 0.4)
+                .observation_dropout(0.2)
+        };
+        let run = |p: FaultPlan| {
+            let mut e = faulted_walkers(p);
+            e.run(12).unwrap();
+            e.trace().clone()
+        };
+        let a = run(plan());
+        let b = run(plan());
+        assert_eq!(a, b, "same plan seed must yield identical traces");
+        assert!(!a.faults().is_empty());
+        let c = run(FaultPlan::new(124)
+            .crash_stop(0, 6)
+            .non_rigid(0.3, 0.4)
+            .observation_dropout(0.2));
+        assert_ne!(a, c, "a different seed must perturb the run");
+    }
+
+    #[test]
+    fn benign_plan_changes_nothing() {
+        let mut plain = two_still();
+        plain.run(5).unwrap();
+        let mut faulted = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(4.0, 0.0)])
+            .protocols([Still, Still])
+            .unit_frames()
+            .faults(FaultPlan::new(999))
+            .build()
+            .unwrap();
+        faulted.run(5).unwrap();
+        assert_eq!(plain.trace(), faulted.trace());
+        assert!(faulted.fault_plan().is_benign());
     }
 }

@@ -211,7 +211,9 @@ mod tests {
         let f = LocalFrame::new(Point::ORIGIN, 0.0, 4.0);
         assert_eq!(f.len_to_local(8.0), 2.0);
         assert_eq!(f.len_to_world(2.0), 8.0);
-        assert!(f.to_local(Point::new(4.0, 0.0)).approx_eq(Point::new(1.0, 0.0)));
+        assert!(f
+            .to_local(Point::new(4.0, 0.0))
+            .approx_eq(Point::new(1.0, 0.0)));
     }
 
     #[test]

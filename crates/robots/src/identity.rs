@@ -12,9 +12,7 @@ use std::fmt;
 ///
 /// Distinct robots carry distinct `VisibleId`s. The numeric value carries
 /// no positional meaning; protocols use only its identity and order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VisibleId(u32);
 
 impl VisibleId {

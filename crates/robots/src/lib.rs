@@ -60,7 +60,7 @@ pub use engine::{Engine, EngineBuilder, RunOutcome, StepReport};
 pub use frame::{FrameGenerator, LocalFrame};
 pub use identity::VisibleId;
 pub use protocol::MovementProtocol;
-pub use trace::{StepRecord, Trace};
+pub use trace::{FaultEvent, StepRecord, Trace};
 pub use view::{Observed, View};
 
 use std::error::Error;
@@ -172,7 +172,10 @@ mod tests {
                 expected: 3,
                 got: 2,
             },
-            ModelError::CoincidentRobots { first: 0, second: 1 },
+            ModelError::CoincidentRobots {
+                first: 0,
+                second: 1,
+            },
             ModelError::Collision {
                 time: 4,
                 first: 1,

@@ -21,11 +21,61 @@ pub struct StepRecord {
     pub positions: Vec<Point>,
 }
 
+/// One injected fault, recorded where it struck.
+///
+/// Fault events make faulted runs replayable: a trace plus the records
+/// of what the fault plan actually did pins the full execution, and two
+/// runs of the same engine configuration with the same plan seed must
+/// produce equal traces — fault events included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A robot crash-stopped: from `time` on it is never activated
+    /// again, though its body remains visible to others.
+    CrashStop {
+        /// Instant of the crash.
+        time: u64,
+        /// The crashed robot.
+        robot: usize,
+    },
+    /// A move was cut short after covering only `fraction` of its
+    /// intended (σ-capped) distance.
+    NonRigidMotion {
+        /// Instant of the interrupted move.
+        time: u64,
+        /// The affected robot.
+        robot: usize,
+        /// Fraction of the intended move actually covered, in `[δ, 1)`.
+        fraction: f64,
+    },
+    /// An active robot transiently failed to observe another robot.
+    ObservationDropout {
+        /// Instant of the dropout.
+        time: u64,
+        /// The robot whose observation failed.
+        observer: usize,
+        /// The robot it failed to see.
+        observed: usize,
+    },
+}
+
+impl FaultEvent {
+    /// The instant at which the fault struck.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        match *self {
+            FaultEvent::CrashStop { time, .. }
+            | FaultEvent::NonRigidMotion { time, .. }
+            | FaultEvent::ObservationDropout { time, .. } => time,
+        }
+    }
+}
+
 /// A full execution trace.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Trace {
     initial: Vec<Point>,
     steps: Vec<StepRecord>,
+    faults: Vec<FaultEvent>,
 }
 
 impl Trace {
@@ -35,12 +85,24 @@ impl Trace {
         Self {
             initial,
             steps: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
     /// Appends one instant's record.
     pub fn record(&mut self, step: StepRecord) {
         self.steps.push(step);
+    }
+
+    /// Appends one injected-fault record.
+    pub fn record_fault(&mut self, fault: FaultEvent) {
+        self.faults.push(fault);
+    }
+
+    /// All recorded fault events, in injection order.
+    #[must_use]
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
     }
 
     /// The initial configuration `P(t0)`.
@@ -79,7 +141,11 @@ impl Trace {
     pub fn position_at(&self, robot: usize, step: Option<usize>) -> Option<Point> {
         match step {
             None => self.initial.get(robot).copied(),
-            Some(s) => self.steps.get(s).and_then(|r| r.positions.get(robot)).copied(),
+            Some(s) => self
+                .steps
+                .get(s)
+                .and_then(|r| r.positions.get(robot))
+                .copied(),
         }
     }
 
@@ -110,9 +176,7 @@ impl Trace {
     #[must_use]
     pub fn move_count(&self, robot: usize) -> usize {
         let path = self.path(robot);
-        path.windows(2)
-            .filter(|w| !w[0].approx_eq(w[1]))
-            .count()
+        path.windows(2).filter(|w| !w[0].approx_eq(w[1])).count()
     }
 
     /// The minimum pairwise distance over the whole trace — the collision
@@ -120,8 +184,8 @@ impl Trace {
     #[must_use]
     pub fn min_pairwise_distance(&self) -> f64 {
         let mut min = f64::INFINITY;
-        let configs = std::iter::once(&self.initial[..])
-            .chain(self.steps.iter().map(|s| &s.positions[..]));
+        let configs =
+            std::iter::once(&self.initial[..]).chain(self.steps.iter().map(|s| &s.positions[..]));
         for positions in configs {
             for i in 0..positions.len() {
                 for j in (i + 1)..positions.len() {
@@ -181,7 +245,11 @@ mod tests {
         let t = sample_trace();
         assert_eq!(
             t.path(0),
-            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 1.0)]
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0)
+            ]
         );
         assert!((t.path_length(0) - 2.0).abs() < 1e-12);
         assert_eq!(t.move_count(0), 2);
@@ -221,6 +289,28 @@ mod tests {
         let t = sample_trace();
         // Robot 0 ends sqrt(2) away; robot 1 ends 2.0 away.
         assert!((t.max_drift() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_events_recorded_and_compared() {
+        let mut a = sample_trace();
+        let b = sample_trace();
+        assert_eq!(a, b);
+        a.record_fault(FaultEvent::CrashStop { time: 1, robot: 0 });
+        a.record_fault(FaultEvent::NonRigidMotion {
+            time: 1,
+            robot: 1,
+            fraction: 0.5,
+        });
+        a.record_fault(FaultEvent::ObservationDropout {
+            time: 0,
+            observer: 0,
+            observed: 1,
+        });
+        assert_ne!(a, b, "fault events participate in trace equality");
+        assert_eq!(a.faults().len(), 3);
+        assert_eq!(a.faults()[0].time(), 1);
+        assert_eq!(a.faults()[2].time(), 0);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use crate::identity::VisibleId;
 use serde::{Deserialize, Serialize};
-use stigmergy_geometry::Point;
 use std::fmt;
+use stigmergy_geometry::Point;
 
 /// One observed robot: a position (in the observer's frame), plus its
 /// visible identifier in identified systems.
@@ -138,7 +138,12 @@ impl View {
 
 impl fmt::Display for View {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "view: self at {}, {} others", self.own.position, self.others.len())
+        write!(
+            f,
+            "view: self at {}, {} others",
+            self.own.position,
+            self.others.len()
+        )
     }
 }
 
@@ -155,7 +160,11 @@ mod tests {
 
     #[test]
     fn others_sorted_by_coordinates() {
-        let view = View::new(obs(0.0, 0.0), vec![obs(2.0, 0.0), obs(-1.0, 5.0), obs(2.0, -3.0)], 1.0);
+        let view = View::new(
+            obs(0.0, 0.0),
+            vec![obs(2.0, 0.0), obs(-1.0, 5.0), obs(2.0, -3.0)],
+            1.0,
+        );
         let xs: Vec<(f64, f64)> = view
             .others()
             .iter()
@@ -199,7 +208,9 @@ mod tests {
         assert_eq!(timed.time(), Some(9));
         // Translation preserves the clock.
         assert_eq!(
-            timed.translated(stigmergy_geometry::Vec2::new(1.0, 0.0)).time(),
+            timed
+                .translated(stigmergy_geometry::Vec2::new(1.0, 0.0))
+                .time(),
             Some(9)
         );
     }

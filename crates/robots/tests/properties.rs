@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use stigmergy_geometry::{Point, Vec2};
-use stigmergy_robots::{
-    Capabilities, Engine, FrameGenerator, LocalFrame, MovementProtocol, View,
-};
+use stigmergy_robots::{Capabilities, Engine, FrameGenerator, LocalFrame, MovementProtocol, View};
 use stigmergy_scheduler::FairAsync;
 
 fn coord() -> impl Strategy<Value = f64> {
@@ -63,8 +61,8 @@ proptest! {
         let mut prev = e.positions().to_vec();
         for _ in 0..steps {
             e.step().unwrap();
-            for i in 0..2 {
-                let moved = prev[i].distance(e.positions()[i]);
+            for (i, p) in prev.iter().enumerate() {
+                let moved = p.distance(e.positions()[i]);
                 prop_assert!(moved <= sigma + 1e-9, "robot {i} moved {moved} > σ {sigma}");
             }
             prev = e.positions().to_vec();

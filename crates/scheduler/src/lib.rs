@@ -31,11 +31,13 @@
 //! ```
 
 pub mod activation;
+pub mod adversary;
 pub mod fairness;
 pub mod rng;
 pub mod schedules;
 
 pub use activation::ActivationSet;
+pub use adversary::{Bursty, CrashFiltered, FaultPlan, LaggingRobot, WorstCaseFair};
 pub use fairness::{audit_fairness, FairnessReport};
 pub use schedules::{FairAsync, RoundRobin, Scripted, SingleActive, Synchronous, WakeAllFirst};
 
@@ -60,6 +62,18 @@ pub trait Schedule {
 impl fmt::Debug for dyn Schedule + '_ {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Schedule({})", self.name())
+    }
+}
+
+/// Boxed schedules are schedules, so test harnesses can pick one at
+/// runtime and still hand it to APIs taking `S: Schedule`.
+impl<S: Schedule + ?Sized> Schedule for Box<S> {
+    fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        (**self).activations(t, n)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
     }
 }
 

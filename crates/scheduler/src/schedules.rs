@@ -5,8 +5,8 @@
 //! is reproducible bit-for-bit.
 
 use crate::activation::ActivationSet;
-use crate::Schedule;
 use crate::rng::SplitMix64;
+use crate::Schedule;
 
 /// The synchronous scheduler: every robot active at every instant (§3 of
 /// the paper).
@@ -51,7 +51,10 @@ impl FairAsync {
     /// Panics if `p` is not in `(0, 1]` or `max_gap == 0`.
     #[must_use]
     pub fn new(seed: u64, p: f64, max_gap: u64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "activation probability must be in (0, 1]"
+        );
         assert!(max_gap > 0, "max_gap must be positive");
         Self {
             rng: SplitMix64::new(seed),
@@ -349,7 +352,7 @@ mod tests {
         assert!(set0.contains(0) && set0.contains(1));
         assert!(s.activations(1, 3).contains(2));
         assert!(s.activations(3, 3).contains(0)); // wrapped
-        // Indices beyond the cohort are clipped.
+                                                  // Indices beyond the cohort are clipped.
         let clipped = s.activations(1, 2);
         assert!(clipped.is_empty());
     }

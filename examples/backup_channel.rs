@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  radio is {} after {} transmissions",
-        if channel.wireless().is_dead() { "dead" } else { "alive" },
+        if channel.wireless().is_dead() {
+            "dead"
+        } else {
+            "alive"
+        },
         channel.wireless().transmissions()
     );
     Ok(())

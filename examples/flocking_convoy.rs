@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut engine = Engine::builder()
         .positions(positions.clone())
-        .protocols((0..5).map(|_| {
-            Flocking::new(SyncSwarm::anonymous_with_direction(), velocity)
-        }))
+        .protocols((0..5).map(|_| Flocking::new(SyncSwarm::anonymous_with_direction(), velocity)))
         .capabilities(Capabilities::anonymous_with_direction())
         .unit_frames()
         .build()?;

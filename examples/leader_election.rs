@@ -27,16 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Anonymous robots draw nonces (in practice: seeded hardware RNG).
     let nonces = [831u64, 119, 407, 995, 223, 640];
     println!("nonces: {nonces:?}\n");
-    let mut apps: Vec<LeaderElection> =
-        nonces.iter().map(|&v| LeaderElection::new(v)).collect();
+    let mut apps: Vec<LeaderElection> = nonces.iter().map(|&v| LeaderElection::new(v)).collect();
 
     let rounds = run_app(&mut net, &mut apps, 20, 400_000)?;
 
     println!("quiescence after {rounds} message rounds");
-    println!(
-        "movement instants consumed: {}",
-        net.engine().time()
-    );
+    println!("movement instants consumed: {}", net.engine().time());
     for (i, app) in apps.iter().enumerate() {
         println!(
             "  robot {i}: leader = robot {:?} (nonce {})",

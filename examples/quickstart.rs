@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for robot in 0..net.cohort() {
         println!("robot {robot} inbox:");
         for (sender, payload) in net.inbox(robot) {
-            println!("  from robot {sender}: {:?}", String::from_utf8_lossy(&payload));
+            println!(
+                "  from robot {sender}: {:?}",
+                String::from_utf8_lossy(&payload)
+            );
         }
     }
 

@@ -55,12 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Phase 1: leader election over movement signals --------------
     let mut net = SyncNetwork::anonymous_with_direction(positions.clone(), seed)?;
     let nonces = [512u64, 77, 903, 268, 431];
-    let mut apps: Vec<LeaderElection> =
-        nonces.iter().map(|&v| LeaderElection::new(v)).collect();
+    let mut apps: Vec<LeaderElection> = nonces.iter().map(|&v| LeaderElection::new(v)).collect();
     run_app(&mut net, &mut apps, 20, 400_000)?;
     let leader = apps[0].leader().expect("settled");
     assert!(apps.iter().all(|a| a.leader() == Some(leader)));
-    println!("phase 1: elected robot {leader} (nonce {})", apps[0].best_nonce());
+    println!(
+        "phase 1: elected robot {leader} (nonce {})",
+        apps[0].best_nonce()
+    );
 
     // ---- Phase 2: leader broadcasts the rendezvous point --------------
     // Encoded as (dx, dy) from the SEC centre in milli-radii — the shared
@@ -96,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let dx = f64::from(i16::from_be_bytes([bytes[0], bytes[1]])) / 1000.0;
         let dy = f64::from(i16::from_be_bytes([bytes[2], bytes[3]])) / 1000.0;
-        let target = Point::new(sec.center.x + dx * sec.radius, sec.center.y + dy * sec.radius);
+        let target = Point::new(
+            sec.center.x + dx * sec.radius,
+            sec.center.y + dy * sec.radius,
+        );
         // Parking ring: ranked by the leader's SEC-relative naming —
         // computable by every robot from positions alone, so all robots
         // agree on who parks where without any extra messages.

@@ -102,19 +102,15 @@ fn async_pair_duplex_over_many_seeds() {
 fn async_swarm_under_three_scheduler_families() {
     let positions = ring(3, 22.0);
     // FairAsync.
-    let mut a = AsyncNetwork::anonymous_with_schedule(
-        positions.clone(),
-        1,
-        FairAsync::new(1, 0.5, 8),
-    )
-    .unwrap();
+    let mut a =
+        AsyncNetwork::anonymous_with_schedule(positions.clone(), 1, FairAsync::new(1, 0.5, 8))
+            .unwrap();
     a.send(0, 2, b"fa").unwrap();
     a.run_until_delivered(300_000).unwrap();
     assert_eq!(a.inbox(2), vec![(0, b"fa".to_vec())]);
 
     // RoundRobin.
-    let mut b =
-        AsyncNetwork::anonymous_with_schedule(positions.clone(), 2, RoundRobin).unwrap();
+    let mut b = AsyncNetwork::anonymous_with_schedule(positions.clone(), 2, RoundRobin).unwrap();
     b.send(1, 0, b"rr").unwrap();
     b.run_until_delivered(300_000).unwrap();
     assert_eq!(b.inbox(0), vec![(1, b"rr".to_vec())]);

@@ -13,7 +13,8 @@ fn sync_runs_are_collision_free_and_granular_confined() {
     let radii = granular_radii(&positions).unwrap();
     let mut net = SyncNetwork::anonymous_with_direction(positions.clone(), 0xB01).unwrap();
     for i in 0..6 {
-        net.send(i, (i + 1) % 6, format!("m{i}").as_bytes()).unwrap();
+        net.send(i, (i + 1) % 6, format!("m{i}").as_bytes())
+            .unwrap();
     }
     net.run_until_delivered(50_000).unwrap();
 
@@ -93,7 +94,10 @@ fn world_trajectories_are_frame_invariant() {
         net.send(1, 2, b"x").unwrap();
         net.run_until_delivered(50_000).unwrap();
         (
-            format!("{:?}", net.engine().trace().steps().last().unwrap().positions),
+            format!(
+                "{:?}",
+                net.engine().trace().steps().last().unwrap().positions
+            ),
             net.inbox(2),
         )
     };
@@ -157,18 +161,144 @@ fn overhearing_matches_the_direct_inbox() {
 #[test]
 fn async_trace_fairness_audit_under_custom_scheduler() {
     use stigmergy_scheduler::FairAsync;
-    let mut net = AsyncNetwork::anonymous_with_schedule(
-        ring(3, 20.0),
-        0xB05,
-        FairAsync::new(0xB05, 0.3, 10),
-    )
-    .unwrap();
+    let mut net =
+        AsyncNetwork::anonymous_with_schedule(ring(3, 20.0), 0xB05, FairAsync::new(0xB05, 0.3, 10))
+            .unwrap();
     net.send(0, 1, b"audit").unwrap();
     net.run_until_delivered(500_000).unwrap();
     let report = audit_fairness(&net.engine().trace().activation_log(), 3);
     assert!(report.is_valid_ssm());
     // Gap bound: max_gap plus the wake-all-first instant.
     assert!(report.is_fair(11), "worst gap {}", report.worst_gap());
+}
+
+/// The adversarial schedule roster shared by the conformance tests below:
+/// the harshest legal scheduler plus the three adversaries from the
+/// fault-injection subsystem.
+fn conformance_schedules(n: usize) -> Vec<(&'static str, Box<dyn stigmergy_scheduler::Schedule>)> {
+    use stigmergy_scheduler::{Bursty, LaggingRobot, SingleActive, WorstCaseFair};
+    vec![
+        ("single-active", Box::new(SingleActive::new(0x51, 8))),
+        ("lagging-robot", Box::new(LaggingRobot::new(n - 1, 8))),
+        ("bursty", Box::new(Bursty::new(0x52, 3, 5))),
+        ("worst-case-fair", Box::new(WorstCaseFair::new(6))),
+    ]
+}
+
+#[test]
+fn sigma_cap_holds_under_single_active_and_adversarial_schedules() {
+    // The physical contract: no robot ever travels more than its σ in one
+    // instant, no matter how adversarially it is scheduled, and no two
+    // robots ever come within the collision tolerance of each other.
+    use stigmergy::async_n::AsyncSwarm;
+    use stigmergy_robots::engine::DEFAULT_COLLISION_EPS;
+    use stigmergy_robots::{Capabilities, Engine};
+    use stigmergy_scheduler::WakeAllFirst;
+
+    let n = 3;
+    let sigma = 0.9;
+    for (name, schedule) in conformance_schedules(n) {
+        let mut e = Engine::builder()
+            .positions(ring(n, 20.0))
+            .protocols((0..n).map(|_| AsyncSwarm::anonymous()))
+            .capabilities(Capabilities::anonymous())
+            .schedule(WakeAllFirst::new(schedule))
+            .sigma(sigma)
+            .frame_seed(0x5161)
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        // Queue traffic so excursion moves actually press against σ.
+        e.protocol_mut(0).send_broadcast(b"press");
+        e.run_until(3_000, |_| false).unwrap();
+
+        let trace = e.trace();
+        let mut prev = trace.initial().to_vec();
+        for step in trace.steps() {
+            for (i, p) in step.positions.iter().enumerate() {
+                assert!(
+                    prev[i].distance(*p) <= sigma + 1e-9,
+                    "robot {i} overshot σ under {name} at t={}",
+                    step.time
+                );
+            }
+            prev.clone_from(&step.positions);
+        }
+        assert!(
+            trace.min_pairwise_distance() >= DEFAULT_COLLISION_EPS,
+            "collision tolerance violated under {name}"
+        );
+    }
+}
+
+#[test]
+fn collision_tolerance_holds_under_faulted_adversarial_runs() {
+    // Same physical contract with the full fault plan armed: shortened
+    // moves stay inside the mover's granule (the lerp never leaves the
+    // segment), a crashed body is an obstacle others must still clear,
+    // and dropouts must not push anyone onto a collision course.
+    use stigmergy::sync_swarm::SyncSwarm;
+    use stigmergy_robots::engine::DEFAULT_COLLISION_EPS;
+    use stigmergy_robots::{Capabilities, Engine, FaultEvent};
+    use stigmergy_scheduler::{FaultPlan, WakeAllFirst};
+
+    let n = 3;
+    for (name, schedule) in conformance_schedules(n) {
+        let mut e = Engine::builder()
+            .positions(ring(n, 20.0))
+            .protocols((0..n).map(|_| SyncSwarm::anonymous_with_direction()))
+            .capabilities(Capabilities::anonymous_with_direction())
+            .schedule(WakeAllFirst::new(schedule))
+            .frame_seed(0x5162)
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        e.set_fault_plan(
+            FaultPlan::new(0x77)
+                .non_rigid(0.3, 0.6)
+                .observation_dropout(0.2)
+                .crash_stop(1, 50),
+        );
+        e.protocol_mut(0).send_broadcast(b"faulted");
+        e.run_until(5_000, |_| false)
+            .unwrap_or_else(|err| panic!("{name}: {err}"));
+
+        let trace = e.trace();
+        assert!(
+            trace.min_pairwise_distance() >= DEFAULT_COLLISION_EPS,
+            "collision tolerance violated under faulted {name}"
+        );
+        // The recorded fault stream must itself conform: every non-rigid
+        // fraction honours the δ floor, and the crash fired on time.
+        let mut saw_non_rigid = false;
+        let mut crash_time = None;
+        for f in trace.faults() {
+            match *f {
+                FaultEvent::NonRigidMotion { fraction, .. } => {
+                    saw_non_rigid = true;
+                    assert!((0.3..1.0).contains(&fraction), "{name}: δ floor broken");
+                }
+                FaultEvent::CrashStop { time, robot } => {
+                    assert_eq!(robot, 1);
+                    crash_time = Some(time);
+                }
+                FaultEvent::ObservationDropout { .. } => {}
+            }
+        }
+        assert!(saw_non_rigid, "{name}: non-rigid plan never fired");
+        assert_eq!(crash_time, Some(50), "{name}: crash-stop misfired");
+        // A crashed body freezes: its position never changes after t=50.
+        let frozen: Vec<_> = trace
+            .steps()
+            .iter()
+            .filter(|s| s.time >= 50)
+            .map(|s| s.positions[1])
+            .collect();
+        assert!(
+            frozen.windows(2).all(|w| w[0] == w[1]),
+            "{name}: crashed robot moved"
+        );
+    }
 }
 
 #[test]
@@ -195,7 +325,10 @@ fn async_swarm_survives_corda_decoupling() {
     e.protocol_mut(0).send_label(label, b"corda-n");
     let ok = e
         .run_until(400_000, |e| {
-            e.protocol(2).inbox().iter().any(|m| m.payload == b"corda-n")
+            e.protocol(2)
+                .inbox()
+                .iter()
+                .any(|m| m.payload == b"corda-n")
         })
         .unwrap();
     assert!(ok, "AsyncSwarm should survive atomic-move CORDA");

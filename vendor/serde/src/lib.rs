@@ -1,0 +1,16 @@
+//! Vendored `serde` shim: marker traits plus no-op derives.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` for forward compatibility but
+//! performs no runtime (de)serialization, so the traits carry no
+//! methods and the derives (from the sibling `serde_derive` shim) emit
+//! nothing. Swapping in real serde is a manifest-only change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
