@@ -4,11 +4,16 @@
 //! cargo run --release -p stigmergy-bench --bin experiments          # all
 //! cargo run --release -p stigmergy-bench --bin experiments -- fig4  # one
 //! cargo run --release -p stigmergy-bench --bin experiments -- list  # ids
+//!
+//! # fleet batch sweeps
+//! … -- batch --workers 4 --seeds 16 --metrics-out metrics.json
+//! … -- sweep --workers 2 --seeds 16 --out BENCH_fleet.json
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
-use stigmergy_bench::experiments;
+use stigmergy_bench::{experiments, fleet_sweep};
+use stigmergy_fleet::{run_batch, BatchSpec};
 
 /// Prints to stdout, exiting quietly when the reader hung up (e.g. the
 /// output is piped into `head`) instead of panicking on a broken pipe.
@@ -46,6 +51,8 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("batch") => run_batch_cmd(&args[1..]),
+        Some("sweep") => run_sweep_cmd(&args[1..]),
         Some("list") => {
             for artifact in experiments::all() {
                 emit(&format!("{:6} {}", artifact.id, artifact.paper_ref));
@@ -69,6 +76,132 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    }
+}
+
+/// Flags shared by `batch` and `sweep`.
+struct FleetFlags {
+    workers: usize,
+    seeds: u64,
+    budget_cap: Option<u64>,
+    out: Option<String>,
+}
+
+/// Parses `--workers N --seeds K --budget-cap B --metrics-out/--out PATH`.
+fn parse_fleet_flags(args: &[String]) -> Result<FleetFlags, String> {
+    let mut flags = FleetFlags {
+        workers: 1,
+        seeds: 8,
+        budget_cap: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                flags.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if flags.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--seeds" => {
+                flags.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--budget-cap" => {
+                flags.budget_cap = Some(
+                    value("--budget-cap")?
+                        .parse()
+                        .map_err(|e| format!("--budget-cap: {e}"))?,
+                );
+            }
+            "--metrics-out" | "--out" => {
+                flags.out = Some(value(flag)?.clone());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn fleet_spec(flags: &FleetFlags) -> BatchSpec {
+    BatchSpec {
+        budget_cap: flags.budget_cap,
+        ..BatchSpec::conformance_matrix((0..flags.seeds).collect())
+    }
+}
+
+/// `batch`: one run of the conformance matrix through the fleet. The
+/// metrics JSON written by `--metrics-out` is fully deterministic (no
+/// timings), so two invocations at different worker counts must produce
+/// byte-identical files — CI's fleet-smoke job diffs exactly that.
+fn run_batch_cmd(args: &[String]) -> ExitCode {
+    let flags = match parse_fleet_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("batch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_batch(&fleet_spec(&flags), flags.workers);
+    banner(
+        "batch",
+        &format!(
+            "conformance matrix, {} sessions, {} workers",
+            report.runs.len(),
+            flags.workers
+        ),
+    );
+    emit(&fleet_sweep::batch_table(&report).to_string());
+    if let Some(path) = &flags.out {
+        if let Err(e) = std::fs::write(path, report.metrics.to_json()) {
+            eprintln!("batch: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        emit(&format!("wrote {path}"));
+    }
+    ExitCode::SUCCESS
+}
+
+/// `sweep`: times the same spec at workers=1 and workers=N, verifies the
+/// outputs are identical, and writes the timing document (`--out`,
+/// conventionally `BENCH_fleet.json`).
+fn run_sweep_cmd(args: &[String]) -> ExitCode {
+    let flags = match parse_fleet_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = fleet_sweep::sweep(&fleet_spec(&flags), flags.workers.max(2));
+    banner(
+        "sweep",
+        &format!(
+            "workers=1 vs workers={}, {} sessions",
+            result.workers,
+            result.report.runs.len()
+        ),
+    );
+    emit(&fleet_sweep::sweep_table(&result).to_string());
+    if let Some(path) = &flags.out {
+        if let Err(e) = std::fs::write(path, result.to_json()) {
+            eprintln!("sweep: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        emit(&format!("wrote {path}"));
+    }
+    if result.identical_runs && result.identical_metrics {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sweep: workers=1 and workers=N disagreed");
+        ExitCode::FAILURE
     }
 }
 

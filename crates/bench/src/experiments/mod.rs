@@ -128,6 +128,11 @@ pub fn all() -> Vec<Artifact> {
             paper_ref: "composed cost — delivery latency vs payload size, all families",
             run: claims_c::e15,
         },
+        Artifact {
+            id: "e16",
+            paper_ref: "harness — parallel fleet batch: workers=1 vs N determinism",
+            run: crate::fleet_sweep::e16,
+        },
     ]
 }
 
@@ -148,7 +153,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 21);
+        assert_eq!(n, 22);
     }
 
     #[test]

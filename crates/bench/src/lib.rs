@@ -16,6 +16,7 @@
 //! is measured separately by the Criterion benches in `benches/`.
 
 pub mod experiments;
+pub mod fleet_sweep;
 pub mod svg;
 pub mod table;
 pub mod workloads;

@@ -91,6 +91,28 @@ impl SwarmProtocol for AsyncSwarm {
     }
 }
 
+/// A plain-data summary of a session: how much work the engine did and
+/// whether every queued message arrived.
+///
+/// Extracted via [`Network::report`] (and the façades' equivalents); all
+/// fields are order-independent sums or booleans, so reports aggregate
+/// the same way regardless of which worker thread ran the session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Number of robots.
+    pub cohort: usize,
+    /// Whether every queued expectation has been met.
+    pub delivered: bool,
+    /// Instants executed.
+    pub steps: u64,
+    /// Robot activations (after crash filtering).
+    pub activations: u64,
+    /// Activations that changed a position.
+    pub moves: u64,
+    /// Faults injected by the engine's plan.
+    pub faults_injected: u64,
+}
+
 /// A message-passing network over movement signals.
 #[derive(Debug)]
 pub struct Network<P> {
@@ -349,6 +371,24 @@ impl<P: SwarmProtocol> Network<P> {
         })
     }
 
+    /// Summarizes the session so far: cohort size, delivery status, and
+    /// the engine's cumulative counters.
+    ///
+    /// Plain copyable data, independent of trace recording — this is the
+    /// currency batch runtimes collect from finished sessions.
+    #[must_use]
+    pub fn report(&self) -> SessionReport {
+        let stats = self.engine.stats();
+        SessionReport {
+            cohort: self.cohort(),
+            delivered: self.all_delivered(),
+            steps: stats.steps,
+            activations: stats.activations,
+            moves: stats.moves,
+            faults_injected: stats.faults_injected,
+        }
+    }
+
     /// Robot `robot`'s inbox as `(sender_engine_index, payload)` pairs.
     ///
     /// Empty before the first instant (geometry not yet built).
@@ -495,6 +535,21 @@ impl AsyncPair {
     pub fn engine(&self) -> &Engine<Async2> {
         &self.engine
     }
+
+    /// Summarizes the session so far. `delivered` here means both
+    /// endpoints have drained their outboxes (nothing still in flight).
+    #[must_use]
+    pub fn report(&self) -> SessionReport {
+        let stats = self.engine.stats();
+        SessionReport {
+            cohort: 2,
+            delivered: self.engine.protocol(0).is_drained() && self.engine.protocol(1).is_drained(),
+            steps: stats.steps,
+            activations: stats.activations,
+            moves: stats.moves,
+            faults_injected: stats.faults_injected,
+        }
+    }
 }
 
 /// Why a hardened session abandoned the movement channel for a message.
@@ -565,6 +620,7 @@ pub struct HardenedSession {
     secondary: Wireless,
     secondary_inbox: Vec<(usize, usize, Vec<u8>)>,
     stats: SessionStats,
+    sends: u64,
 }
 
 impl HardenedSession {
@@ -586,6 +642,7 @@ impl HardenedSession {
             secondary,
             secondary_inbox: Vec::new(),
             stats: SessionStats::default(),
+            sends: 0,
         })
     }
 
@@ -635,6 +692,7 @@ impl HardenedSession {
         if from == to {
             return Err(CoreError::SelfAddressed);
         }
+        self.sends += 1;
         let baseline = self.delivered_copies(from, to, payload);
         let mut total_steps = 0u64;
         for attempt in 0..self.policy.max_attempts() {
@@ -749,6 +807,22 @@ impl HardenedSession {
         self.stats
     }
 
+    /// Summarizes the session: the movement engine's counters, with
+    /// `delivered` meaning every [`HardenedSession::send`] so far got its
+    /// payload through (over movement or the secondary channel).
+    #[must_use]
+    pub fn report(&self) -> SessionReport {
+        let stats = self.net.engine().stats();
+        SessionReport {
+            cohort: self.net.cohort(),
+            delivered: self.stats.movement_ok + self.stats.secondary_ok == self.sends,
+            steps: stats.steps,
+            activations: stats.activations,
+            moves: stats.moves,
+            faults_injected: stats.faults_injected,
+        }
+    }
+
     /// The underlying movement network.
     #[must_use]
     pub fn network(&self) -> &SyncNetwork {
@@ -772,6 +846,28 @@ mod tests {
             Point::new(12.0, 0.0),
             Point::new(5.0, 9.0),
         ]
+    }
+
+    #[test]
+    fn report_summarizes_engine_work_and_delivery() {
+        let mut net = SyncNetwork::anonymous_with_direction(triangle(), 1).unwrap();
+        assert_eq!(
+            net.report(),
+            SessionReport {
+                cohort: 3,
+                delivered: true, // nothing queued yet
+                ..SessionReport::default()
+            }
+        );
+        net.send(0, 2, b"hi").unwrap();
+        let steps = net.run_until_delivered(5_000).unwrap();
+        let report = net.report();
+        assert!(report.delivered);
+        assert_eq!(report.cohort, 3);
+        assert_eq!(report.steps, steps);
+        assert_eq!(report.activations, steps * 3, "synchronous schedule");
+        assert!(report.moves > 0);
+        assert_eq!(report.faults_injected, 0);
     }
 
     #[test]

@@ -1,0 +1,801 @@
+//! Batch execution: a [`BatchSpec`] fans out into sessions, the pool runs
+//! them on N workers, and each session comes back as a [`RunReport`].
+//!
+//! Determinism contract: a session is a pure function of its
+//! [`SessionSpec`] — schedules and fault plans are built from Send-safe
+//! specs *inside* the worker, every RNG is seeded from the spec, and the
+//! pool returns reports in submission order — so `workers = 1` and
+//! `workers = N` produce identical report vectors, byte-identical encoded
+//! traces, and equal metrics snapshots. The conformance matrix from the
+//! adversarial suite ships as [`BatchSpec::conformance_matrix`], with the
+//! same cohorts, schedules, plans, and budgets as the hand-rolled loops
+//! it replaces.
+
+use crate::metrics::{FleetMetrics, MetricsSnapshot, SessionOutcome};
+use crate::pool::run_indexed;
+use crate::trace_codec::{encode, fnv1a64};
+use std::time::Duration;
+use std::time::Instant;
+use stigmergy::ack::RetransmitPolicy;
+use stigmergy::async2::{Async2, DriftPolicy};
+use stigmergy::async_n::AsyncSwarm;
+use stigmergy::backup::Wireless;
+use stigmergy::session::HardenedSession;
+use stigmergy::sync2::Sync2;
+use stigmergy::sync_swarm::SyncSwarm;
+use stigmergy::{label_by_id, label_by_lex, label_by_sec};
+use stigmergy_geometry::Point;
+use stigmergy_robots::engine::DEFAULT_COLLISION_EPS;
+use stigmergy_robots::{Capabilities, Engine, MovementProtocol};
+use stigmergy_scheduler::rng::SplitMix64;
+use stigmergy_scheduler::{FaultSpec, ScheduleSpec, WakeAllFirst};
+
+/// Payload every batch session sends, unless overridden.
+pub const DEFAULT_PAYLOAD: &[u8] = b"adv";
+
+/// The protocol a session exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// §3 two-robot synchronous chat.
+    Sync2,
+    /// §4 two-robot asynchronous chat.
+    Async2,
+    /// §3 swarm, identified robots (ById naming).
+    SyncSwarmRouted,
+    /// §3 swarm, anonymous with sense of direction (ByLex naming).
+    SyncSwarmLex,
+    /// §3 swarm, fully anonymous (BySec naming).
+    SyncSwarmSec,
+    /// §4 swarm, fully anonymous.
+    AsyncSwarm,
+    /// Hardened session: movement-first with retransmission and a
+    /// CRC-protected wireless secondary. Runs its own internal
+    /// synchronous network, so the session's `ScheduleSpec` is unused.
+    Hardened,
+}
+
+/// The six paper protocols of the conformance matrix, in the order the
+/// adversarial suite historically ran them.
+pub const CONFORMANCE: [ProtocolKind; 6] = [
+    ProtocolKind::Sync2,
+    ProtocolKind::Async2,
+    ProtocolKind::SyncSwarmRouted,
+    ProtocolKind::SyncSwarmLex,
+    ProtocolKind::SyncSwarmSec,
+    ProtocolKind::AsyncSwarm,
+];
+
+impl ProtocolKind {
+    /// A short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Sync2 => "sync2",
+            ProtocolKind::Async2 => "async2",
+            ProtocolKind::SyncSwarmRouted => "sync-swarm-routed",
+            ProtocolKind::SyncSwarmLex => "sync-swarm-lex",
+            ProtocolKind::SyncSwarmSec => "sync-swarm-sec",
+            ProtocolKind::AsyncSwarm => "async-swarm",
+            ProtocolKind::Hardened => "hardened",
+        }
+    }
+
+    /// The default step budget, matching the adversarial suite's.
+    #[must_use]
+    pub fn default_budget(self) -> u64 {
+        match self {
+            ProtocolKind::Sync2
+            | ProtocolKind::SyncSwarmRouted
+            | ProtocolKind::SyncSwarmLex
+            | ProtocolKind::SyncSwarmSec => 40_000,
+            ProtocolKind::Async2 => 600_000,
+            ProtocolKind::AsyncSwarm => 800_000,
+            // Budget per retransmission attempt; the policy does backoff.
+            ProtocolKind::Hardened => 4_000,
+        }
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            ProtocolKind::Sync2 => 0xFA01,
+            ProtocolKind::Async2 => 0xFA02,
+            ProtocolKind::SyncSwarmRouted => 0xB0_01,
+            ProtocolKind::SyncSwarmLex => 0xB0_02,
+            ProtocolKind::SyncSwarmSec => 0xB0_03,
+            ProtocolKind::AsyncSwarm => 0xB0_04,
+            ProtocolKind::Hardened => 0xB0_05,
+        }
+    }
+}
+
+/// The irregular ring the swarm sessions start from — same construction
+/// as the integration-test helper, so fleet-driven conformance runs the
+/// exact cohorts the hand-rolled loops did.
+#[must_use]
+pub fn ring(n: usize, radius: f64) -> Vec<Point> {
+    (0..n)
+        .map(|k| {
+            let theta = std::f64::consts::TAU * (k as f64) / (n as f64);
+            let r = radius * (1.0 + 0.03 * (k as f64 + 1.0) / (n as f64));
+            Point::new(r * theta.sin(), r * theta.cos())
+        })
+        .collect()
+}
+
+fn pair_positions() -> Vec<Point> {
+    vec![Point::new(0.0, 0.0), Point::new(14.0, 0.0)]
+}
+
+/// A whole sweep: the cross product of protocols × schedules × plans ×
+/// seeds, plus the knobs shared by every session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// Protocols to exercise.
+    pub protocols: Vec<ProtocolKind>,
+    /// Activation schedules (each wrapped in `WakeAllFirst`).
+    pub schedules: Vec<ScheduleSpec>,
+    /// Fault plans.
+    pub plans: Vec<FaultSpec>,
+    /// Per-session seeds: each seed derives the frame seed and the fault
+    /// plan seed for its session.
+    pub seeds: Vec<u64>,
+    /// Swarm cohort size.
+    pub cohort: usize,
+    /// Payload to send.
+    pub payload: Vec<u8>,
+    /// Optional ceiling on every session's step budget — determinism
+    /// tests run the full matrix at a small cap so whole traces fit in
+    /// memory.
+    pub budget_cap: Option<u64>,
+    /// Whether reports retain the full encoded trace (`RunReport::trace`)
+    /// or only its hash.
+    pub keep_traces: bool,
+}
+
+impl BatchSpec {
+    /// The adversarial suite's conformance matrix over the given seeds:
+    /// 6 protocols × 3 adversarial-but-legal schedules × 3 fault plans,
+    /// with the historical cohort, payload, and budgets.
+    #[must_use]
+    pub fn conformance_matrix(seeds: Vec<u64>) -> Self {
+        Self {
+            protocols: CONFORMANCE.to_vec(),
+            schedules: vec![
+                // The message's receiver is the starved victim.
+                ScheduleSpec::LaggingReceiver { max_gap: 8 },
+                ScheduleSpec::Bursty {
+                    seed: 0x0AD5_CEDD,
+                    burst_len: 3,
+                    lull_len: 5,
+                },
+                ScheduleSpec::WorstCaseFair { max_gap: 6 },
+            ],
+            plans: vec![
+                FaultSpec::NonRigid {
+                    delta: 0.35,
+                    prob: 0.5,
+                },
+                FaultSpec::Dropout { prob: 0.1 },
+                // Robot 1 crash-stops mid-run: the receiver in a pair, an
+                // essential bystander in a swarm, so senders stall.
+                FaultSpec::Crash {
+                    robot: 1,
+                    time: 35,
+                    delta: 0.5,
+                    prob: 0.25,
+                },
+            ],
+            seeds,
+            cohort: 3,
+            payload: DEFAULT_PAYLOAD.to_vec(),
+            budget_cap: None,
+            keep_traces: false,
+        }
+    }
+
+    /// Expands the cross product into individual session specs, in the
+    /// canonical order (protocol-major, then schedule, plan, seed).
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionSpec> {
+        let mut out = Vec::with_capacity(
+            self.protocols.len() * self.schedules.len() * self.plans.len() * self.seeds.len(),
+        );
+        for &protocol in &self.protocols {
+            for schedule in &self.schedules {
+                for plan in &self.plans {
+                    for &seed in &self.seeds {
+                        out.push(SessionSpec {
+                            protocol,
+                            schedule: schedule.clone(),
+                            plan: plan.clone(),
+                            seed,
+                            cohort: self.cohort,
+                            payload: self.payload.clone(),
+                            budget_cap: self.budget_cap,
+                            keep_trace: self.keep_traces,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Everything one session needs — plain data, `Send`, built inside the
+/// worker that runs it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// The activation schedule (wrapped in `WakeAllFirst` at build time).
+    pub schedule: ScheduleSpec,
+    /// The fault plan.
+    pub plan: FaultSpec,
+    /// The session seed; frame and plan seeds derive from it.
+    pub seed: u64,
+    /// Swarm cohort size (pairs ignore this).
+    pub cohort: usize,
+    /// Payload to send.
+    pub payload: Vec<u8>,
+    /// Optional budget ceiling.
+    pub budget_cap: Option<u64>,
+    /// Whether to retain the encoded trace in the report.
+    pub keep_trace: bool,
+}
+
+impl SessionSpec {
+    /// Frame-generation seed: the protocol's historical base perturbed by
+    /// the session seed (seed 0 reproduces the adversarial suite's fixed
+    /// frames exactly).
+    #[must_use]
+    pub fn frame_seed(&self) -> u64 {
+        if self.seed == 0 {
+            self.protocol.tag()
+        } else {
+            SplitMix64::new(self.protocol.tag() ^ self.seed).next_u64()
+        }
+    }
+
+    /// Fault-plan seed, mirroring the adversarial suite's `seed ^ 0x5EED`
+    /// derivation from the frame seed.
+    #[must_use]
+    pub fn plan_seed(&self) -> u64 {
+        match self.protocol {
+            // The pair runners historically used fixed plan seeds.
+            ProtocolKind::Sync2 => 0xA1 ^ self.seed,
+            ProtocolKind::Async2 => 0xA2 ^ self.seed,
+            _ => self.frame_seed() ^ 0x5EED,
+        }
+    }
+
+    /// The effective step budget: the protocol default, capped for crash
+    /// plans (which can only time out, so a full budget is waste) and by
+    /// the spec's explicit ceiling.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        let mut budget = self.protocol.default_budget();
+        if self.plan.crashes() {
+            budget = budget.min(20_000);
+        }
+        if let Some(cap) = self.budget_cap {
+            budget = budget.min(cap);
+        }
+        budget
+    }
+}
+
+/// What came back from one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Schedule name.
+    pub schedule: &'static str,
+    /// Fault plan name.
+    pub plan: &'static str,
+    /// The session seed.
+    pub seed: u64,
+    /// Whether the payload arrived within budget.
+    pub delivered: bool,
+    /// Instants executed (including the preprocessing instant).
+    pub steps: u64,
+    /// Instants from queueing to delivery, when delivered.
+    pub steps_to_delivery: Option<u64>,
+    /// Total robot activations.
+    pub activations: u64,
+    /// Activations that moved a robot.
+    pub moves: u64,
+    /// Faults injected.
+    pub faults: u64,
+    /// Retransmissions issued (hardened sessions; 0 elsewhere).
+    pub retransmissions: u64,
+    /// Inbox entries that did not match the sent payload (must be 0:
+    /// detect-or-reject end to end).
+    pub corrupt: u64,
+    /// Smallest pairwise distance over the recorded trace.
+    pub min_distance: f64,
+    /// Encoded trace length in bytes.
+    pub trace_len: usize,
+    /// FNV-1a 64 of the encoded trace.
+    pub trace_hash: u64,
+    /// The encoded trace itself, when `keep_trace` was set.
+    pub trace: Option<Vec<u8>>,
+    /// A model violation (collision, degenerate naming), if the session
+    /// died. Invariant sessions must report `None`.
+    pub error: Option<String>,
+}
+
+impl RunReport {
+    fn outcome(&self) -> SessionOutcome {
+        SessionOutcome {
+            delivered: self.delivered,
+            steps_to_delivery: self.steps_to_delivery.unwrap_or(0),
+            steps: self.steps,
+            activations: self.activations,
+            faults: self.faults,
+            retransmissions: self.retransmissions,
+            corrupt: self.corrupt,
+        }
+    }
+}
+
+/// A finished batch: per-session reports (in spec order), merged metrics,
+/// and wall-clock accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// One report per session, in [`BatchSpec::sessions`] order.
+    pub runs: Vec<RunReport>,
+    /// Metrics aggregated across all sessions.
+    pub metrics: MetricsSnapshot,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Reports for one protocol.
+    pub fn for_protocol<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a RunReport> {
+        self.runs.iter().filter(move |r| r.protocol == name)
+    }
+}
+
+/// Runs every session of `spec` on `workers` threads.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, or if a worker thread panics.
+#[must_use]
+pub fn run_batch(spec: &BatchSpec, workers: usize) -> BatchReport {
+    let start = Instant::now();
+    let metrics = FleetMetrics::new();
+    let sessions = spec.sessions();
+    let runs = run_indexed(sessions, workers, |session| {
+        let report = run_session(&session);
+        metrics.record_session(&report.outcome());
+        report
+    });
+    BatchReport {
+        runs,
+        metrics: metrics.snapshot(),
+        workers,
+        wall: start.elapsed(),
+    }
+}
+
+/// Runs one session to completion. Pure: same spec, same report (modulo
+/// nothing — even the trace bytes are pinned by the spec).
+#[must_use]
+pub fn run_session(spec: &SessionSpec) -> RunReport {
+    match spec.protocol {
+        ProtocolKind::Sync2 => run_pair(spec, Sync2::new, Sync2::inbox),
+        ProtocolKind::Async2 => run_pair(spec, || Async2::new(DriftPolicy::Diverge), Async2::inbox),
+        ProtocolKind::SyncSwarmRouted => run_swarm(
+            spec,
+            SyncSwarm::routed,
+            Capabilities::identified_with_direction(),
+            |e, to| label_by_id(e.ids().unwrap()).unwrap().label_of(to),
+        ),
+        ProtocolKind::SyncSwarmLex => run_swarm(
+            spec,
+            SyncSwarm::anonymous_with_direction,
+            Capabilities::anonymous_with_direction(),
+            |e, to| label_by_lex(e.trace().initial()).unwrap().label_of(to),
+        ),
+        ProtocolKind::SyncSwarmSec => run_swarm(
+            spec,
+            SyncSwarm::anonymous,
+            Capabilities::anonymous(),
+            |e, to| label_by_sec(e.trace().initial(), 0).unwrap().label_of(to),
+        ),
+        ProtocolKind::AsyncSwarm => run_swarm(
+            spec,
+            AsyncSwarm::anonymous,
+            Capabilities::anonymous(),
+            |e, to| label_by_sec(e.trace().initial(), 0).unwrap().label_of(to),
+        ),
+        ProtocolKind::Hardened => run_hardened(spec),
+    }
+}
+
+/// Shared engine-driving shape, mirroring the adversarial suite: one
+/// benign preprocessing instant, arm the fault plan, queue the message,
+/// run to delivery or budget exhaustion. `corrupt_of` counts inbox
+/// entries that differ from the sent payload — detect-or-reject demands
+/// it stays 0.
+fn drive<P, Q, D, C>(
+    spec: &SessionSpec,
+    mut engine: Engine<P>,
+    queue: Q,
+    delivered: D,
+    corrupt_of: C,
+) -> RunReport
+where
+    P: MovementProtocol,
+    Q: FnOnce(&mut Engine<P>),
+    D: Fn(&Engine<P>) -> bool,
+    C: Fn(&Engine<P>) -> u64,
+{
+    let mut error = None;
+    let mut satisfied = false;
+    let mut steps_to_delivery = None;
+    if let Err(e) = engine.step() {
+        error = Some(e.to_string());
+    } else {
+        engine.set_fault_plan(spec.plan.plan(spec.plan_seed()));
+        queue(&mut engine);
+        match engine.run_until(spec.budget(), |e| delivered(e)) {
+            Ok(out) => {
+                satisfied = out.satisfied;
+                if out.satisfied {
+                    steps_to_delivery = Some(out.steps_taken);
+                }
+            }
+            Err(e) => error = Some(e.to_string()),
+        }
+    }
+    let corrupt = corrupt_of(&engine);
+    finish(
+        spec,
+        &engine,
+        satisfied,
+        steps_to_delivery,
+        0,
+        corrupt,
+        error,
+    )
+}
+
+/// Builds the report from a finished engine: counters, trace encoding,
+/// and the collision invariant check.
+fn finish<P: MovementProtocol>(
+    spec: &SessionSpec,
+    engine: &Engine<P>,
+    delivered: bool,
+    steps_to_delivery: Option<u64>,
+    retransmissions: u64,
+    corrupt: u64,
+    mut error: Option<String>,
+) -> RunReport {
+    let stats = engine.stats();
+    let min_distance = engine.trace().min_pairwise_distance();
+    if error.is_none() && min_distance < DEFAULT_COLLISION_EPS {
+        error = Some(format!(
+            "collision invariant violated: min distance {min_distance}"
+        ));
+    }
+    let bytes = encode(engine.trace());
+    RunReport {
+        protocol: spec.protocol.name(),
+        schedule: spec.schedule.name(),
+        plan: spec.plan.name(),
+        seed: spec.seed,
+        delivered,
+        steps: stats.steps,
+        steps_to_delivery,
+        activations: stats.activations,
+        moves: stats.moves,
+        faults: stats.faults_injected,
+        retransmissions,
+        corrupt,
+        min_distance,
+        trace_len: bytes.len(),
+        trace_hash: fnv1a64(&bytes),
+        trace: spec.keep_trace.then_some(bytes),
+        error,
+    }
+}
+
+fn run_pair<P, F, I>(spec: &SessionSpec, make: F, inbox: I) -> RunReport
+where
+    P: MovementProtocol + PairProto,
+    F: Fn() -> P,
+    I: Fn(&P) -> &[Vec<u8>],
+{
+    let engine = Engine::builder()
+        .positions(pair_positions())
+        .protocols([make(), make()])
+        .schedule(WakeAllFirst::new(spec.schedule.build(2)))
+        .frame_seed(spec.frame_seed())
+        .build()
+        .expect("pair configuration is always valid");
+    let payload = spec.payload.clone();
+    drive(
+        spec,
+        engine,
+        |e| e.protocol_mut(0).send_payload(&payload),
+        |e| inbox(e.protocol(1)).iter().any(|m| m == &spec.payload),
+        |e| {
+            inbox(e.protocol(1))
+                .iter()
+                .filter(|m| *m != &spec.payload)
+                .count() as u64
+        },
+    )
+}
+
+fn run_swarm<P, F, L>(spec: &SessionSpec, make: F, caps: Capabilities, label_of: L) -> RunReport
+where
+    P: MovementProtocol + SwarmProto + 'static,
+    F: Fn() -> P,
+    L: Fn(&Engine<P>, usize) -> Option<usize>,
+{
+    let n = spec.cohort;
+    let receiver = n - 1;
+    let engine = Engine::builder()
+        .positions(ring(n, 18.0))
+        .protocols((0..n).map(|_| make()))
+        .capabilities(caps)
+        .schedule(WakeAllFirst::new(spec.schedule.build(n)))
+        .frame_seed(spec.frame_seed())
+        .build()
+        .expect("ring configuration is always valid");
+    let payload = spec.payload.clone();
+    drive(
+        spec,
+        engine,
+        |e| {
+            // Receiver = engine index n−1, addressed by whatever naming
+            // the capability set affords.
+            let label = label_of(e, receiver).expect("receiver must be nameable");
+            e.protocol_mut(0).send_to(label, &payload);
+        },
+        |e| {
+            e.protocol(receiver)
+                .payloads()
+                .iter()
+                .any(|p| p == &spec.payload)
+        },
+        |e| {
+            e.protocol(receiver)
+                .payloads()
+                .iter()
+                .filter(|p| *p != &spec.payload)
+                .count() as u64
+        },
+    )
+}
+
+fn run_hardened(spec: &SessionSpec) -> RunReport {
+    let plan = spec.plan.plan(spec.plan_seed());
+    let policy = RetransmitPolicy::new(3, spec.budget().max(1), 2);
+    let mut session = HardenedSession::with_faults(
+        ring(spec.cohort, 18.0),
+        spec.frame_seed(),
+        policy,
+        Wireless::reliable(spec.frame_seed()),
+        plan,
+    )
+    .expect("ring configuration is always valid");
+    let receiver = spec.cohort - 1;
+    let (delivered, error) = match session.send(0, receiver, &spec.payload) {
+        Ok(_) => (true, None),
+        Err(stigmergy::CoreError::Timeout { .. }) => (false, None),
+        Err(e) => (false, Some(e.to_string())),
+    };
+    let stats = session.stats();
+    let report = session.report();
+    let trace = session.network().engine().trace();
+    let min_distance = trace.min_pairwise_distance();
+    let bytes = encode(trace);
+    let corrupt = session
+        .inbox(receiver)
+        .iter()
+        .filter(|(_, p)| p != &spec.payload)
+        .count() as u64;
+    RunReport {
+        protocol: spec.protocol.name(),
+        schedule: spec.schedule.name(),
+        plan: spec.plan.name(),
+        seed: spec.seed,
+        delivered,
+        steps_to_delivery: delivered.then_some(stats.movement_steps),
+        steps: report.steps,
+        activations: report.activations,
+        moves: report.moves,
+        faults: report.faults_injected,
+        retransmissions: stats.retransmissions,
+        corrupt,
+        min_distance,
+        trace_len: bytes.len(),
+        trace_hash: fnv1a64(&bytes),
+        trace: spec.keep_trace.then_some(bytes),
+        error,
+    }
+}
+
+/// Uniform access to the pair protocols' send queue.
+trait PairProto {
+    fn send_payload(&mut self, payload: &[u8]);
+}
+
+impl PairProto for Sync2 {
+    fn send_payload(&mut self, payload: &[u8]) {
+        self.send(payload);
+    }
+}
+
+impl PairProto for Async2 {
+    fn send_payload(&mut self, payload: &[u8]) {
+        self.send(payload);
+    }
+}
+
+/// Uniform access to the swarm protocols' queues and inboxes.
+trait SwarmProto {
+    fn send_to(&mut self, label: usize, payload: &[u8]);
+    fn payloads(&self) -> Vec<Vec<u8>>;
+}
+
+impl SwarmProto for SyncSwarm {
+    fn send_to(&mut self, label: usize, payload: &[u8]) {
+        self.send_label(label, payload);
+    }
+
+    fn payloads(&self) -> Vec<Vec<u8>> {
+        self.inbox().iter().map(|m| m.payload.clone()).collect()
+    }
+}
+
+impl SwarmProto for AsyncSwarm {
+    fn send_to(&mut self, label: usize, payload: &[u8]) {
+        self.send_label(label, payload);
+    }
+
+    fn payloads(&self) -> Vec<Vec<u8>> {
+        self.inbox().iter().map(|m| m.payload.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> BatchSpec {
+        BatchSpec {
+            budget_cap: Some(1_500),
+            keep_traces: true,
+            ..BatchSpec::conformance_matrix(vec![0, 1])
+        }
+    }
+
+    #[test]
+    fn sessions_expand_the_full_cross_product() {
+        let spec = tiny_spec();
+        let sessions = spec.sessions();
+        assert_eq!(sessions.len(), 6 * 3 * 3 * 2);
+        // Protocol-major order: first block is all sync2.
+        assert!(sessions[..18]
+            .iter()
+            .all(|s| s.protocol == ProtocolKind::Sync2));
+        assert_eq!(sessions[0].seed, 0);
+        assert_eq!(sessions[1].seed, 1);
+    }
+
+    #[test]
+    fn seed_zero_reproduces_historical_frame_seeds() {
+        let spec = SessionSpec {
+            protocol: ProtocolKind::Sync2,
+            schedule: ScheduleSpec::Synchronous,
+            plan: FaultSpec::Benign,
+            seed: 0,
+            cohort: 3,
+            payload: DEFAULT_PAYLOAD.to_vec(),
+            budget_cap: None,
+            keep_trace: false,
+        };
+        assert_eq!(spec.frame_seed(), 0xFA01);
+        assert_eq!(spec.plan_seed(), 0xA1);
+    }
+
+    #[test]
+    fn crash_plans_get_capped_budgets() {
+        let mut spec = tiny_spec().sessions().pop().unwrap();
+        spec.protocol = ProtocolKind::AsyncSwarm;
+        spec.budget_cap = None;
+        spec.plan = FaultSpec::Crash {
+            robot: 1,
+            time: 35,
+            delta: 0.5,
+            prob: 0.25,
+        };
+        assert_eq!(spec.budget(), 20_000);
+        spec.plan = FaultSpec::Benign;
+        assert_eq!(spec.budget(), 800_000);
+        spec.budget_cap = Some(100);
+        assert_eq!(spec.budget(), 100);
+    }
+
+    #[test]
+    fn single_session_is_reproducible() {
+        let spec = SessionSpec {
+            protocol: ProtocolKind::SyncSwarmLex,
+            schedule: ScheduleSpec::Bursty {
+                seed: 0x0AD5_CEDD,
+                burst_len: 3,
+                lull_len: 5,
+            },
+            plan: FaultSpec::NonRigid {
+                delta: 0.35,
+                prob: 0.5,
+            },
+            seed: 7,
+            cohort: 3,
+            payload: DEFAULT_PAYLOAD.to_vec(),
+            budget_cap: Some(2_000),
+            keep_trace: true,
+        };
+        let a = run_session(&spec);
+        let b = run_session(&spec);
+        assert_eq!(a, b);
+        assert!(a.trace.is_some());
+        assert!(a.error.is_none());
+        assert!(a.faults > 0, "non-rigid plan at p=0.5 must fire");
+    }
+
+    #[test]
+    fn batch_report_aggregates_all_sessions() {
+        let spec = BatchSpec {
+            protocols: vec![ProtocolKind::Sync2, ProtocolKind::SyncSwarmLex],
+            schedules: vec![ScheduleSpec::WorstCaseFair { max_gap: 6 }],
+            plans: vec![FaultSpec::Benign],
+            seeds: vec![0, 1, 2],
+            cohort: 3,
+            payload: DEFAULT_PAYLOAD.to_vec(),
+            budget_cap: Some(3_000),
+            keep_traces: false,
+        };
+        let report = run_batch(&spec, 2);
+        assert_eq!(report.runs.len(), 6);
+        assert_eq!(report.metrics.sessions, 6);
+        assert_eq!(report.workers, 2);
+        assert_eq!(
+            report.metrics.steps,
+            report.runs.iter().map(|r| r.steps).sum::<u64>()
+        );
+        assert_eq!(report.for_protocol("sync2").count(), 3);
+        assert!(report.runs.iter().all(|r| r.error.is_none()));
+        assert!(report.runs.iter().all(|r| r.trace.is_none()));
+        assert!(report.runs.iter().all(|r| r.trace_len > 0));
+    }
+
+    #[test]
+    fn hardened_sessions_deliver_and_count_retransmissions() {
+        let spec = SessionSpec {
+            protocol: ProtocolKind::Hardened,
+            schedule: ScheduleSpec::Synchronous, // unused by hardened
+            plan: FaultSpec::Benign,
+            seed: 3,
+            cohort: 3,
+            payload: b"hardened".to_vec(),
+            budget_cap: None,
+            keep_trace: false,
+        };
+        let report = run_session(&spec);
+        assert!(report.delivered);
+        assert!(report.error.is_none());
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(run_session(&spec), report, "hardened runs replay too");
+    }
+}

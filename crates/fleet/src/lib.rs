@@ -1,0 +1,45 @@
+//! Parallel batch runtime for protocol sweeps.
+//!
+//! The paper's protocols are deterministic given a schedule and a seed,
+//! but the simulator historically executed every session serially. This
+//! crate shards a [`BatchSpec`] — protocols × schedules × fault plans ×
+//! seeds — across a hand-rolled `std::thread` worker pool and collects
+//! one [`RunReport`] per session plus a merged [`MetricsSnapshot`],
+//! while *provably preserving determinism*: the same batch at
+//! `workers = 1` and `workers = N` yields identical per-seed traces
+//! (byte-for-byte, under the canonical [`trace_codec`]) and identical
+//! metrics totals. The regression suite in `tests/` asserts exactly
+//! that.
+//!
+//! No external dependencies: the pool is `Mutex<VecDeque>` + `Condvar`
+//! (rayon is unavailable under the vendored-offline constraint), metrics
+//! are `AtomicU64` counters and fixed-bucket histograms, and the trace
+//! codec writes IEEE-754 bit patterns directly.
+//!
+//! # Example
+//!
+//! ```
+//! use stigmergy_fleet::{BatchSpec, run_batch};
+//!
+//! let spec = BatchSpec {
+//!     budget_cap: Some(500),
+//!     ..BatchSpec::conformance_matrix(vec![0, 1])
+//! };
+//! let serial = run_batch(&spec, 1);
+//! let parallel = run_batch(&spec, 4);
+//! assert_eq!(serial.runs, parallel.runs);
+//! assert_eq!(serial.metrics, parallel.metrics);
+//! ```
+
+pub mod batch;
+pub mod metrics;
+pub mod pool;
+pub mod trace_codec;
+
+pub use batch::{
+    ring, run_batch, run_session, BatchReport, BatchSpec, ProtocolKind, RunReport, SessionSpec,
+    CONFORMANCE, DEFAULT_PAYLOAD,
+};
+pub use metrics::{FleetMetrics, Histogram, HistogramSnapshot, MetricsSnapshot, SessionOutcome};
+pub use pool::{run_indexed, JobQueue};
+pub use trace_codec::{encode, encode_hex, fnv1a64, to_hex};

@@ -1,0 +1,475 @@
+//! Lock-free fleet metrics: atomic counters and fixed-bucket histograms.
+//!
+//! Worker threads record into shared atomics with relaxed ordering; every
+//! aggregate is a plain sum, so the totals are independent of recording
+//! order — a batch run at any worker count snapshots to the same
+//! [`MetricsSnapshot`]. Snapshots are plain data, compare with `==`,
+//! [`MetricsSnapshot::merge`] by addition, and serialize themselves to
+//! JSON by hand (the vendored serde shim never serializes at runtime).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A histogram over fixed, inclusive upper bucket bounds.
+///
+/// A sample lands in the first bucket whose bound is `>= sample`; samples
+/// above the last bound land in the implicit overflow bucket. Bin counts,
+/// the total count, and the sum are all atomics, so any number of threads
+/// record concurrently without locks.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    bins: Vec<AtomicU64>, // one per bound, plus overflow
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            bins: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: u64) {
+        let bin = self
+            .bounds
+            .iter()
+            .position(|&b| sample <= b)
+            .unwrap_or(self.bounds.len());
+        self.bins[bin].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(sample, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            bins: self
+                .bins
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data image of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `bins[bounds.len()]` is the overflow bucket.
+    pub bins: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over the given bounds.
+    #[must_use]
+    pub fn empty(bounds: &[u64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            bins: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Adds `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms over
+    /// different bucketings is meaningless.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean sample value, or `None` before any sample.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    fn to_json(&self) -> String {
+        let list = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        format!(
+            "{{\"bounds\":[{}],\"bins\":[{}],\"count\":{},\"sum\":{}}}",
+            list(&self.bounds),
+            list(&self.bins),
+            self.count,
+            self.sum
+        )
+    }
+}
+
+/// Default bucket bounds for step-valued histograms (steps to delivery):
+/// roughly ×4 per bucket, spanning a one-instant delivery to the longest
+/// asynchronous budgets.
+pub const STEP_BOUNDS: [u64; 8] = [64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+
+/// Default bucket bounds for per-session activation counts.
+pub const ACTIVATION_BOUNDS: [u64; 8] = [
+    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
+];
+
+/// Default bucket bounds for small per-session counts (retransmissions,
+/// faults injected).
+pub const COUNT_BOUNDS: [u64; 8] = [0, 1, 2, 4, 8, 16, 64, 256];
+
+/// Shared metrics sink for one batch run.
+///
+/// One instance is shared by every worker; recording is lock-free and
+/// order-independent, so `workers = 1` and `workers = N` produce equal
+/// [`MetricsSnapshot`]s for the same sessions.
+#[derive(Debug)]
+pub struct FleetMetrics {
+    sessions: AtomicU64,
+    delivered: AtomicU64,
+    timed_out: AtomicU64,
+    steps: AtomicU64,
+    activations: AtomicU64,
+    faults: AtomicU64,
+    retransmissions: AtomicU64,
+    corrupt: AtomicU64,
+    steps_to_delivery: Histogram,
+    activations_per_session: Histogram,
+    faults_per_session: Histogram,
+    retransmissions_per_session: Histogram,
+}
+
+impl Default for FleetMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetMetrics {
+    /// Creates an empty sink with the default bucketing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            sessions: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            activations: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            retransmissions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            steps_to_delivery: Histogram::new(&STEP_BOUNDS),
+            activations_per_session: Histogram::new(&ACTIVATION_BOUNDS),
+            faults_per_session: Histogram::new(&COUNT_BOUNDS),
+            retransmissions_per_session: Histogram::new(&COUNT_BOUNDS),
+        }
+    }
+
+    /// Records one finished session.
+    pub fn record_session(&self, outcome: &SessionOutcome) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+        if outcome.delivered {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            self.steps_to_delivery.record(outcome.steps_to_delivery);
+        } else {
+            self.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+        self.steps.fetch_add(outcome.steps, Ordering::Relaxed);
+        self.activations
+            .fetch_add(outcome.activations, Ordering::Relaxed);
+        self.faults.fetch_add(outcome.faults, Ordering::Relaxed);
+        self.retransmissions
+            .fetch_add(outcome.retransmissions, Ordering::Relaxed);
+        self.corrupt.fetch_add(outcome.corrupt, Ordering::Relaxed);
+        self.activations_per_session.record(outcome.activations);
+        self.faults_per_session.record(outcome.faults);
+        self.retransmissions_per_session
+            .record(outcome.retransmissions);
+    }
+
+    /// A plain-data copy of the current totals.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            activations: self.activations.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            steps_to_delivery: self.steps_to_delivery.snapshot(),
+            activations_per_session: self.activations_per_session.snapshot(),
+            faults_per_session: self.faults_per_session.snapshot(),
+            retransmissions_per_session: self.retransmissions_per_session.snapshot(),
+        }
+    }
+}
+
+/// What one session contributes to the metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// Whether the payload(s) arrived within budget.
+    pub delivered: bool,
+    /// Steps until delivery (recorded only when `delivered`).
+    pub steps_to_delivery: u64,
+    /// Total instants executed.
+    pub steps: u64,
+    /// Total robot activations.
+    pub activations: u64,
+    /// Faults injected by the plan.
+    pub faults: u64,
+    /// Retransmissions issued (hardened sessions).
+    pub retransmissions: u64,
+    /// Corrupted payloads surfaced to an inbox (must stay 0).
+    pub corrupt: u64,
+}
+
+/// Plain-data image of a [`FleetMetrics`] sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sessions recorded.
+    pub sessions: u64,
+    /// Sessions that delivered.
+    pub delivered: u64,
+    /// Sessions that did not deliver.
+    pub timed_out: u64,
+    /// Total instants across all sessions.
+    pub steps: u64,
+    /// Total activations across all sessions.
+    pub activations: u64,
+    /// Total faults injected.
+    pub faults: u64,
+    /// Total retransmissions.
+    pub retransmissions: u64,
+    /// Total corrupted deliveries (must stay 0).
+    pub corrupt: u64,
+    /// Histogram of steps-to-delivery over delivered sessions.
+    pub steps_to_delivery: HistogramSnapshot,
+    /// Histogram of activations per session.
+    pub activations_per_session: HistogramSnapshot,
+    /// Histogram of faults injected per session.
+    pub faults_per_session: HistogramSnapshot,
+    /// Histogram of retransmissions per session.
+    pub retransmissions_per_session: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot with the default bucketing.
+    #[must_use]
+    pub fn empty() -> Self {
+        FleetMetrics::new().snapshot()
+    }
+
+    /// Adds `other` into `self` — the per-worker → global merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if histogram bucketings differ.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.sessions += other.sessions;
+        self.delivered += other.delivered;
+        self.timed_out += other.timed_out;
+        self.steps += other.steps;
+        self.activations += other.activations;
+        self.faults += other.faults;
+        self.retransmissions += other.retransmissions;
+        self.corrupt += other.corrupt;
+        self.steps_to_delivery.merge(&other.steps_to_delivery);
+        self.activations_per_session
+            .merge(&other.activations_per_session);
+        self.faults_per_session.merge(&other.faults_per_session);
+        self.retransmissions_per_session
+            .merge(&other.retransmissions_per_session);
+    }
+
+    /// Serializes the snapshot as a JSON object with a stable key order,
+    /// so equal snapshots produce byte-equal JSON (the property the CI
+    /// smoke job diffs on).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"sessions\":{},\"delivered\":{},\"timed_out\":{},",
+                "\"steps\":{},\"activations\":{},\"faults\":{},",
+                "\"retransmissions\":{},\"corrupt\":{},",
+                "\"steps_to_delivery\":{},\"activations_per_session\":{},",
+                "\"faults_per_session\":{},\"retransmissions_per_session\":{}}}"
+            ),
+            self.sessions,
+            self.delivered,
+            self.timed_out,
+            self.steps,
+            self.activations,
+            self.faults,
+            self.retransmissions,
+            self.corrupt,
+            self.steps_to_delivery.to_json(),
+            self.activations_per_session.to_json(),
+            self.faults_per_session.to_json(),
+            self.retransmissions_per_session.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(0);
+        h.record(10); // inclusive: still first bucket
+        h.record(11);
+        h.record(100);
+        h.record(101); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.bins, vec![2, 2, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 222);
+        assert_eq!(s.mean(), Some(44.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn empty_bounds_rejected() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    fn snapshot_merge_is_addition() {
+        let mut a = HistogramSnapshot::empty(&[5, 50]);
+        let h = Histogram::new(&[5, 50]);
+        h.record(3);
+        h.record(30);
+        a.merge(&h.snapshot());
+        a.merge(&h.snapshot());
+        assert_eq!(a.bins, vec![2, 2, 0]);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn merge_rejects_different_bucketings() {
+        let mut a = HistogramSnapshot::empty(&[1]);
+        a.merge(&HistogramSnapshot::empty(&[2]));
+    }
+
+    fn outcome(i: u64) -> SessionOutcome {
+        SessionOutcome {
+            delivered: !i.is_multiple_of(3),
+            steps_to_delivery: i * 17 % 2_000,
+            steps: i * 19,
+            activations: i * 23,
+            faults: i % 7,
+            retransmissions: i % 4,
+            corrupt: 0,
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_equals_serial() {
+        let serial = FleetMetrics::new();
+        for i in 0..200 {
+            serial.record_session(&outcome(i));
+        }
+        let shared = FleetMetrics::new();
+        thread::scope(|scope| {
+            for chunk in 0..4 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for i in (chunk * 50)..((chunk + 1) * 50) {
+                        shared.record_session(&outcome(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(serial.snapshot(), shared.snapshot());
+    }
+
+    #[test]
+    fn snapshot_totals_are_consistent() {
+        let m = FleetMetrics::new();
+        for i in 0..50 {
+            m.record_session(&outcome(i));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.sessions, 50);
+        assert_eq!(s.delivered + s.timed_out, s.sessions);
+        assert_eq!(s.steps_to_delivery.count, s.delivered);
+        assert_eq!(s.activations_per_session.count, s.sessions);
+        assert_eq!(s.activations_per_session.sum, s.activations);
+        assert_eq!(s.faults_per_session.sum, s.faults);
+        assert_eq!(s.retransmissions_per_session.sum, s.retransmissions);
+    }
+
+    #[test]
+    fn json_is_stable_and_reflects_totals() {
+        let m = FleetMetrics::new();
+        m.record_session(&SessionOutcome {
+            delivered: true,
+            steps_to_delivery: 12,
+            steps: 40,
+            activations: 80,
+            faults: 2,
+            retransmissions: 1,
+            corrupt: 0,
+        });
+        let json = m.snapshot().to_json();
+        assert_eq!(json, m.snapshot().to_json(), "stable across calls");
+        assert!(json.starts_with("{\"sessions\":1,\"delivered\":1,"));
+        assert!(json.contains("\"activations\":80"));
+        assert!(json.contains("\"bounds\":[64,256,"));
+    }
+
+    #[test]
+    fn merged_worker_snapshots_equal_shared_sink() {
+        let shared = FleetMetrics::new();
+        let workers: Vec<FleetMetrics> = (0..3).map(|_| FleetMetrics::new()).collect();
+        for i in 0..90 {
+            shared.record_session(&outcome(i));
+            workers[(i % 3) as usize].record_session(&outcome(i));
+        }
+        let mut merged = MetricsSnapshot::empty();
+        for w in &workers {
+            merged.merge(&w.snapshot());
+        }
+        assert_eq!(merged, shared.snapshot());
+    }
+}

@@ -1,0 +1,257 @@
+//! A hand-rolled worker pool.
+//!
+//! The offline-vendored constraint rules out rayon, so the pool is built
+//! from the standard library alone: a [`JobQueue`] (`Mutex<VecDeque>` +
+//! `Condvar`) feeds N scoped worker threads, and results flow back
+//! through a bounded `mpsc::sync_channel` tagged with their job index.
+//! [`run_indexed`] reassembles them in submission order, so the output
+//! `Vec` is identical whatever interleaving the workers ran in — the
+//! mechanical half of the fleet's determinism guarantee (the other half
+//! is that each job is a pure function of its input).
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+/// A multi-producer multi-consumer FIFO of pending jobs.
+///
+/// Workers block on [`JobQueue::pop`] until a job arrives or the queue is
+/// closed; closing wakes every sleeper so the pool drains and joins
+/// cleanly.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// Creates an empty, open queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job and wakes one waiting worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is already closed — pushing after close is a
+    /// pool logic error, not a runtime condition.
+    pub fn push(&self, job: T) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        assert!(!state.closed, "push after close");
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Closes the queue: no further pushes, and every blocked or future
+    /// [`JobQueue::pop`] returns `None` once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Takes the next job, blocking while the queue is open but empty.
+    /// Returns `None` when the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Number of jobs currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Whether no jobs are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runs `f` over `items` on `workers` threads, returning the results in
+/// input order.
+///
+/// Work-stealing is by atomicity of the queue: an idle worker takes the
+/// next pending item whatever its index, so an expensive item never
+/// serializes the batch behind it. Results return through a bounded
+/// channel (capacity `2 × workers`, enough that no worker blocks on a
+/// full channel while the collector is slotting results) and land in
+/// their submission slot, so the caller observes pure data-parallel
+/// semantics: `run_indexed(items, w, f)` equals
+/// `items.map(f)` for every `w ≥ 1`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (after all threads are joined), and
+/// panics if `workers == 0`.
+pub fn run_indexed<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = items.len();
+    let queue = JobQueue::new();
+    for job in items.into_iter().enumerate() {
+        queue.push(job);
+    }
+    queue.close();
+
+    let (tx, rx) = mpsc::sync_channel::<(usize, R)>(workers * 2);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some((index, job)) = queue.pop() {
+                    // A send can only fail if the collector is gone, which
+                    // means the scope is already unwinding; stop quietly.
+                    if tx.send((index, f(job))).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx); // collector's rx ends when the last worker clone drops
+        for (index, result) in rx {
+            slots[index] = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("worker delivered every job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = JobQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q: JobQueue<usize> = JobQueue::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| q.pop())).collect();
+            // Give the workers a moment to block, then release them.
+            thread::yield_now();
+            q.close();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), None);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "push after close")]
+    fn push_after_close_is_a_bug() {
+        let q = JobQueue::new();
+        q.close();
+        q.push(1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 8] {
+            let out = run_indexed(items.clone(), workers, |x| x * x);
+            let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_uses_multiple_threads() {
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = run_indexed((0..64).collect::<Vec<_>>(), 4, |x: usize| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            thread::yield_now();
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+            x + 1
+        });
+        assert_eq!(out.len(), 64);
+        // Not asserted > 1: on a single-core host the scheduler may never
+        // overlap the workers. The pool ran and delivered either way.
+        assert!(peak.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_input() {
+        let out: Vec<u32> = run_indexed(Vec::<u32>::new(), 3, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_indexed_more_workers_than_jobs() {
+        let out = run_indexed(vec![7], 8, |x: i32| -x);
+        assert_eq!(out, vec![-7]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(vec![0, 1, 2], 2, |x: i32| {
+                assert!(x != 1, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = run_indexed(vec![1], 0, |x: i32| x);
+    }
+}

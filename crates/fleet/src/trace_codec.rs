@@ -1,0 +1,221 @@
+//! A compact, canonical byte encoding for traces.
+//!
+//! The vendored serde shim never serializes at runtime, so the fleet
+//! carries its own codec. The encoding is canonical: positions are
+//! written as the raw IEEE-754 bit patterns (`f64::to_bits`, little
+//! endian), so two traces encode to the same bytes **iff** they are
+//! bit-for-bit the same run — the representation the determinism
+//! regression and golden-trace tests compare. The format is
+//! versioned; goldens regenerate (`UPDATE_GOLDEN=1`) on a version bump.
+
+use stigmergy_geometry::Point;
+use stigmergy_robots::{FaultEvent, Trace};
+
+/// Magic prefix of every encoded trace.
+pub const MAGIC: &[u8; 4] = b"STRC";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_point(out: &mut Vec<u8>, p: Point) {
+    put_u64(out, p.x.to_bits());
+    put_u64(out, p.y.to_bits());
+}
+
+/// Encodes a trace to its canonical byte form.
+///
+/// Layout (all integers little endian):
+/// `"STRC" | version u8 | n u32 | n initial points | step count u32 |`
+/// per step `{ time u64 | activation bitmap (n bits, LSB-first bytes) |`
+/// `position count u32 | points } | fault count u32 | tagged faults`.
+#[must_use]
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let initial = trace.initial();
+    let n = initial.len();
+    let mut out = Vec::with_capacity(64 + trace.steps().len() * (16 + n * 16));
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_u32(&mut out, n as u32);
+    for &p in initial {
+        put_point(&mut out, p);
+    }
+    put_u32(&mut out, trace.steps().len() as u32);
+    for step in trace.steps() {
+        put_u64(&mut out, step.time);
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        for i in step.active.iter() {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+        out.extend_from_slice(&bitmap);
+        put_u32(&mut out, step.positions.len() as u32);
+        for &p in &step.positions {
+            put_point(&mut out, p);
+        }
+    }
+    put_u32(&mut out, trace.faults().len() as u32);
+    for fault in trace.faults() {
+        match *fault {
+            FaultEvent::CrashStop { time, robot } => {
+                out.push(1);
+                put_u64(&mut out, time);
+                put_u32(&mut out, robot as u32);
+            }
+            FaultEvent::NonRigidMotion {
+                time,
+                robot,
+                fraction,
+            } => {
+                out.push(2);
+                put_u64(&mut out, time);
+                put_u32(&mut out, robot as u32);
+                put_u64(&mut out, fraction.to_bits());
+            }
+            FaultEvent::ObservationDropout {
+                time,
+                observer,
+                observed,
+            } => {
+                out.push(3);
+                put_u64(&mut out, time);
+                put_u32(&mut out, observer as u32);
+                put_u32(&mut out, observed as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Encodes a trace as lowercase hex, wrapped at 64 characters per line —
+/// the on-disk form of golden traces (diffable, no binary files in git).
+#[must_use]
+pub fn encode_hex(trace: &Trace) -> String {
+    to_hex(&encode(trace))
+}
+
+/// Hex-formats already-encoded trace bytes in the golden-file layout
+/// (64 chars per line, trailing newline).
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut hex = String::with_capacity(bytes.len() * 2 + bytes.len() / 32 + 1);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            hex.push('\n');
+        }
+        hex.push_str(&format!("{b:02x}"));
+    }
+    hex.push('\n');
+    hex
+}
+
+/// FNV-1a 64-bit hash — a stable fingerprint for traces too large to keep
+/// in memory per session (full-budget conformance runs).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stigmergy_geometry::Point;
+    use stigmergy_robots::{Engine, MovementProtocol, View};
+    use stigmergy_scheduler::{FaultPlan, RoundRobin};
+
+    struct Walker;
+    impl MovementProtocol for Walker {
+        fn on_activate(&mut self, view: &View) -> Point {
+            view.own_position() + stigmergy_geometry::Vec2::new(0.25, 0.125)
+        }
+    }
+
+    fn sample_trace(seed: u64) -> Trace {
+        let mut e = Engine::builder()
+            .positions([Point::new(0.0, 0.0), Point::new(7.0, 0.0)])
+            .protocols([Walker, Walker])
+            .unit_frames()
+            .schedule(RoundRobin)
+            .sigma(1.0)
+            .faults(FaultPlan::new(seed).non_rigid(0.5, 0.5))
+            .build()
+            .unwrap();
+        e.run(12).unwrap();
+        e.trace().clone()
+    }
+
+    #[test]
+    fn header_and_determinism() {
+        let bytes = encode(&sample_trace(5));
+        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(bytes[4], VERSION);
+        assert_eq!(bytes, encode(&sample_trace(5)), "same run, same bytes");
+    }
+
+    #[test]
+    fn different_runs_encode_differently() {
+        assert_ne!(encode(&sample_trace(5)), encode(&sample_trace(6)));
+    }
+
+    #[test]
+    fn encoding_is_injective_on_positions() {
+        // Two traces identical except one position bit differ in bytes:
+        // codec must not round positions through text.
+        let a = Trace::new(vec![Point::new(0.1, 0.0)]);
+        let b = Trace::new(vec![Point::new(0.1 + f64::EPSILON, 0.0)]);
+        assert_ne!(encode(&a), encode(&b));
+    }
+
+    #[test]
+    fn hex_roundtrips_bytes() {
+        let trace = sample_trace(9);
+        let hex = encode_hex(&trace);
+        assert!(hex.ends_with('\n'));
+        let joined: String = hex.split_whitespace().collect();
+        let decoded: Vec<u8> = (0..joined.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&joined[i..i + 2], 16).unwrap())
+            .collect();
+        assert_eq!(decoded, encode(&trace));
+        assert!(hex.lines().all(|l| l.len() <= 64));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn activation_bitmap_survives_encoding() {
+        // Round-robin on 2 robots: step t activates robot t % 2. The
+        // bitmap byte sits right after the 8-byte time in each step
+        // record; walk the steps and check it.
+        let trace = sample_trace(5);
+        let bytes = encode(&trace);
+        let n = 2usize;
+        let mut cursor = 4 + 1 + 4 + n * 16; // magic, version, n, initial
+        cursor += 4; // step count
+        for step in trace.steps() {
+            cursor += 8; // time
+            let bitmap = bytes[cursor];
+            let expect: u8 = step.active.iter().map(|i| 1 << i).sum();
+            assert_eq!(bitmap, expect, "t={}", step.time);
+            cursor += 1; // bitmap (n=2 fits one byte)
+            let count = u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().unwrap()) as usize;
+            cursor += 4 + count * 16;
+        }
+    }
+}

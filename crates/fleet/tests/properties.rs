@@ -1,0 +1,167 @@
+//! Property tests for the metrics layer: bucket counts always sum to the
+//! sample count, and merging per-worker snapshots is indistinguishable
+//! from recording serially into one sink — the algebra the fleet's
+//! workers-don't-matter guarantee rests on.
+
+use proptest::prelude::*;
+use stigmergy_fleet::{FleetMetrics, Histogram, MetricsSnapshot, SessionOutcome};
+
+/// Strategy: a small strictly increasing bound vector.
+fn bounds_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..500, 1..8).prop_map(|mut raw| {
+        raw.sort_unstable();
+        raw.dedup();
+        raw
+    })
+}
+
+fn outcome_strategy() -> impl Strategy<Value = SessionOutcome> {
+    (
+        (
+            any::<bool>(),
+            0u64..2_000_000,
+            0u64..2_000_000,
+            0u64..4_000_000,
+            0u64..300,
+            0u64..10,
+        ),
+        0u64..2,
+    )
+        .prop_map(
+            |(
+                (delivered, steps_to_delivery, steps, activations, faults, retransmissions),
+                corrupt,
+            )| {
+                SessionOutcome {
+                    delivered,
+                    steps_to_delivery,
+                    steps,
+                    activations,
+                    faults,
+                    retransmissions,
+                    corrupt,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_bins_sum_to_sample_count(
+        bounds in bounds_strategy(),
+        samples in prop::collection::vec(0u64..1_000, 0..200),
+    ) {
+        let h = Histogram::new(&bounds);
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.bins.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.bins.len(), snap.bounds.len() + 1);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_order_independent(
+        bounds in bounds_strategy(),
+        samples in prop::collection::vec(0u64..1_000, 1..100),
+    ) {
+        let forward = Histogram::new(&bounds);
+        for &s in &samples {
+            forward.record(s);
+        }
+        let backward = Histogram::new(&bounds);
+        for &s in samples.iter().rev() {
+            backward.record(s);
+        }
+        prop_assert_eq!(forward.snapshot(), backward.snapshot());
+    }
+
+    #[test]
+    fn merged_worker_snapshots_equal_serial_snapshot(
+        outcomes in prop::collection::vec(outcome_strategy(), 0..120),
+        workers in 1usize..6,
+    ) {
+        // Serial: one sink sees every outcome.
+        let serial = FleetMetrics::new();
+        for o in &outcomes {
+            serial.record_session(o);
+        }
+        // Sharded: round-robin outcomes over per-worker sinks, then merge.
+        let shards: Vec<FleetMetrics> = (0..workers).map(|_| FleetMetrics::new()).collect();
+        for (i, o) in outcomes.iter().enumerate() {
+            shards[i % workers].record_session(o);
+        }
+        let mut merged = MetricsSnapshot::empty();
+        for shard in &shards {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, serial.snapshot());
+    }
+
+    #[test]
+    fn snapshot_invariants_hold_for_any_stream(
+        outcomes in prop::collection::vec(outcome_strategy(), 0..120),
+    ) {
+        let sink = FleetMetrics::new();
+        for o in &outcomes {
+            sink.record_session(o);
+        }
+        let s = sink.snapshot();
+        prop_assert_eq!(s.sessions, outcomes.len() as u64);
+        prop_assert_eq!(s.delivered + s.timed_out, s.sessions);
+        // steps-to-delivery is only recorded for delivered sessions.
+        prop_assert_eq!(s.steps_to_delivery.count, s.delivered);
+        // The per-session histograms see every session.
+        prop_assert_eq!(s.activations_per_session.count, s.sessions);
+        prop_assert_eq!(s.faults_per_session.count, s.sessions);
+        prop_assert_eq!(s.retransmissions_per_session.count, s.sessions);
+        // Histogram sums equal the scalar totals.
+        prop_assert_eq!(s.activations_per_session.sum, s.activations);
+        prop_assert_eq!(s.faults_per_session.sum, s.faults);
+        prop_assert_eq!(s.retransmissions_per_session.sum, s.retransmissions);
+    }
+
+    #[test]
+    fn merge_is_associative_over_three_shards(
+        outcomes in prop::collection::vec(outcome_strategy(), 3..60),
+    ) {
+        let shards: Vec<FleetMetrics> = (0..3).map(|_| FleetMetrics::new()).collect();
+        for (i, o) in outcomes.iter().enumerate() {
+            shards[i % 3].record_session(o);
+        }
+        let [a, b, c] = [
+            shards[0].snapshot(),
+            shards[1].snapshot(),
+            shards[2].snapshot(),
+        ];
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn json_equality_mirrors_snapshot_equality(
+        outcomes in prop::collection::vec(outcome_strategy(), 0..40),
+    ) {
+        let a = FleetMetrics::new();
+        let b = FleetMetrics::new();
+        for o in &outcomes {
+            a.record_session(o);
+            b.record_session(o);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        prop_assert_eq!(&sa, &sb);
+        prop_assert_eq!(sa.to_json(), sb.to_json());
+    }
+}

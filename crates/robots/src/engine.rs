@@ -47,6 +47,26 @@ pub struct RunOutcome {
     pub satisfied: bool,
 }
 
+/// Cumulative execution counters, maintained by every [`Engine::step`].
+///
+/// Unlike the trace, these are kept even when trace recording is off, so
+/// multi-million-instant batch runs still report activity without the
+/// `O(steps × n)` trace memory. All fields are plain sums, so totals over
+/// any partition of sessions are order-independent — the property the
+/// fleet metrics merge relies on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instants executed.
+    pub steps: u64,
+    /// Robot activations (sum of active-set sizes, after crash filtering).
+    pub activations: u64,
+    /// Activations that changed the robot's position.
+    pub moves: u64,
+    /// Faults injected: crash-stops + observation dropouts + non-rigid
+    /// interruptions.
+    pub faults_injected: u64,
+}
+
 /// The SSM simulation engine over a homogeneous cohort of protocol `P`.
 #[derive(Debug)]
 pub struct Engine<P> {
@@ -63,6 +83,7 @@ pub struct Engine<P> {
     visibility: Option<f64>,
     record_trace: bool,
     faults: FaultPlan,
+    stats: EngineStats,
 }
 
 impl Engine<()> {
@@ -94,9 +115,12 @@ impl<P: MovementProtocol> Engine<P> {
             scheduled
         } else {
             for &(robot, when) in self.faults.crash_stops() {
-                if when == time && robot < n && self.record_trace {
-                    self.trace
-                        .record_fault(FaultEvent::CrashStop { time, robot });
+                if when == time && robot < n {
+                    self.stats.faults_injected += 1;
+                    if self.record_trace {
+                        self.trace
+                            .record_fault(FaultEvent::CrashStop { time, robot });
+                    }
                 }
             }
             let mut live = ActivationSet::empty(n);
@@ -107,6 +131,7 @@ impl<P: MovementProtocol> Engine<P> {
             }
             live
         };
+        self.stats.activations += active.len() as u64;
 
         let mut moved = 0usize;
         for i in 0..n {
@@ -118,6 +143,7 @@ impl<P: MovementProtocol> Engine<P> {
             let dropped: Vec<usize> = (0..n)
                 .filter(|&j| self.faults.drops_observation(i, j, time))
                 .collect();
+            self.stats.faults_injected += dropped.len() as u64;
             if self.record_trace {
                 for &j in &dropped {
                     self.trace.record_fault(FaultEvent::ObservationDropout {
@@ -136,6 +162,7 @@ impl<P: MovementProtocol> Engine<P> {
             let fraction = self.faults.motion_fraction(i, time);
             if fraction < 1.0 {
                 new_pos = snapshot[i].lerp(new_pos, fraction);
+                self.stats.faults_injected += 1;
                 if self.record_trace {
                     self.trace.record_fault(FaultEvent::NonRigidMotion {
                         time,
@@ -149,6 +176,8 @@ impl<P: MovementProtocol> Engine<P> {
             }
             self.positions[i] = new_pos;
         }
+        self.stats.moves += moved as u64;
+        self.stats.steps += 1;
 
         if self.record_trace {
             self.trace.record(StepRecord {
@@ -342,6 +371,13 @@ impl<P: MovementProtocol> Engine<P> {
     #[must_use]
     pub fn is_crashed(&self, i: usize) -> bool {
         self.faults.is_crashed(i, self.time)
+    }
+
+    /// Cumulative execution counters since construction, available even
+    /// with trace recording off.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 }
 
@@ -599,6 +635,7 @@ impl<P> EngineBuilder<P> {
             visibility: self.visibility,
             record_trace: self.record_trace,
             faults: self.faults.unwrap_or_else(|| FaultPlan::new(0)),
+            stats: EngineStats::default(),
         })
     }
 }
@@ -1227,6 +1264,71 @@ mod tests {
             .non_rigid(0.3, 0.4)
             .observation_dropout(0.2));
         assert_ne!(a, c, "a different seed must perturb the run");
+    }
+
+    #[test]
+    fn stats_count_steps_activations_and_moves() {
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(5.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(0.0, 9.0),
+                },
+                Still.into_walker(),
+            ])
+            .unit_frames()
+            .schedule(RoundRobin)
+            .sigma(1.0)
+            .build()
+            .unwrap();
+        assert_eq!(e.stats(), EngineStats::default());
+        e.run(4).unwrap();
+        let s = e.stats();
+        assert_eq!(s.steps, 4);
+        assert_eq!(s.activations, 4, "round-robin: one robot per instant");
+        // Robot 0 walked on its 2 activations; robot 1 walked toward
+        // (50, 0) on its 2 activations.
+        assert_eq!(s.moves, 4);
+        assert_eq!(s.faults_injected, 0);
+    }
+
+    #[test]
+    fn stats_count_faults_even_without_trace_recording() {
+        let run = |record: bool| {
+            let mut e = Engine::builder()
+                .positions([Point::ORIGIN, Point::new(10.0, 0.0)])
+                .protocols([
+                    Walker {
+                        target: Point::new(0.0, 100.0),
+                    },
+                    Walker {
+                        target: Point::new(10.0, 100.0),
+                    },
+                ])
+                .unit_frames()
+                .sigma(1.0)
+                .record_trace(record)
+                .faults(
+                    FaultPlan::new(123)
+                        .crash_stop(0, 6)
+                        .non_rigid(0.3, 0.4)
+                        .observation_dropout(0.2),
+                )
+                .build()
+                .unwrap();
+            e.run(12).unwrap();
+            e
+        };
+        let recorded = run(true);
+        let blind = run(false);
+        assert_eq!(recorded.stats(), blind.stats());
+        assert_eq!(
+            recorded.stats().faults_injected,
+            recorded.trace().faults().len() as u64,
+            "counter must agree with the recorded fault events"
+        );
+        assert!(recorded.stats().faults_injected > 0);
+        assert!(blind.trace().is_empty());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod view;
 
 pub use capabilities::Capabilities;
 pub use corda::CordaEngine;
-pub use engine::{Engine, EngineBuilder, RunOutcome, StepReport};
+pub use engine::{Engine, EngineBuilder, EngineStats, RunOutcome, StepReport};
 pub use frame::{FrameGenerator, LocalFrame};
 pub use identity::VisibleId;
 pub use protocol::MovementProtocol;

@@ -387,13 +387,12 @@ impl FaultPlan {
 
     /// A decision RNG pinned to `(seed, stream, robot, t)`.
     ///
-    /// Seeding through a SplitMix64 scramble of the mixed key means
-    /// decisions are independent of query order and of each other.
+    /// Delegates to [`crate::rng::derive_stream`], the workspace's single
+    /// documented key-derivation function: decisions are independent of
+    /// query order, of each other, and of the decisions of other robots
+    /// at the same instant (the derivation tests pin this).
     fn decision_rng(&self, stream: u64, robot: usize, t: u64) -> SplitMix64 {
-        let mut mixer = SplitMix64::new(
-            self.seed ^ stream.rotate_left(17) ^ (robot as u64).rotate_left(31) ^ t.rotate_left(47),
-        );
-        SplitMix64::new(mixer.next_u64())
+        crate::rng::derive_stream(self.seed, stream, robot, t)
     }
 }
 

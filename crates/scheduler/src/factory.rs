@@ -1,0 +1,352 @@
+//! Send-safe schedule and fault-plan factories.
+//!
+//! Schedules are stateful trait objects and deliberately cheap to build,
+//! but `Box<dyn Schedule>` carries no `Send` bound, so a batch runtime
+//! cannot ship built schedules across worker threads. These specs are the
+//! thread-safe currency instead: plain-data descriptions (`Clone + Send +
+//! Sync`) that each worker turns into a live schedule or fault plan
+//! *inside* its own thread. Building from the spec is deterministic, so a
+//! session is pinned by `(spec, seed)` no matter which worker runs it —
+//! the property the fleet runtime's determinism guarantee rests on.
+
+use crate::activation::ActivationSet;
+use crate::adversary::{Bursty, FaultPlan, LaggingRobot, WorstCaseFair};
+use crate::schedules::{FairAsync, RoundRobin, Scripted, SingleActive, Synchronous};
+use crate::Schedule;
+
+/// A buildable, thread-safe description of an activation schedule.
+///
+/// `build` is a pure function of the spec (plus the cohort size for
+/// specs that target "the receiver"), so two workers holding clones
+/// produce behaviourally identical schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleSpec {
+    /// Every robot active at every instant.
+    Synchronous,
+    /// Robot `t mod n` active at instant `t`.
+    RoundRobin,
+    /// Seeded random fair scheduler ([`FairAsync`]).
+    FairAsync {
+        /// RNG seed.
+        seed: u64,
+        /// Per-instant activation probability.
+        p: f64,
+        /// Enforced maximum inactivity gap.
+        max_gap: u64,
+    },
+    /// Exactly one random robot per instant ([`SingleActive`]).
+    SingleActive {
+        /// RNG seed.
+        seed: u64,
+        /// Enforced maximum inactivity gap.
+        max_gap: u64,
+    },
+    /// Starves robot `n - 1` — the conventional receiver — to the bound.
+    LaggingReceiver {
+        /// Exact inactivity gap of the victim.
+        max_gap: u64,
+    },
+    /// Starves a fixed robot to the bound ([`LaggingRobot`]).
+    Lagging {
+        /// The starved robot.
+        victim: usize,
+        /// Exact inactivity gap of the victim.
+        max_gap: u64,
+    },
+    /// Feast-and-famine bursts ([`Bursty`]).
+    Bursty {
+        /// RNG seed for the per-lull robot draw.
+        seed: u64,
+        /// Instants per full-cohort burst.
+        burst_len: u64,
+        /// Instants per single-robot lull.
+        lull_len: u64,
+    },
+    /// Every robot delayed to the fairness bound ([`WorstCaseFair`]).
+    WorstCaseFair {
+        /// The fairness bound.
+        max_gap: u64,
+    },
+    /// An explicit cyclic activation table ([`Scripted`]).
+    Scripted {
+        /// The activation cycle; every step must be non-empty.
+        script: Vec<Vec<usize>>,
+    },
+}
+
+impl ScheduleSpec {
+    /// Builds the described schedule for a cohort of `n` robots.
+    #[must_use]
+    pub fn build(&self, n: usize) -> Box<dyn Schedule + Send> {
+        match *self {
+            ScheduleSpec::Synchronous => Box::new(Synchronous),
+            ScheduleSpec::RoundRobin => Box::new(RoundRobin),
+            ScheduleSpec::FairAsync { seed, p, max_gap } => {
+                Box::new(FairAsync::new(seed, p, max_gap))
+            }
+            ScheduleSpec::SingleActive { seed, max_gap } => {
+                Box::new(SingleActive::new(seed, max_gap))
+            }
+            ScheduleSpec::LaggingReceiver { max_gap } => {
+                Box::new(LaggingRobot::new(n.saturating_sub(1), max_gap))
+            }
+            ScheduleSpec::Lagging { victim, max_gap } => {
+                Box::new(LaggingRobot::new(victim, max_gap))
+            }
+            ScheduleSpec::Bursty {
+                seed,
+                burst_len,
+                lull_len,
+            } => Box::new(Bursty::new(seed, burst_len, lull_len)),
+            ScheduleSpec::WorstCaseFair { max_gap } => Box::new(WorstCaseFair::new(max_gap)),
+            ScheduleSpec::Scripted { ref script } => Box::new(Scripted::new(script.clone())),
+        }
+    }
+
+    /// The name the built schedule will report.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleSpec::Synchronous => "synchronous",
+            ScheduleSpec::RoundRobin => "round-robin",
+            ScheduleSpec::FairAsync { .. } => "fair-async",
+            ScheduleSpec::SingleActive { .. } => "single-active",
+            ScheduleSpec::LaggingReceiver { .. } | ScheduleSpec::Lagging { .. } => "lagging-robot",
+            ScheduleSpec::Bursty { .. } => "bursty",
+            ScheduleSpec::WorstCaseFair { .. } => "worst-case-fair",
+            ScheduleSpec::Scripted { .. } => "scripted",
+        }
+    }
+}
+
+/// A buildable, thread-safe description of a fault plan.
+///
+/// The plan seed is supplied at build time, so one spec fans out across a
+/// whole seed range while remaining a pure data value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// No faults.
+    Benign,
+    /// Non-rigid motion: moves cut short to a fraction in `[delta, 1)`
+    /// with probability `prob`.
+    NonRigid {
+        /// Minimum fraction of a move always covered.
+        delta: f64,
+        /// Per-activation fault probability.
+        prob: f64,
+    },
+    /// Transient observation dropouts with the given probability.
+    Dropout {
+        /// Per-(observer, instant) dropout probability.
+        prob: f64,
+    },
+    /// A crash-stop mid-run, layered over non-rigid motion.
+    Crash {
+        /// The crashed robot.
+        robot: usize,
+        /// The crash instant.
+        time: u64,
+        /// Non-rigid δ floor.
+        delta: f64,
+        /// Non-rigid fault probability.
+        prob: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Builds the described plan with the given seed.
+    #[must_use]
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        match *self {
+            FaultSpec::Benign => FaultPlan::new(seed),
+            FaultSpec::NonRigid { delta, prob } => FaultPlan::new(seed).non_rigid(delta, prob),
+            FaultSpec::Dropout { prob } => FaultPlan::new(seed).observation_dropout(prob),
+            FaultSpec::Crash {
+                robot,
+                time,
+                delta,
+                prob,
+            } => FaultPlan::new(seed)
+                .crash_stop(robot, time)
+                .non_rigid(delta, prob),
+        }
+    }
+
+    /// A short name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultSpec::Benign => "benign",
+            FaultSpec::NonRigid { .. } => "non-rigid",
+            FaultSpec::Dropout { .. } => "dropout",
+            FaultSpec::Crash { .. } => "crash",
+        }
+    }
+
+    /// Whether this spec crash-stops a robot.
+    #[must_use]
+    pub fn crashes(&self) -> bool {
+        matches!(self, FaultSpec::Crash { .. })
+    }
+}
+
+/// Compile-time guarantee that specs can cross threads.
+fn _assert_send_sync() {
+    fn assert_send_sync<T: Send + Sync + Clone>() {}
+    assert_send_sync::<ScheduleSpec>();
+    assert_send_sync::<FaultSpec>();
+}
+
+/// The activation sequence of a built schedule, for tests.
+#[must_use]
+pub fn activation_prefix(spec: &ScheduleSpec, n: usize, len: u64) -> Vec<ActivationSet> {
+    let mut schedule = spec.build(n);
+    (0..len).map(|t| schedule.activations(t, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_specs() -> Vec<ScheduleSpec> {
+        vec![
+            ScheduleSpec::Synchronous,
+            ScheduleSpec::RoundRobin,
+            ScheduleSpec::FairAsync {
+                seed: 3,
+                p: 0.4,
+                max_gap: 9,
+            },
+            ScheduleSpec::SingleActive {
+                seed: 4,
+                max_gap: 7,
+            },
+            ScheduleSpec::LaggingReceiver { max_gap: 8 },
+            ScheduleSpec::Lagging {
+                victim: 0,
+                max_gap: 5,
+            },
+            ScheduleSpec::Bursty {
+                seed: 5,
+                burst_len: 3,
+                lull_len: 5,
+            },
+            ScheduleSpec::WorstCaseFair { max_gap: 6 },
+            ScheduleSpec::Scripted {
+                script: vec![vec![0], vec![1, 2]],
+            },
+        ]
+    }
+
+    #[test]
+    fn specs_build_schedules_with_matching_names() {
+        for spec in all_specs() {
+            let schedule = spec.build(3);
+            assert_eq!(schedule.name(), spec.name(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn built_schedules_are_deterministic_per_spec() {
+        for spec in all_specs() {
+            assert_eq!(
+                activation_prefix(&spec, 4, 100),
+                activation_prefix(&spec, 4, 100),
+                "{spec:?} not reproducible from its spec"
+            );
+        }
+    }
+
+    #[test]
+    fn lagging_receiver_targets_last_robot() {
+        let spec = ScheduleSpec::LaggingReceiver { max_gap: 4 };
+        let log = activation_prefix(&spec, 3, 16);
+        // Robot 2 is the starved victim: inactive most instants.
+        let victim_active = log.iter().filter(|s| s.contains(2)).count();
+        let other_active = log.iter().filter(|s| s.contains(0)).count();
+        assert!(victim_active < other_active);
+    }
+
+    #[test]
+    fn specs_can_be_sent_across_threads() {
+        let spec = ScheduleSpec::Bursty {
+            seed: 1,
+            burst_len: 2,
+            lull_len: 3,
+        };
+        let fault = FaultSpec::NonRigid {
+            delta: 0.5,
+            prob: 0.5,
+        };
+        let handle = std::thread::spawn(move || {
+            let mut s = spec.build(3);
+            let plan = fault.plan(11);
+            (s.activations(0, 3).len(), plan.motion_fraction(0, 0))
+        });
+        let (active, fraction) = handle.join().unwrap();
+        assert_eq!(active, 3); // bursty instant 0 is a burst
+        assert!((0.0..=1.0).contains(&fraction));
+    }
+
+    #[test]
+    fn fault_specs_build_the_described_plans() {
+        assert!(FaultSpec::Benign.plan(1).is_benign());
+        assert!(!FaultSpec::Benign.crashes());
+        let nr = FaultSpec::NonRigid {
+            delta: 0.3,
+            prob: 1.0,
+        }
+        .plan(2);
+        assert!((nr.delta() - 0.3).abs() < 1e-15);
+        let crash = FaultSpec::Crash {
+            robot: 1,
+            time: 35,
+            delta: 0.5,
+            prob: 0.25,
+        };
+        assert!(crash.crashes());
+        let plan = crash.plan(3);
+        assert_eq!(plan.crash_time(1), Some(35));
+        let drop = FaultSpec::Dropout { prob: 1.0 }.plan(4);
+        assert!(drop.drops_observation(0, 1, 0));
+    }
+
+    #[test]
+    fn same_seed_same_plan_decisions() {
+        let spec = FaultSpec::NonRigid {
+            delta: 0.4,
+            prob: 0.6,
+        };
+        let a: Vec<f64> = (0..50)
+            .map(|t| spec.plan(9).motion_fraction(1, t))
+            .collect();
+        let b: Vec<f64> = (0..50)
+            .map(|t| spec.plan(9).motion_fraction(1, t))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FaultSpec::Benign.name(), "benign");
+        assert_eq!(
+            FaultSpec::NonRigid {
+                delta: 0.5,
+                prob: 0.5
+            }
+            .name(),
+            "non-rigid"
+        );
+        assert_eq!(FaultSpec::Dropout { prob: 0.1 }.name(), "dropout");
+        assert_eq!(
+            FaultSpec::Crash {
+                robot: 1,
+                time: 35,
+                delta: 0.5,
+                prob: 0.25
+            }
+            .name(),
+            "crash"
+        );
+    }
+}

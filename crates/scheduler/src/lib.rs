@@ -32,12 +32,14 @@
 
 pub mod activation;
 pub mod adversary;
+pub mod factory;
 pub mod fairness;
 pub mod rng;
 pub mod schedules;
 
 pub use activation::ActivationSet;
 pub use adversary::{Bursty, CrashFiltered, FaultPlan, LaggingRobot, WorstCaseFair};
+pub use factory::{FaultSpec, ScheduleSpec};
 pub use fairness::{audit_fairness, FairnessReport};
 pub use schedules::{FairAsync, RoundRobin, Scripted, SingleActive, Synchronous, WakeAllFirst};
 

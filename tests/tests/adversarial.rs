@@ -192,7 +192,11 @@ fn limited_visibility_breaks_the_keyboard_protocols() {
 // ---------------------------------------------------------------------------
 // Fault-injection matrix: every protocol of the paper's capability table
 // (§3 pair + §3 swarm ×3 namings, §4 pair + §4 swarm) under every
-// adversarial-but-legal schedule × every fault plan. The invariants:
+// adversarial-but-legal schedule × every fault plan. The matrix is built
+// and dispatched by the fleet runtime (`BatchSpec::conformance_matrix`),
+// which reproduces the historical scenario parameters exactly at seed 0
+// (frame seeds 0xFA01/0xFA02/0xB0_01…04, plan seeds 0xA1/0xA2/frame ^
+// 0x5EED). The invariants, asserted per `RunReport`:
 //
 //   1. the collision invariant is never violated — injected faults may
 //      starve, shorten, or hide moves, but robots never meet;
@@ -208,337 +212,70 @@ fn limited_visibility_breaks_the_keyboard_protocols() {
 // Synchronous protocols are outside their regime here (the schedules are
 // not synchronous), so for them delivery is not required — only clean
 // behaviour. A crash-stop removes a robot the §4 protocols need to keep
-// observing, so crash plans must end in a clean timeout for pairs.
+// observing, so crash plans must end in a clean timeout. Observation
+// dropout breaks Lemma 4.1's premise — a robot whose *view* was dropped
+// still *moves*, so "you changed twice" no longer implies "you saw me" —
+// so delivery there is best-effort (recovering it is the hardened session
+// layer's job).
 
-use stigmergy::async2::{Async2, DriftPolicy};
-use stigmergy::async_n::AsyncSwarm;
-use stigmergy::sync2::Sync2;
 use stigmergy::sync_swarm::SyncSwarm;
+use stigmergy_fleet::{run_batch, BatchSpec, RunReport};
 use stigmergy_robots::engine::DEFAULT_COLLISION_EPS;
-use stigmergy_robots::{Capabilities, Engine, MovementProtocol, Trace};
-use stigmergy_scheduler::{Bursty, FaultPlan, LaggingRobot, Schedule, WakeAllFirst, WorstCaseFair};
+use stigmergy_robots::{Capabilities, Engine, Trace};
+use stigmergy_scheduler::{FaultPlan, ScheduleSpec, WakeAllFirst};
 
 const ADV_PAYLOAD: &[u8] = b"adv";
-const ADV_SCHEDULES: [&str; 3] = ["lagging-robot", "bursty", "worst-case-fair"];
-const ADV_PLANS: [&str; 3] = ["non-rigid", "dropout", "crash"];
 
-/// An adversarial-but-legal schedule. `WakeAllFirst` keeps the engine's
-/// preprocessing instant (t=0, everyone observes the initial configuration)
-/// intact; from t=1 on the adversary rules.
-fn adv_schedule(kind: &str, n: usize) -> WakeAllFirst<Box<dyn Schedule>> {
-    let inner: Box<dyn Schedule> = match kind {
-        // The message's receiver is the starved victim.
-        "lagging-robot" => Box::new(LaggingRobot::new(n - 1, 8)),
-        "bursty" => Box::new(Bursty::new(0x0AD5_CEDD, 3, 5)),
-        "worst-case-fair" => Box::new(WorstCaseFair::new(6)),
-        other => panic!("unknown schedule kind {other}"),
-    };
-    WakeAllFirst::new(inner)
-}
-
-fn adv_plan(kind: &str, seed: u64) -> FaultPlan {
-    match kind {
-        "non-rigid" => FaultPlan::new(seed).non_rigid(0.35, 0.5),
-        "dropout" => FaultPlan::new(seed).observation_dropout(0.1),
-        // Robot 1 crash-stops mid-run: the receiver in a pair, an
-        // essential bystander in a swarm (§4.2 senders wait for *every*
-        // robot to keep changing), so senders stall and must time out.
-        "crash" => FaultPlan::new(seed).crash_stop(1, 35).non_rigid(0.5, 0.25),
-        other => panic!("unknown plan kind {other}"),
+/// The §4 invariants, keyed by plan kind. Only asynchronous protocols
+/// carry a delivery obligation; for synchronous ones any clean outcome
+/// passes (clean-ness itself is checked for every run).
+fn assert_async_invariants(run: &RunReport) {
+    let cell = format!("{}/{}/{}", run.protocol, run.schedule, run.plan);
+    match run.plan {
+        // The crashed robot is load-bearing in every cohort used here
+        // (receiver in a pair, essential bystander in a swarm): only a
+        // clean timeout is acceptable.
+        "crash" => assert!(!run.delivered, "delivery past a crash in {cell}"),
+        // Motion faults never break Lemma 4.1 — any movement, however
+        // short, still counts as a change — so §4's delivery guarantee
+        // must survive non-rigid motion.
+        "non-rigid" => assert!(run.delivered, "async delivery failed in {cell}"),
+        _ => {}
     }
 }
 
-/// Crash plans cannot deliver (the crashed robot is load-bearing in every
-/// cohort used here), so burning a full delivery budget on them is waste:
-/// a shorter budget proves the clean timeout just as well.
-fn adv_budget(plan_kind: &str, full: u64) -> u64 {
-    if plan_kind == "crash" {
-        full.min(20_000)
-    } else {
-        full
+#[test]
+fn fault_matrix_via_fleet() {
+    let spec = BatchSpec::conformance_matrix(vec![0]);
+    let report = run_batch(&spec, 2);
+    // 6 protocols × 3 schedules × 3 plans.
+    assert_eq!(report.runs.len(), 54, "matrix shape");
+    for run in &report.runs {
+        let cell = format!("{}/{}/{}", run.protocol, run.schedule, run.plan);
+        // Invariant 2: clean completion (collisions and model errors are
+        // reported as `error`).
+        assert!(run.error.is_none(), "{cell}: {:?}", run.error);
+        // Invariant 1: the recorded trace never brings robots together.
+        assert!(
+            run.min_distance >= DEFAULT_COLLISION_EPS,
+            "collision invariant violated in {cell}"
+        );
+        // Invariant 3: detect-or-reject — nothing *different* decodes.
+        assert_eq!(run.corrupt, 0, "corrupted payload surfaced in {cell}");
+        // Invariant 4.
+        if matches!(run.protocol, "async2" | "async-swarm") {
+            assert_async_invariants(run);
+        }
     }
-}
-
-/// Runs one faulted engine to completion: one benign preprocessing instant
-/// (geometry is frozen from a clean full view), then the fault plan is
-/// armed, one message is queued, and the run continues until delivery or
-/// budget exhaustion. Panics on any collision or model error; checks the
-/// recorded trace against the collision invariant. Returns whether the
-/// message arrived.
-fn drive<P, Q, D>(mut e: Engine<P>, plan: FaultPlan, queue: Q, delivered: D, budget: u64) -> bool
-where
-    P: MovementProtocol,
-    Q: FnOnce(&mut Engine<P>),
-    D: Fn(&Engine<P>) -> bool,
-{
-    e.step().expect("benign preprocessing instant must succeed");
-    e.set_fault_plan(plan);
-    queue(&mut e);
-    let out = e
-        .run_until(budget, |e| delivered(e))
-        .expect("injected faults must never induce a collision");
-    assert!(
-        e.trace().min_pairwise_distance() >= DEFAULT_COLLISION_EPS,
-        "collision invariant violated in recorded trace"
+    // The matrix must actually exercise every cell kind.
+    for protocol in ["sync2", "async2", "sync-swarm-routed", "async-swarm"] {
+        assert!(report.runs.iter().any(|r| r.protocol == protocol));
+    }
+    assert_eq!(report.metrics.sessions, 54);
+    assert_eq!(
+        report.metrics.delivered + report.metrics.timed_out,
+        report.metrics.sessions
     );
-    out.satisfied
-}
-
-fn pair_positions() -> [Point; 2] {
-    [Point::new(0.0, 0.0), Point::new(14.0, 0.0)]
-}
-
-fn run_sync2(schedule_kind: &str, plan_kind: &str) -> bool {
-    let e = Engine::builder()
-        .positions(pair_positions())
-        .protocols([Sync2::new(), Sync2::new()])
-        .schedule(adv_schedule(schedule_kind, 2))
-        .frame_seed(0xFA01)
-        .build()
-        .unwrap();
-    drive(
-        e,
-        adv_plan(plan_kind, 0xA1),
-        |e| e.protocol_mut(0).send(ADV_PAYLOAD),
-        |e| {
-            let inbox = e.protocol(1).inbox();
-            // Detect-or-reject: nothing *different* ever decodes.
-            assert!(inbox.iter().all(|m| m.as_slice() == ADV_PAYLOAD));
-            !inbox.is_empty()
-        },
-        adv_budget(plan_kind, 40_000),
-    )
-}
-
-fn run_async2(schedule_kind: &str, plan_kind: &str) -> bool {
-    let e = Engine::builder()
-        .positions(pair_positions())
-        .protocols([
-            Async2::new(DriftPolicy::Diverge),
-            Async2::new(DriftPolicy::Diverge),
-        ])
-        .schedule(adv_schedule(schedule_kind, 2))
-        .frame_seed(0xFA02)
-        .build()
-        .unwrap();
-    drive(
-        e,
-        adv_plan(plan_kind, 0xA2),
-        |e| e.protocol_mut(0).send(ADV_PAYLOAD),
-        |e| {
-            let inbox = e.protocol(1).inbox();
-            assert!(inbox.iter().all(|m| m.as_slice() == ADV_PAYLOAD));
-            !inbox.is_empty()
-        },
-        adv_budget(plan_kind, 600_000),
-    )
-}
-
-/// The three swarm cohorts share a shape: robot 0 sends to robot n−1 by
-/// the naming the capability set affords; robot 1 is the crash victim.
-fn run_swarm<P, F, L>(
-    make: F,
-    caps: Capabilities,
-    label_of_receiver: L,
-    schedule_kind: &str,
-    plan_kind: &str,
-    seed: u64,
-    budget: u64,
-) -> bool
-where
-    P: MovementProtocol + SwarmProto + 'static,
-    F: Fn() -> P,
-    L: Fn(&Engine<P>) -> usize,
-{
-    let n = 3;
-    let e = Engine::builder()
-        .positions(ring(n, 18.0))
-        .protocols((0..n).map(|_| make()))
-        .capabilities(caps)
-        .schedule(adv_schedule(schedule_kind, n))
-        .frame_seed(seed)
-        .build()
-        .unwrap();
-    drive(
-        e,
-        adv_plan(plan_kind, seed ^ 0x5EED),
-        |e| {
-            let label = label_of_receiver(e);
-            e.protocol_mut(0).send_to(label, ADV_PAYLOAD);
-        },
-        |e| {
-            let inbox = e.protocol(n - 1).payloads();
-            assert!(inbox.iter().all(|p| p.as_slice() == ADV_PAYLOAD));
-            !inbox.is_empty()
-        },
-        adv_budget(plan_kind, budget),
-    )
-}
-
-/// Uniform access to the two swarm protocol types' queues and inboxes.
-trait SwarmProto {
-    fn send_to(&mut self, label: usize, payload: &[u8]);
-    fn payloads(&self) -> Vec<Vec<u8>>;
-}
-
-impl SwarmProto for SyncSwarm {
-    fn send_to(&mut self, label: usize, payload: &[u8]) {
-        self.send_label(label, payload);
-    }
-
-    fn payloads(&self) -> Vec<Vec<u8>> {
-        self.inbox().iter().map(|m| m.payload.clone()).collect()
-    }
-}
-
-impl SwarmProto for AsyncSwarm {
-    fn send_to(&mut self, label: usize, payload: &[u8]) {
-        self.send_label(label, payload);
-    }
-
-    fn payloads(&self) -> Vec<Vec<u8>> {
-        self.inbox().iter().map(|m| m.payload.clone()).collect()
-    }
-}
-
-#[test]
-fn fault_matrix_sync_pair() {
-    for schedule in ADV_SCHEDULES {
-        for plan in ADV_PLANS {
-            // Synchronous protocol outside its regime: any clean outcome.
-            let _delivered = run_sync2(schedule, plan);
-        }
-    }
-}
-
-#[test]
-fn fault_matrix_async_pair() {
-    for schedule in ADV_SCHEDULES {
-        for plan in ADV_PLANS {
-            let delivered = run_async2(schedule, plan);
-            match plan {
-                // The peer is gone: only a clean timeout is acceptable
-                // (reaching here at all proves no panic / collision).
-                "crash" => {
-                    assert!(!delivered, "delivery to a crashed peer under {schedule}");
-                }
-                // Motion faults never break Lemma 4.1 — any movement,
-                // however short, still counts as a change — so §4's
-                // delivery guarantee must survive non-rigid motion.
-                "non-rigid" => {
-                    assert!(delivered, "async pair failed under {schedule}/{plan}");
-                }
-                // Observation dropout breaks the lemma's premise: a robot
-                // whose *view* was dropped still *moves*, so "you changed
-                // twice" no longer implies "you saw me". A missed zone
-                // transition loses a bit and the frame CRC rejects the
-                // rest — delivery is best-effort here, and recovering it
-                // is the hardened session layer's job (retransmission).
-                _ => {}
-            }
-        }
-    }
-}
-
-#[test]
-fn fault_matrix_sync_swarm_routed() {
-    for schedule in ADV_SCHEDULES {
-        for plan in ADV_PLANS {
-            let _ = run_swarm(
-                SyncSwarm::routed,
-                Capabilities::identified_with_direction(),
-                |e| {
-                    stigmergy::label_by_id(e.ids().unwrap())
-                        .unwrap()
-                        .label_of(2)
-                        .unwrap()
-                },
-                schedule,
-                plan,
-                0xB0_01,
-                40_000,
-            );
-        }
-    }
-}
-
-#[test]
-fn fault_matrix_sync_swarm_lex() {
-    for schedule in ADV_SCHEDULES {
-        for plan in ADV_PLANS {
-            let _ = run_swarm(
-                SyncSwarm::anonymous_with_direction,
-                Capabilities::anonymous_with_direction(),
-                |e| {
-                    stigmergy::label_by_lex(e.trace().initial())
-                        .unwrap()
-                        .label_of(2)
-                        .unwrap()
-                },
-                schedule,
-                plan,
-                0xB0_02,
-                40_000,
-            );
-        }
-    }
-}
-
-#[test]
-fn fault_matrix_sync_swarm_sec() {
-    for schedule in ADV_SCHEDULES {
-        for plan in ADV_PLANS {
-            let _ = run_swarm(
-                SyncSwarm::anonymous,
-                Capabilities::anonymous(),
-                |e| {
-                    stigmergy::label_by_sec(e.trace().initial(), 0)
-                        .unwrap()
-                        .label_of(2)
-                        .unwrap()
-                },
-                schedule,
-                plan,
-                0xB0_03,
-                40_000,
-            );
-        }
-    }
-}
-
-#[test]
-fn fault_matrix_async_swarm() {
-    for schedule in ADV_SCHEDULES {
-        for plan in ADV_PLANS {
-            let delivered = run_swarm(
-                AsyncSwarm::anonymous,
-                Capabilities::anonymous(),
-                |e| {
-                    stigmergy::label_by_sec(e.trace().initial(), 0)
-                        .unwrap()
-                        .label_of(2)
-                        .unwrap()
-                },
-                schedule,
-                plan,
-                0xB0_04,
-                800_000,
-            );
-            match plan {
-                // §4.2 senders wait on the crashed bystander forever.
-                "crash" => {
-                    assert!(!delivered, "delivery past a crashed swarm under {schedule}");
-                }
-                // Fairness + intact observation: §4's guarantee holds.
-                // (Dropout is excluded for the same Lemma 4.1 reason as
-                // in `fault_matrix_async_pair`.)
-                "non-rigid" => {
-                    assert!(delivered, "async swarm failed under {schedule}/{plan}");
-                }
-                _ => {}
-            }
-        }
-    }
 }
 
 /// The acceptance criterion of the fault subsystem: the same `FaultPlan`
@@ -552,7 +289,14 @@ fn fault_runs_replay_deterministically_end_to_end() {
             .positions(ring(n, 18.0))
             .protocols((0..n).map(|_| SyncSwarm::anonymous_with_direction()))
             .capabilities(Capabilities::anonymous_with_direction())
-            .schedule(adv_schedule("bursty", n))
+            .schedule(WakeAllFirst::new(
+                ScheduleSpec::Bursty {
+                    seed: 0x0AD5_CEDD,
+                    burst_len: 3,
+                    lull_len: 5,
+                }
+                .build(n),
+            ))
             .frame_seed(0xDE7)
             .build()
             .unwrap();

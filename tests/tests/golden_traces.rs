@@ -1,0 +1,125 @@
+//! Golden-trace tests: one representative session per conformance
+//! protocol, its canonical trace encoding pinned as a hex file under
+//! `tests/golden/`. Any drift — a changed activation order, a perturbed
+//! position bit, a reordered fault event — fails the test with the first
+//! differing line.
+//!
+//! To regenerate after an *intentional* engine or codec change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p stigmergy-integration --test golden_traces
+//! ```
+//!
+//! then review the diff like any other source change.
+
+use std::path::PathBuf;
+
+use stigmergy_fleet::{fnv1a64, run_session, to_hex, ProtocolKind, SessionSpec, CONFORMANCE};
+use stigmergy_scheduler::{FaultSpec, ScheduleSpec};
+
+/// The pinned scenario: bursty activations with non-rigid motion, one
+/// seed per protocol, a budget small enough that the hex files stay a
+/// few KB but large enough for faults to fire and frames to decode.
+fn golden_spec(protocol: ProtocolKind) -> SessionSpec {
+    SessionSpec {
+        protocol,
+        schedule: ScheduleSpec::Bursty {
+            seed: 0x0AD5_CEDD,
+            burst_len: 3,
+            lull_len: 5,
+        },
+        plan: FaultSpec::NonRigid {
+            delta: 0.35,
+            prob: 0.5,
+        },
+        seed: 1,
+        cohort: 3,
+        payload: b"adv".to_vec(),
+        budget_cap: Some(256),
+        keep_trace: true,
+    }
+}
+
+fn golden_path(protocol: ProtocolKind) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{}.hex", protocol.name()))
+}
+
+fn golden_bytes(protocol: ProtocolKind) -> Vec<u8> {
+    let report = run_session(&golden_spec(protocol));
+    assert!(
+        report.error.is_none(),
+        "{}: golden run failed: {:?}",
+        protocol.name(),
+        report.error
+    );
+    report.trace.expect("keep_trace retains bytes")
+}
+
+#[test]
+fn golden_traces_have_not_drifted() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut drifted = Vec::new();
+    for protocol in CONFORMANCE {
+        let actual = to_hex(&golden_bytes(protocol));
+        let path = golden_path(protocol);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: cannot read golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                protocol.name(),
+                path.display()
+            )
+        });
+        if actual != expected {
+            let line = actual
+                .lines()
+                .zip(expected.lines())
+                .position(|(a, b)| a != b)
+                .map_or_else(|| "length".to_string(), |i| format!("line {}", i + 1));
+            drifted.push(format!("{} (first diff: {line})", protocol.name()));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "golden traces drifted: {}. If intentional, regenerate with \
+         UPDATE_GOLDEN=1 and review the diff.",
+        drifted.join(", ")
+    );
+}
+
+#[test]
+fn golden_runs_are_reproducible_in_process() {
+    // The drift test is only meaningful if the pinned scenario replays
+    // exactly; a flaky golden run would blame the codec for engine
+    // nondeterminism.
+    for protocol in CONFORMANCE {
+        let a = golden_bytes(protocol);
+        let b = golden_bytes(protocol);
+        assert_eq!(
+            fnv1a64(&a),
+            fnv1a64(&b),
+            "{}: golden scenario not reproducible",
+            protocol.name()
+        );
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn golden_scenarios_differ_across_protocols() {
+    // Six distinct protocols must pin six distinct traces — identical
+    // files would mean the spec ignores its protocol field.
+    let mut hashes: Vec<u64> = CONFORMANCE
+        .iter()
+        .map(|&p| fnv1a64(&golden_bytes(p)))
+        .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), CONFORMANCE.len());
+}
