@@ -133,6 +133,11 @@ pub fn all() -> Vec<Artifact> {
             paper_ref: "harness — parallel fleet batch: workers=1 vs N determinism",
             run: crate::fleet_sweep::e16,
         },
+        Artifact {
+            id: "e17",
+            paper_ref: "harness — gateway serving: loopback determinism + admission control",
+            run: crate::gateway_bench::e17,
+        },
     ]
 }
 
@@ -153,7 +158,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 22);
+        assert_eq!(n, 23);
     }
 
     #[test]

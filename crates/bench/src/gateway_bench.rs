@@ -1,0 +1,327 @@
+//! Serving-layer experiments: the gateway on a loopback socket.
+//!
+//! Two entry points, split the same way as [`crate::fleet_sweep`]:
+//! [`e17`] is the *deterministic* artefact (every printed number is a
+//! pure function of the spec, so the recorded output diffs cleanly),
+//! while [`bench`] is the *timed* run behind `experiments gateway-bench`
+//! that writes `BENCH_gateway.json` with wall-clocks and the serving
+//! histograms.
+
+use std::time::{Duration, Instant};
+
+use stigmergy_fleet::{run_batch, BatchSpec};
+use stigmergy_gateway::{Client, Gateway, GatewayConfig, GatewayError, JobRequest, RejectReason};
+
+use crate::table::Table;
+
+/// The capped conformance spec both entry points serve.
+#[must_use]
+pub fn gateway_spec(seeds: Vec<u64>) -> BatchSpec {
+    BatchSpec {
+        budget_cap: Some(2_000),
+        ..BatchSpec::conformance_matrix(seeds)
+    }
+}
+
+/// Runs `spec` through a loopback gateway at the given worker count,
+/// returning the result and the number of progress frames observed.
+///
+/// # Errors
+///
+/// Propagates any client-side [`GatewayError`].
+pub fn run_via_gateway(
+    spec: &BatchSpec,
+    workers: u64,
+) -> Result<(stigmergy_gateway::JobResult, u64), GatewayError> {
+    let gateway =
+        Gateway::bind(("127.0.0.1", 0), GatewayConfig::default()).map_err(GatewayError::Io)?;
+    let mut client = Client::connect(gateway.local_addr())?;
+    let mut events = 0u64;
+    let result = client.submit_and_wait(
+        &JobRequest {
+            spec: spec.clone(),
+            workers,
+            deadline_ms: 0,
+        },
+        |_completed, _total| events += 1,
+    )?;
+    gateway.shutdown_and_join();
+    Ok((result, events))
+}
+
+/// E17: the serving layer as an artefact. A loopback gateway serves the
+/// capped conformance matrix at `workers = 1` and `workers = 4`; both
+/// answers must be byte-identical to a direct [`run_batch`] — the fleet
+/// determinism guarantee surviving the wire. A second table exercises
+/// admission control deterministically: with the runner paused and
+/// capacity 2, the third submission must be the typed queue-full
+/// rejection, and the drain must complete every accepted job.
+///
+/// # Panics
+///
+/// Panics if the gateway breaks determinism or admission control —
+/// that is the claim this artefact checks.
+#[must_use]
+pub fn e17() -> Vec<Table> {
+    let spec = gateway_spec(vec![0, 1]);
+    let direct = run_batch(&spec, 1);
+    let direct_fingerprints: Vec<u64> = direct.runs.iter().map(|r| r.trace_hash).collect();
+    let direct_metrics = direct.metrics.to_json();
+
+    let mut determinism = Table::new(
+        "gateway determinism: loopback serve vs direct run_batch",
+        ["quantity", "value"],
+    );
+    determinism.row(["sessions", &direct.runs.len().to_string()]);
+    for workers in [1u64, 4] {
+        let (served, events) =
+            run_via_gateway(&spec, workers).expect("loopback serve must succeed");
+        assert_eq!(
+            served.fingerprints, direct_fingerprints,
+            "gateway changed trace fingerprints at workers={workers}"
+        );
+        assert_eq!(
+            served.metrics_json, direct_metrics,
+            "gateway changed merged metrics at workers={workers}"
+        );
+        determinism.row([
+            &format!("identical fingerprints, workers={workers}"),
+            &(served.fingerprints == direct_fingerprints).to_string(),
+        ]);
+        determinism.row([
+            &format!("identical metrics JSON, workers={workers}"),
+            &(served.metrics_json == direct_metrics).to_string(),
+        ]);
+        determinism.row([
+            &format!("progress events == sessions, workers={workers}"),
+            &(events == direct.runs.len() as u64).to_string(),
+        ]);
+    }
+
+    vec![determinism, admission_table()]
+}
+
+/// The deterministic admission-control exercise behind [`e17`]'s second
+/// table: capacity 2, runner paused, so outcomes are scheduling-free.
+fn admission_table() -> Table {
+    let spec = gateway_spec(vec![0]);
+    let gateway = Gateway::bind(
+        ("127.0.0.1", 0),
+        GatewayConfig {
+            capacity: 2,
+            max_workers: 8,
+        },
+    )
+    .expect("loopback bind");
+    gateway.pause();
+    let mut client = Client::connect(gateway.local_addr()).expect("loopback connect");
+    let request = JobRequest {
+        spec,
+        workers: 2,
+        deadline_ms: 0,
+    };
+    let first = client.submit(&request).expect("first fits");
+    let second = client.submit(&request).expect("second fits");
+    let rejection = match client.submit(&request) {
+        Err(GatewayError::Rejected(RejectReason::QueueFull { capacity })) => {
+            format!("queue full (capacity {capacity})")
+        }
+        other => panic!("third submission should be queue-full, got {other:?}"),
+    };
+    let cancel_state = client.cancel(second.job).expect("cancel queued job");
+    gateway.resume();
+    let completed = client.wait(first.job, |_, _| {}).expect("first completes");
+    let snapshot = gateway.metrics();
+    gateway.shutdown_and_join();
+
+    let mut t = Table::new(
+        "gateway admission: capacity 2, runner paused",
+        ["quantity", "value"],
+    );
+    t.row(["submission 1", "accepted"]);
+    t.row([
+        "submission 2",
+        &format!("accepted, queued_ahead={}", second.queued_ahead),
+    ]);
+    t.row(["submission 3 (typed rejection)", &rejection]);
+    t.row(["cancel of queued job 2", &format!("{cancel_state:?}")]);
+    t.row([
+        "job 1 completed after resume",
+        &(completed.job == first.job).to_string(),
+    ]);
+    t.row([
+        "accepted == completed + cancelled + expired",
+        &(snapshot.accepted == snapshot.completed + snapshot.cancelled + snapshot.deadline_expired)
+            .to_string(),
+    ]);
+    t.row(["rejected_full", &snapshot.rejected_full.to_string()]);
+    t
+}
+
+/// Outcome of timing the gateway against direct execution.
+#[derive(Debug)]
+pub struct GatewayBenchResult {
+    /// Jobs served.
+    pub jobs: usize,
+    /// Sessions in each job.
+    pub sessions_per_job: usize,
+    /// Fleet workers per job.
+    pub workers: u64,
+    /// Wall-clock of running every job directly via [`run_batch`].
+    pub direct_wall: Duration,
+    /// Wall-clock of serving every job over the loopback gateway.
+    pub gateway_wall: Duration,
+    /// Whether every served answer matched its direct counterpart.
+    pub identical_results: bool,
+    /// The gateway's serving metrics after the drain (queue-wait and
+    /// end-to-end latency histograms included).
+    pub metrics_json: String,
+}
+
+impl GatewayBenchResult {
+    /// The `BENCH_gateway.json` document. Wall-clocks vary run to run;
+    /// `identical_results` and the metric *counters* are deterministic.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"benchmark\":\"gateway-loopback\",",
+                "\"jobs\":{},",
+                "\"sessions_per_job\":{},",
+                "\"workers\":{},",
+                "\"wall_seconds_direct\":{:.3},",
+                "\"wall_seconds_gateway\":{:.3},",
+                "\"overhead_seconds\":{:.3},",
+                "\"identical_results\":{},",
+                "\"gateway_metrics\":{}}}"
+            ),
+            self.jobs,
+            self.sessions_per_job,
+            self.workers,
+            self.direct_wall.as_secs_f64(),
+            self.gateway_wall.as_secs_f64(),
+            (self.gateway_wall.as_secs_f64() - self.direct_wall.as_secs_f64()).max(0.0),
+            self.identical_results,
+            self.metrics_json,
+        )
+    }
+}
+
+/// Times `jobs` copies of `spec`: directly, then served back-to-back
+/// through one loopback gateway. The gateway run pre-queues every job
+/// with the runner paused, so the queue-wait histogram sees real waits.
+///
+/// # Panics
+///
+/// Panics if the loopback gateway cannot be bound or a serve fails —
+/// a benchmark that cannot run should fail loudly.
+#[must_use]
+pub fn bench(spec: &BatchSpec, jobs: usize, workers: u64) -> GatewayBenchResult {
+    let t0 = Instant::now();
+    let direct = run_batch(spec, usize::try_from(workers).unwrap_or(1));
+    for _ in 1..jobs {
+        let again = run_batch(spec, usize::try_from(workers).unwrap_or(1));
+        assert_eq!(again.metrics, direct.metrics, "direct runs must agree");
+    }
+    let direct_wall = t0.elapsed();
+    let direct_fingerprints: Vec<u64> = direct.runs.iter().map(|r| r.trace_hash).collect();
+    let direct_metrics = direct.metrics.to_json();
+
+    let gateway = Gateway::bind(
+        ("127.0.0.1", 0),
+        GatewayConfig {
+            capacity: jobs,
+            max_workers: workers.max(1),
+        },
+    )
+    .expect("loopback bind");
+    let mut client = Client::connect(gateway.local_addr()).expect("loopback connect");
+    let request = JobRequest {
+        spec: spec.clone(),
+        workers,
+        deadline_ms: 0,
+    };
+    let t1 = Instant::now();
+    gateway.pause();
+    let tickets: Vec<_> = (0..jobs)
+        .map(|_| client.submit(&request).expect("submission fits capacity"))
+        .collect();
+    gateway.resume();
+    let mut identical = true;
+    for ticket in tickets {
+        let result = client.wait(ticket.job, |_, _| {}).expect("job completes");
+        identical &=
+            result.fingerprints == direct_fingerprints && result.metrics_json == direct_metrics;
+    }
+    let gateway_wall = t1.elapsed();
+    let metrics_json = gateway.metrics().to_json();
+    gateway.shutdown_and_join();
+
+    GatewayBenchResult {
+        jobs,
+        sessions_per_job: direct.runs.len(),
+        workers,
+        direct_wall,
+        gateway_wall,
+        identical_results: identical,
+        metrics_json,
+    }
+}
+
+/// Timing/serving summary of a [`bench`] run.
+#[must_use]
+pub fn bench_table(result: &GatewayBenchResult) -> Table {
+    let mut t = Table::new(
+        "gateway bench: loopback serve vs direct",
+        ["quantity", "value"],
+    );
+    t.row(["jobs", &result.jobs.to_string()]);
+    t.row(["sessions per job", &result.sessions_per_job.to_string()]);
+    t.row(["workers", &result.workers.to_string()]);
+    t.row([
+        "wall seconds, direct",
+        &format!("{:.3}", result.direct_wall.as_secs_f64()),
+    ]);
+    t.row([
+        "wall seconds, via gateway",
+        &format!("{:.3}", result.gateway_wall.as_secs_f64()),
+    ]);
+    t.row(["identical results", &result.identical_results.to_string()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e17_tables_are_deterministic() {
+        let a = e17();
+        let b = e17();
+        assert_eq!(a.len(), 2);
+        let render = |tables: &[Table]| {
+            tables
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&a), render(&b));
+    }
+
+    #[test]
+    fn bench_confirms_identical_results() {
+        let spec = BatchSpec {
+            budget_cap: Some(300),
+            ..BatchSpec::conformance_matrix(vec![0])
+        };
+        let result = bench(&spec, 2, 2);
+        assert!(result.identical_results);
+        assert_eq!(result.jobs, 2);
+        let json = result.to_json();
+        assert!(json.starts_with("{\"benchmark\":\"gateway-loopback\","));
+        assert!(json.contains("\"identical_results\":true"));
+        assert!(json.contains("\"gateway_metrics\":{\"accepted\":2,"));
+        assert!(json.ends_with("}}"));
+    }
+}

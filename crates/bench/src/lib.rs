@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod fleet_sweep;
+pub mod gateway_bench;
 pub mod svg;
 pub mod table;
 pub mod workloads;

@@ -12,7 +12,7 @@
 //! it replaces.
 
 use crate::metrics::{FleetMetrics, MetricsSnapshot, SessionOutcome};
-use crate::pool::run_indexed;
+use crate::pool::{run_indexed_observed, CancelToken};
 use crate::trace_codec::{encode, fnv1a64};
 use std::time::Duration;
 use std::time::Instant;
@@ -93,6 +93,36 @@ impl ProtocolKind {
             // Budget per retransmission attempt; the policy does backoff.
             ProtocolKind::Hardened => 4_000,
         }
+    }
+
+    /// The protocol's wire tag — one byte, stable across releases, used
+    /// by the gateway's `BatchSpec` encoding.
+    #[must_use]
+    pub fn wire_code(self) -> u8 {
+        match self {
+            ProtocolKind::Sync2 => 0,
+            ProtocolKind::Async2 => 1,
+            ProtocolKind::SyncSwarmRouted => 2,
+            ProtocolKind::SyncSwarmLex => 3,
+            ProtocolKind::SyncSwarmSec => 4,
+            ProtocolKind::AsyncSwarm => 5,
+            ProtocolKind::Hardened => 6,
+        }
+    }
+
+    /// Decodes a [`ProtocolKind::wire_code`] tag.
+    #[must_use]
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => ProtocolKind::Sync2,
+            1 => ProtocolKind::Async2,
+            2 => ProtocolKind::SyncSwarmRouted,
+            3 => ProtocolKind::SyncSwarmLex,
+            4 => ProtocolKind::SyncSwarmSec,
+            5 => ProtocolKind::AsyncSwarm,
+            6 => ProtocolKind::Hardened,
+            _ => return None,
+        })
     }
 
     fn tag(self) -> u64 {
@@ -368,20 +398,92 @@ impl BatchReport {
 /// Panics if `workers == 0`, or if a worker thread panics.
 #[must_use]
 pub fn run_batch(spec: &BatchSpec, workers: usize) -> BatchReport {
+    run_batch_with(spec, workers, |_| {}, &CancelToken::new())
+        .expect("un-cancelled batch runs to completion")
+}
+
+/// Where a batch stands, as reported to a progress observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Sessions finished so far.
+    pub completed: usize,
+    /// Sessions in the batch.
+    pub total: usize,
+}
+
+/// A batch stopped by its [`CancelToken`] before every session ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchInterrupted {
+    /// Sessions that finished before cancellation took effect.
+    pub completed: usize,
+    /// Sessions the spec expanded to.
+    pub total: usize,
+}
+
+impl std::fmt::Display for BatchInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch cancelled after {} of {} sessions",
+            self.completed, self.total
+        )
+    }
+}
+
+impl std::error::Error for BatchInterrupted {}
+
+/// [`run_batch`] with streaming progress and cooperative cancellation —
+/// the entry point the gateway serves jobs through.
+///
+/// `on_progress` fires on the calling thread after every finished
+/// session, with `completed` strictly increasing; an un-cancelled batch
+/// fires it exactly `spec.sessions().len()` times. Cancellation is
+/// checked between sessions only, so every session that *did* run is the
+/// same pure function of its spec as under [`run_batch`] — a job that
+/// completes despite a late cancel request is byte-identical to one that
+/// was never cancelled.
+///
+/// # Errors
+///
+/// Returns [`BatchInterrupted`] when `cancel` stopped any session from
+/// running.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, or if a worker thread panics.
+pub fn run_batch_with<F>(
+    spec: &BatchSpec,
+    workers: usize,
+    mut on_progress: F,
+    cancel: &CancelToken,
+) -> Result<BatchReport, BatchInterrupted>
+where
+    F: FnMut(Progress),
+{
     let start = Instant::now();
     let metrics = FleetMetrics::new();
     let sessions = spec.sessions();
-    let runs = run_indexed(sessions, workers, |session| {
-        let report = run_session(&session);
-        metrics.record_session(&report.outcome());
-        report
-    });
-    BatchReport {
+    let runs = run_indexed_observed(
+        sessions,
+        workers,
+        |session| {
+            let report = run_session(&session);
+            metrics.record_session(&report.outcome());
+            report
+        },
+        |completed, total| on_progress(Progress { completed, total }),
+        cancel,
+    )
+    .map_err(|i| BatchInterrupted {
+        completed: i.completed,
+        total: i.total,
+    })?;
+    Ok(BatchReport {
         runs,
         metrics: metrics.snapshot(),
         workers,
         wall: start.elapsed(),
-    }
+    })
 }
 
 /// Runs one session to completion. Pure: same spec, same report (modulo
@@ -778,6 +880,53 @@ mod tests {
         assert!(report.runs.iter().all(|r| r.error.is_none()));
         assert!(report.runs.iter().all(|r| r.trace.is_none()));
         assert!(report.runs.iter().all(|r| r.trace_len > 0));
+    }
+
+    #[test]
+    fn observed_batch_equals_plain_batch_and_streams_progress() {
+        let spec = BatchSpec {
+            budget_cap: Some(500),
+            ..BatchSpec::conformance_matrix(vec![0])
+        };
+        let plain = run_batch(&spec, 2);
+        let mut progress = Vec::new();
+        let observed = run_batch_with(&spec, 2, |p| progress.push(p), &CancelToken::new()).unwrap();
+        assert_eq!(plain.runs, observed.runs);
+        assert_eq!(plain.metrics, observed.metrics);
+        let total = spec.sessions().len();
+        assert_eq!(progress.len(), total, "one event per session");
+        assert_eq!(
+            progress.last(),
+            Some(&Progress {
+                completed: total,
+                total
+            })
+        );
+        assert!(progress.windows(2).all(|w| w[0].completed < w[1].completed));
+    }
+
+    #[test]
+    fn cancelled_batch_reports_interruption() {
+        let spec = BatchSpec {
+            budget_cap: Some(500),
+            ..BatchSpec::conformance_matrix(vec![0])
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let err = run_batch_with(&spec, 2, |_| {}, &token).expect_err("pre-cancelled");
+        assert_eq!(err.completed, 0);
+        assert_eq!(err.total, spec.sessions().len());
+        assert!(err.to_string().contains("cancelled after 0 of"));
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_cover_every_protocol() {
+        let mut all = CONFORMANCE.to_vec();
+        all.push(ProtocolKind::Hardened);
+        for kind in all {
+            assert_eq!(ProtocolKind::from_wire_code(kind.wire_code()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::from_wire_code(7), None);
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub mod pool;
 pub mod trace_codec;
 
 pub use batch::{
-    ring, run_batch, run_session, BatchReport, BatchSpec, ProtocolKind, RunReport, SessionSpec,
-    CONFORMANCE, DEFAULT_PAYLOAD,
+    ring, run_batch, run_batch_with, run_session, BatchInterrupted, BatchReport, BatchSpec,
+    Progress, ProtocolKind, RunReport, SessionSpec, CONFORMANCE, DEFAULT_PAYLOAD,
 };
 pub use metrics::{FleetMetrics, Histogram, HistogramSnapshot, MetricsSnapshot, SessionOutcome};
-pub use pool::{run_indexed, JobQueue};
+pub use pool::{run_indexed, run_indexed_observed, CancelToken, Interrupted, JobQueue};
 pub use trace_codec::{encode, encode_hex, fnv1a64, to_hex};

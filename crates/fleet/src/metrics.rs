@@ -118,7 +118,11 @@ impl HistogramSnapshot {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
-    fn to_json(&self) -> String {
+    /// Serializes the snapshot as a JSON object with a stable key order —
+    /// shared by [`MetricsSnapshot::to_json`] and the gateway's latency
+    /// metrics.
+    #[must_use]
+    pub fn to_json(&self) -> String {
         let list = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         format!(
             "{{\"bounds\":[{}],\"bins\":[{}],\"count\":{},\"sum\":{}}}",

@@ -10,9 +10,40 @@
 //! is that each job is a pure function of its input).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::thread;
+
+/// A one-way cooperative cancellation flag.
+///
+/// The gateway arms one token per job; workers check it between sessions,
+/// so cancellation never interrupts a session mid-flight — completed work
+/// stays deterministic, pending work is simply not started. Tokens are
+/// cheap, `Sync`, and usually shared via `Arc`.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// A multi-producer multi-consumer FIFO of pending jobs.
 ///
@@ -121,6 +152,54 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    run_indexed_observed(items, workers, f, |_, _| {}, &CancelToken::new())
+        .expect("un-cancelled run completes every job")
+}
+
+/// How far an interrupted run got before it stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Jobs that finished before the cancellation took effect.
+    pub completed: usize,
+    /// Jobs submitted in total.
+    pub total: usize,
+}
+
+/// [`run_indexed`] with completion observation and cooperative
+/// cancellation — the primitive under the gateway's streaming progress
+/// and job cancellation.
+///
+/// `on_done(completed, total)` fires on the collector (calling) thread
+/// after each job lands, with a monotonically increasing `completed`;
+/// an un-cancelled run fires it exactly `items.len()` times, ending at
+/// `(total, total)`. Workers check `cancel` between jobs: a job already
+/// running completes normally (its result is kept and observed), jobs
+/// not yet started are abandoned. The run returns `Ok` only if *every*
+/// job completed — a cancellation that lands after the last job is not
+/// an interruption.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when cancellation stopped any job from
+/// running.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (after all threads are joined), and
+/// panics if `workers == 0`.
+pub fn run_indexed_observed<T, R, F, P>(
+    items: Vec<T>,
+    workers: usize,
+    f: F,
+    mut on_done: P,
+    cancel: &CancelToken,
+) -> Result<Vec<R>, Interrupted>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    P: FnMut(usize, usize),
+{
     assert!(workers > 0, "need at least one worker");
     let n = items.len();
     let queue = JobQueue::new();
@@ -131,13 +210,17 @@ where
 
     let (tx, rx) = mpsc::sync_channel::<(usize, R)>(workers * 2);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut completed = 0usize;
     thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let queue = &queue;
             let f = &f;
             scope.spawn(move || {
-                while let Some((index, job)) = queue.pop() {
+                while !cancel.is_cancelled() {
+                    let Some((index, job)) = queue.pop() else {
+                        return;
+                    };
                     // A send can only fail if the collector is gone, which
                     // means the scope is already unwinding; stop quietly.
                     if tx.send((index, f(job))).is_err() {
@@ -149,12 +232,21 @@ where
         drop(tx); // collector's rx ends when the last worker clone drops
         for (index, result) in rx {
             slots[index] = Some(result);
+            completed += 1;
+            on_done(completed, n);
         }
     });
-    slots
-        .into_iter()
-        .map(|r| r.expect("worker delivered every job"))
-        .collect()
+    if completed == n {
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("worker delivered every job"))
+            .collect())
+    } else {
+        Err(Interrupted {
+            completed,
+            total: n,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +345,71 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = run_indexed(vec![1], 0, |x: i32| x);
+    }
+
+    #[test]
+    fn observer_sees_every_completion_in_order() {
+        let mut seen = Vec::new();
+        let out = run_indexed_observed(
+            (0..10).collect::<Vec<_>>(),
+            3,
+            |x: u32| x * 2,
+            |done, total| seen.push((done, total)),
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(seen, (1..=10).map(|d| (d, 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pre_cancelled_run_is_interrupted_immediately() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let err = run_indexed_observed(vec![1, 2, 3], 2, |x: i32| x, |_, _| {}, &token)
+            .expect_err("cancelled before start");
+        assert_eq!(err.total, 3);
+        assert_eq!(err.completed, 0);
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_completed_prefix_work() {
+        // One worker, cancel fired by the job itself after 2 completions:
+        // the remaining jobs must be abandoned, the finished ones kept.
+        let token = CancelToken::new();
+        let err = run_indexed_observed(
+            (0..100).collect::<Vec<_>>(),
+            1,
+            |x: u32| {
+                if x == 1 {
+                    token.cancel();
+                }
+                x
+            },
+            |_, _| {},
+            &token,
+        )
+        .expect_err("cancelled mid-run");
+        assert_eq!(err.total, 100);
+        assert!(err.completed >= 2, "running jobs complete");
+        assert!(err.completed < 100, "pending jobs are abandoned");
+    }
+
+    #[test]
+    fn cancellation_after_last_job_is_not_an_interruption() {
+        let token = CancelToken::new();
+        let out = run_indexed_observed(
+            vec![1, 2],
+            1,
+            |x: i32| x,
+            |done, total| {
+                if done == total {
+                    token.cancel();
+                }
+            },
+            &token,
+        );
+        assert_eq!(out.unwrap(), vec![1, 2]);
     }
 }

@@ -36,6 +36,7 @@ pub mod factory;
 pub mod fairness;
 pub mod rng;
 pub mod schedules;
+pub mod wire;
 
 pub use activation::ActivationSet;
 pub use adversary::{Bursty, CrashFiltered, FaultPlan, LaggingRobot, WorstCaseFair};
