@@ -18,7 +18,7 @@
 
 use crate::preprocess::SwarmGeometry;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stigmergy_coding::framing::FrameDecoder;
 use stigmergy_geometry::granular::{SliceSide, SliceZone};
 use stigmergy_geometry::Point;
@@ -47,7 +47,7 @@ pub struct OverheardEntry {
 /// routing. The observer is always home index 0 of its own geometry.
 #[derive(Debug, Clone, Default)]
 pub struct MessageStreams {
-    decoders: HashMap<(usize, usize), FrameDecoder>,
+    decoders: BTreeMap<(usize, usize), FrameDecoder>,
     inbox: Vec<InboxEntry>,
     overheard: Vec<OverheardEntry>,
 }
@@ -135,7 +135,7 @@ impl ZoneKey {
 /// half-slices* — the asynchronous bit events.
 #[derive(Debug, Clone, Default)]
 pub struct ZoneTracker {
-    last: HashMap<usize, ZoneKey>,
+    last: BTreeMap<usize, ZoneKey>,
 }
 
 impl ZoneTracker {

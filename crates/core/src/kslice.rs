@@ -17,7 +17,7 @@
 use crate::decode::{InboxEntry, OverheardEntry};
 use crate::naming::{label_by_lex, Labeling};
 use crate::CoreError;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use stigmergy_coding::addressing::{decode_digits, digits_for, encode_digits};
 use stigmergy_coding::framing::{encode_frame, FrameDecoder};
 use stigmergy_coding::Bit;
@@ -58,7 +58,7 @@ pub struct KSliceSync {
     init_error: Option<CoreError>,
     pending: VecDeque<(usize, Vec<u8>)>,
     current: VecDeque<Symbol>,
-    decoders: HashMap<usize, KDecoder>,
+    decoders: BTreeMap<usize, KDecoder>,
     inbox: Vec<InboxEntry>,
     overheard: Vec<OverheardEntry>,
     signals_sent: u64,
@@ -80,7 +80,7 @@ impl KSliceSync {
             init_error: None,
             pending: VecDeque::new(),
             current: VecDeque::new(),
-            decoders: HashMap::new(),
+            decoders: BTreeMap::new(),
             inbox: Vec::new(),
             overheard: Vec::new(),
             signals_sent: 0,

@@ -350,17 +350,17 @@ impl<P: SwarmProtocol> Network<P> {
     /// is safe to call every instant of a long run.
     #[must_use]
     pub fn all_delivered(&self) -> bool {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         if self.expectations.is_empty() {
             return true;
         }
-        let mut expected: HashMap<(usize, usize, &[u8]), usize> = HashMap::new();
+        let mut expected: BTreeMap<(usize, usize, &[u8]), usize> = BTreeMap::new();
         for (from, to, payload) in &self.expectations {
             *expected
                 .entry((*from, *to, payload.as_slice()))
                 .or_insert(0) += 1;
         }
-        let mut inboxes: HashMap<usize, Vec<(usize, Vec<u8>)>> = HashMap::new();
+        let mut inboxes: BTreeMap<usize, Vec<(usize, Vec<u8>)>> = BTreeMap::new();
         expected.into_iter().all(|((from, to, payload), need)| {
             let inbox = inboxes.entry(to).or_insert_with(|| self.inbox(to));
             inbox

@@ -460,6 +460,8 @@ pub fn run_batch_with<F>(
 where
     F: FnMut(Progress),
 {
+    #[allow(clippy::disallowed_methods)]
+    // stiglint: allow(determinism) -- feeds only the `wall` duration of BatchReport, never traces, fingerprints, or metrics
     let start = Instant::now();
     let metrics = FleetMetrics::new();
     let sessions = spec.sessions();

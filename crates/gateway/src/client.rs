@@ -74,7 +74,9 @@ impl Client {
     /// claims; frames nobody has claimed yet stay parked in order.
     fn recv(&mut self, accept: impl Fn(&Message) -> bool) -> Result<Message, GatewayError> {
         if let Some(pos) = self.pending.iter().position(&accept) {
-            return Ok(self.pending.remove(pos).expect("position just found"));
+            if let Some(msg) = self.pending.remove(pos) {
+                return Ok(msg);
+            }
         }
         loop {
             let msg = read_frame(&mut self.stream)?;

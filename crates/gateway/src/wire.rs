@@ -592,7 +592,9 @@ impl FrameBuffer {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&self.buf[..4]);
+        let len = u32::from_le_bytes(len_bytes) as usize;
         if len > MAX_FRAME {
             return Err(GatewayError::FrameTooLarge(len));
         }

@@ -1,0 +1,18 @@
+//! Seeded violation: unordered collections in deterministic code.
+//! Expected: 5 × determinism (use×2 idents, field, ctor, return type).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_id: HashMap<u32, String>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self { by_id: HashMap::new() }
+    }
+
+    pub fn ids(&self) -> HashSet<u32> {
+        self.by_id.keys().copied().collect()
+    }
+}

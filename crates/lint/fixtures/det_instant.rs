@@ -1,0 +1,19 @@
+//! Seeded violation: wall-clock reads in deterministic code.
+//! Expected: 3 × determinism (Instant::now; SystemTime in the use and
+//! in the body — the type should not be mentioned at all).
+//! The bare `Instant` parameter is NOT a violation: measuring against
+//! an injected instant is fine, minting one is not.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch_ms(since: Instant) -> u128 {
+    let _ = since;
+    match SystemTime::UNIX_EPOCH.elapsed() {
+        Ok(d) => d.as_millis(),
+        Err(_) => 0,
+    }
+}

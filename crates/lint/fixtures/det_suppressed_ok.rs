@@ -1,0 +1,17 @@
+//! Clean control: every hazard carries a well-formed suppression with
+//! a reason. Expected: no violations.
+
+// stiglint: allow(determinism) -- keyed access only; all iteration goes through sorted_entries()
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u64, Vec<u8>>, // stiglint: allow(determinism) -- keyed access only; all iteration goes through sorted_entries()
+}
+
+impl Cache {
+    pub fn sorted_entries(&self) -> Vec<(&u64, &Vec<u8>)> {
+        let mut v: Vec<_> = self.entries.iter().collect();
+        v.sort_by_key(|(k, _)| **k);
+        v
+    }
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: suppressions that don't carry their weight.
+//! Expected: 2 × suppression (no reason; wrong verb) and 1 ×
+//! determinism (the reason-less allow does not actually suppress).
+
+use std::collections::HashMap; // stiglint: allow(determinism)
+
+// stiglint: deny(determinism) -- deny is not a verb this grammar has
+pub type Table = HashMap<u32, u32>; // stiglint: allow(determinism) -- keyed access only, never iterated

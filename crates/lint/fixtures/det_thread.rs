@@ -1,0 +1,18 @@
+//! Seeded violation: untracked spawn in deterministic code — including
+//! one hiding inside a macro body, which a naive line-regex linter
+//! tied to `fn` items would miss.
+//! Expected: 2 × determinism.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}
+
+macro_rules! bg {
+    ($body:expr) => {
+        std::thread::spawn(move || $body)
+    };
+}
+
+pub fn via_macro() {
+    let _ = bg!(1 + 1);
+}

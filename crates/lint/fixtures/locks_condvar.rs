@@ -1,0 +1,20 @@
+//! Seeded violation: waiting on a Condvar while a *second* guard stays
+//! held — the classic two-lock deadlock-in-waiting. Expected: 1 ×
+//! lock-discipline; the single-guard wait loop is the legitimate
+//! protocol and stays clean.
+
+pub fn bad(q: &Queue) {
+    let log = q.log.lock().expect("poisoned");
+    let mut state = q.state.lock().expect("poisoned");
+    while state.is_empty() {
+        state = q.ready.wait(state).expect("poisoned");
+    }
+    log.append(state.head());
+}
+
+pub fn good(q: &Queue) {
+    let mut state = q.state.lock().expect("poisoned");
+    while state.is_empty() {
+        state = q.ready.wait(state).expect("poisoned");
+    }
+}

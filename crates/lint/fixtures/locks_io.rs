@@ -1,0 +1,17 @@
+//! Seeded violation: a Mutex guard held across socket writes.
+//! Expected: 2 × lock-discipline (the method write and the free-fn
+//! frame write); the drop-first variant below is clean.
+
+pub fn bad(conn: &Conn) {
+    let mut stream = conn.stream.lock().expect("poisoned");
+    stream.write_all(b"payload");
+    let _ = write_frame(&mut *stream, b"frame");
+}
+
+pub fn good(conn: &Conn) {
+    let snapshot = {
+        let state = conn.state.lock().expect("poisoned");
+        state.render()
+    };
+    conn.out().write_all(&snapshot);
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: budgeted panic sites over the file-mode budget
+//! of 0. Expected: 1 × panic-safety naming 4 sites (2 expect, 1
+//! assert, 1 indexing).
+
+pub fn parse(buf: &[u8]) -> u32 {
+    assert!(buf.len() >= 4, "caller guarantees a header");
+    let b0 = buf[0];
+    let rest: Option<u32> = buf.get(1).map(|b| u32::from(*b));
+    let hi = rest.expect("length checked above");
+    let lo = u32::try_from(b0).expect("u8 always fits");
+    hi << 8 | lo
+}

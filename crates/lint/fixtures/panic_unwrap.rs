@@ -1,0 +1,26 @@
+//! Seeded violation: hard panic sites in connection-serving code.
+//! Expected: 3 × panic-safety (unwrap, panic!, unreachable!); the
+//! `unwrap_or` is free, and the test fn at the bottom is invisible.
+
+pub fn handle(frame: Option<&[u8]>) -> usize {
+    let f = frame.unwrap();
+    if f.is_empty() {
+        panic!("empty frame");
+    }
+    match f.len() {
+        0 => unreachable!(),
+        n => n,
+    }
+}
+
+pub fn tolerant(frame: Option<usize>) -> usize {
+    frame.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::handle(Some(b"x")).checked_mul(2).unwrap();
+    }
+}

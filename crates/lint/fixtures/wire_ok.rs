@@ -1,0 +1,24 @@
+//! Clean control: every variant named in every codec fn.
+//! Expected: no violations.
+
+pub enum Frame {
+    Ping,
+    Pong,
+}
+
+impl Frame {
+    pub fn encode(&self) -> u8 {
+        match self {
+            Frame::Ping => 0,
+            Frame::Pong => 1,
+        }
+    }
+
+    pub fn decode(code: u8) -> Option<Frame> {
+        match code {
+            0 => Some(Frame::Ping),
+            1 => Some(Frame::Pong),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Workspace policy: which files each pass covers and at what budget.
+//!
+//! The policy is code, not a config file, on purpose: changing the
+//! deterministic scope or raising a panic budget should be a reviewed
+//! diff in this crate, next to the rules it weakens.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::wire_complete::Pairing;
+
+/// Crates whose entire `src/` tree is trace-affecting and therefore in
+/// determinism scope.
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "geometry", "robots", "scheduler", "coding"];
+
+/// `fleet` files on the batch path (worker pool internals excluded —
+/// the pool is concurrency plumbing whose nondeterminism is erased by
+/// index-ordered collection; the batch path must never reintroduce it).
+pub const FLEET_BATCH_FILES: &[&str] = &[
+    "crates/fleet/src/batch.rs",
+    "crates/fleet/src/trace_codec.rs",
+    "crates/fleet/src/metrics.rs",
+    "crates/fleet/src/lib.rs",
+];
+
+/// Per-file budgeted-panic-site allowances for the gateway. A file not
+/// listed here gets budget 0. Budgets only ratchet down: raising one
+/// requires justifying the new sites in review.
+pub const PANIC_BUDGETS: &[(&str, usize)] = &[
+    // 21 `.expect("… poisoned")` on lock acquisition + 2 header-checked
+    // index expressions; the ratchet pins today's count exactly.
+    ("crates/gateway/src/server.rs", 23),
+    // 3 `.expect` in length-validated codec paths + 1 length-checked
+    // `self.buf[..4]` (guarded by the `len < 4` early return).
+    ("crates/gateway/src/wire.rs", 4),
+];
+
+/// Files in lock-discipline scope.
+pub const LOCK_FILES: &[&str] = &[
+    "crates/fleet/src/pool.rs",
+    "crates/gateway/src/server.rs",
+    "crates/gateway/src/client.rs",
+];
+
+/// Files where same-file enum↔codec inference runs in workspace mode.
+pub const WIRE_INFERENCE_FILES: &[&str] = &[
+    "crates/scheduler/src/wire.rs",
+    "crates/gateway/src/wire.rs",
+    "crates/fleet/src/batch.rs",
+    "crates/fleet/src/trace_codec.rs",
+];
+
+/// The explicit cross-file enum↔codec table.
+#[must_use]
+pub fn wire_pairings() -> Vec<Pairing<'static>> {
+    const SPEC_FNS: &[&str] = &["encode_wire", "decode_wire"];
+    const MSG_FNS: &[&str] = &["kind", "encode", "decode"];
+    const SUB_FNS: &[&str] = &["encode", "decode"];
+    const PROTO_FNS: &[&str] = &["wire_code", "from_wire_code"];
+    vec![
+        Pairing {
+            enum_file: "crates/scheduler/src/factory.rs",
+            enum_name: "ScheduleSpec",
+            codec_file: "crates/scheduler/src/wire.rs",
+            impl_name: "ScheduleSpec",
+            fns: SPEC_FNS,
+        },
+        Pairing {
+            enum_file: "crates/scheduler/src/factory.rs",
+            enum_name: "FaultSpec",
+            codec_file: "crates/scheduler/src/wire.rs",
+            impl_name: "FaultSpec",
+            fns: SPEC_FNS,
+        },
+        Pairing {
+            enum_file: "crates/gateway/src/wire.rs",
+            enum_name: "Message",
+            codec_file: "crates/gateway/src/wire.rs",
+            impl_name: "Message",
+            fns: MSG_FNS,
+        },
+        Pairing {
+            enum_file: "crates/gateway/src/wire.rs",
+            enum_name: "RejectReason",
+            codec_file: "crates/gateway/src/wire.rs",
+            impl_name: "Message",
+            fns: SUB_FNS,
+        },
+        Pairing {
+            enum_file: "crates/gateway/src/wire.rs",
+            enum_name: "FailReason",
+            codec_file: "crates/gateway/src/wire.rs",
+            impl_name: "Message",
+            fns: SUB_FNS,
+        },
+        Pairing {
+            enum_file: "crates/gateway/src/wire.rs",
+            enum_name: "CancelState",
+            codec_file: "crates/gateway/src/wire.rs",
+            impl_name: "Message",
+            fns: SUB_FNS,
+        },
+        Pairing {
+            enum_file: "crates/fleet/src/batch.rs",
+            enum_name: "ProtocolKind",
+            codec_file: "crates/fleet/src/batch.rs",
+            impl_name: "ProtocolKind",
+            fns: PROTO_FNS,
+        },
+    ]
+}
+
+/// The panic budget for a workspace-relative path (0 if unlisted).
+#[must_use]
+pub fn panic_budget(rel: &str) -> usize {
+    PANIC_BUDGETS
+        .iter()
+        .find(|(f, _)| *f == rel)
+        .map_or(0, |(_, b)| *b)
+}
+
+/// All files in determinism scope, as workspace-relative paths, in
+/// stable sorted order.
+pub fn deterministic_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for krate in DETERMINISTIC_CRATES {
+        let dir = root.join("crates").join(krate).join("src");
+        collect_rs(&dir, root, &mut out)?;
+    }
+    for f in FLEET_BATCH_FILES {
+        if root.join(f).is_file() {
+            out.push((*f).to_string());
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// All `.rs` files under gateway `src/`, workspace-relative, sorted —
+/// the panic-safety scope.
+pub fn panic_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    collect_rs(&root.join("crates/gateway/src"), root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` as root-relative
+/// strings, in directory-entry-sorted order.
+pub fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, root, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(rel_to(&p, root));
+        }
+    }
+    Ok(())
+}
+
+/// Renders `path` relative to `root` with forward slashes.
+#[must_use]
+pub fn rel_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}

@@ -1,0 +1,442 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The rule passes only need a faithful token stream: identifiers must
+//! never be conjured out of string literals, comments, or char literals,
+//! and line numbers must survive raw strings and nested block comments.
+//! Everything subtler (keywords, precedence, types) is left to the
+//! scanner's heuristics. The lexer is total: any byte sequence produces
+//! *some* token stream rather than an error, because a linter that dies
+//! on the code it audits protects nothing.
+
+/// What a token is, as far as the rule passes care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`let`, `HashMap`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal, sign excluded.
+    Num,
+    /// A string, raw string, byte string, or C string literal.
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// A `//` comment (doc or plain), text without the newline.
+    LineComment,
+    /// A `/* */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The classification.
+    pub kind: TokKind,
+    /// The token text. For raw identifiers the `r#` prefix is stripped,
+    /// so `r#match` and `match` compare equal; everything else is
+    /// verbatim source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this token is this punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+
+    /// Whether this token is any kind of comment.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a complete token stream.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.take_while(|b| b != b'\n');
+                push(&mut toks, src, TokKind::LineComment, start, cur.pos, line);
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break, // unterminated: tolerate
+                    }
+                }
+                push(&mut toks, src, TokKind::BlockComment, start, cur.pos, line);
+            }
+            b'r' | b'b' | b'c' if starts_raw_string(&cur) => {
+                // r"..." / r#"..."# / br#"..."# / cr"..." with any hashes.
+                while cur.peek(0) != Some(b'#') && cur.peek(0) != Some(b'"') {
+                    cur.bump(); // the r / br / cr prefix
+                }
+                let mut hashes = 0usize;
+                while cur.peek(0) == Some(b'#') {
+                    cur.bump();
+                    hashes += 1;
+                }
+                cur.bump(); // opening quote
+                loop {
+                    match cur.bump() {
+                        None => break, // unterminated: tolerate
+                        Some(b'"') => {
+                            let mut seen = 0usize;
+                            while seen < hashes && cur.peek(0) == Some(b'#') {
+                                cur.bump();
+                                seen += 1;
+                            }
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                push(&mut toks, src, TokKind::Str, start, cur.pos, line);
+            }
+            b'r' if cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#ident: strip the prefix so rule
+                // matching sees the plain name.
+                cur.bump();
+                cur.bump();
+                let ident_start = cur.pos;
+                cur.take_while(is_ident_continue);
+                push(&mut toks, src, TokKind::Ident, ident_start, cur.pos, line);
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.bump();
+                lex_string(&mut cur);
+                push(&mut toks, src, TokKind::Str, start, cur.pos, line);
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump();
+                cur.bump();
+                lex_char_tail(&mut cur);
+                push(&mut toks, src, TokKind::Char, start, cur.pos, line);
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                push(&mut toks, src, TokKind::Str, start, cur.pos, line);
+            }
+            b'\'' => {
+                cur.bump();
+                // Lifetime or char literal. `'a'` is a char, `'a` is a
+                // lifetime; `'\n'` and `'\u{1F980}'` are chars.
+                if cur.peek(0).is_some_and(is_ident_start) && cur.peek(1) != Some(b'\'') {
+                    cur.take_while(is_ident_continue);
+                    push(&mut toks, src, TokKind::Lifetime, start, cur.pos, line);
+                } else {
+                    lex_char_tail(&mut cur);
+                    push(&mut toks, src, TokKind::Char, start, cur.pos, line);
+                }
+            }
+            _ if is_ident_start(b) => {
+                cur.take_while(is_ident_continue);
+                push(&mut toks, src, TokKind::Ident, start, cur.pos, line);
+            }
+            _ if b.is_ascii_digit() => {
+                cur.take_while(is_ident_continue);
+                // A fractional part, but never a `..` range operator.
+                if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    cur.bump();
+                    cur.take_while(is_ident_continue);
+                }
+                // An exponent sign as in 1.0e-3 / 2E+5.
+                if cur.pos > start
+                    && matches!(cur.src[cur.pos - 1], b'e' | b'E')
+                    && matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+                    && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    cur.bump();
+                    cur.take_while(is_ident_continue);
+                }
+                push(&mut toks, src, TokKind::Num, start, cur.pos, line);
+            }
+            _ => {
+                cur.bump();
+                push(&mut toks, src, TokKind::Punct, start, cur.pos, line);
+            }
+        }
+    }
+    toks
+}
+
+fn push(toks: &mut Vec<Tok>, src: &str, kind: TokKind, start: usize, end: usize, line: u32) {
+    toks.push(Tok {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+    });
+}
+
+/// Whether the cursor sits on `r`/`br`/`cr` introducing a raw string.
+fn starts_raw_string(cur: &Cursor<'_>) -> bool {
+    let after_prefix = match (cur.peek(0), cur.peek(1)) {
+        (Some(b'r'), _) => 1,
+        (Some(b'b') | Some(b'c'), Some(b'r')) => 2,
+        _ => return false,
+    };
+    let mut i = after_prefix;
+    while cur.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    // `r#ident` has hashes but no quote; `r"…"`/`r#"…"#` has the quote.
+    cur.peek(i) == Some(b'"') && (i > after_prefix || after_prefix > 1 || cur.peek(1) == Some(b'"'))
+}
+
+/// Consumes a `"…"` body (opening quote included), honoring escapes.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                cur.bump(); // whatever is escaped, including `"` and `\`
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a char-literal tail after the opening `'`.
+fn lex_char_tail(cur: &mut Cursor<'_>) {
+    match cur.bump() {
+        Some(b'\\') => {
+            // \u{…} consumes its braced payload; any other escape is one
+            // character, already consumed below.
+            if cur.bump() == Some(b'u') && cur.peek(0) == Some(b'{') {
+                cur.take_while(|b| b != b'}' && b != b'\'');
+                cur.bump(); // the brace
+            }
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+        }
+        Some(b'\'') | None => {}
+        Some(_) => {
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn plain_tokens() {
+        let toks = lex("let x = foo.bar(1, 2.5);");
+        let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Num,
+                TokKind::Punct,
+                TokKind::Num,
+                TokKind::Punct,
+                TokKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
+        assert_eq!(idents(r#"let s = "say \"HashMap\"";"#), vec!["let", "s"]);
+        assert_eq!(idents("let b = b\"HashMap\";"), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_identifiers_and_quotes() {
+        assert_eq!(
+            idents(r###"let s = r#"quote " then HashMap"#;"###),
+            vec!["let", "s"]
+        );
+        assert_eq!(idents("let s = r\"Instant::now()\";"), vec!["let", "s"]);
+        assert_eq!(idents("let s = br#\"thread::spawn\"#;"), vec!["let", "s"]);
+        // Hash-count discipline: the first "# does not close an r##"…"##.
+        assert_eq!(
+            idents("let s = r##\"inner \"# still HashMap\"##; let t = 1;"),
+            vec!["let", "s", "let", "t"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_stripped() {
+        assert_eq!(idents("let r#match = r#fn;"), vec!["let", "match", "fn"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner HashMap */ still outer */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb\nr\"raw\nstring\"\nc";
+        let toks: Vec<(String, u32)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text, t.line))
+            .collect();
+        assert_eq!(
+            toks,
+            vec![("a".into(), 1), ("b".into(), 4), ("c".into(), 7)]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn static_lifetime_and_unicode_escape() {
+        let toks = lex("let s: &'static str = x; let c = '\\u{1F980}';");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 { x[1.5 as usize]; 1_000u64; 0x1F; 1.0e-3; }");
+        let nums: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "1_000u64", "0x1F", "1.0e-3"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = lex("/// about HashMap\n//! inner\nfn f() {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::LineComment)
+                .count(),
+            2
+        );
+        assert_eq!(idents("/// about HashMap\nfn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        let _ = lex("let s = \"unterminated");
+        let _ = lex("/* unterminated");
+        let _ = lex("let s = r#\"unterminated");
+        let _ = lex("let c = '");
+    }
+}

@@ -1,0 +1,140 @@
+//! `stiglint` — a zero-dependency static analyzer for this workspace.
+//!
+//! Four rule passes over a hand-rolled token stream (no rustc, no
+//! syn): `determinism`, `panic-safety`, `wire-completeness`, and
+//! `lock-discipline`. See DESIGN.md §11 for the rule catalogue,
+//! suppression grammar, and false-positive policy.
+//!
+//! Two entry points:
+//!
+//! - [`run_workspace`] — the CI mode: applies the policy in
+//!   [`config`] (which files are in which pass's scope, panic
+//!   budgets, the wire pairing table) to a workspace root.
+//! - [`run_paths`] — the fixture/spot-check mode: every pass over the
+//!   given files, panic budget 0, same-file wire inference on.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use scan::FileTokens;
+
+/// One finding. `rule` is the pass's stable name (used in suppression
+/// comments and JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (or the path as given in file mode).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule name.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+fn load(root: &Path, rel: &str) -> io::Result<FileTokens> {
+    let src = fs::read_to_string(root.join(rel))?;
+    Ok(FileTokens::new(rel, &src))
+}
+
+/// Runs the full workspace policy rooted at `root` (the directory
+/// holding the workspace `Cargo.toml`). Returns finalized (sorted,
+/// deduplicated) violations.
+pub fn run_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+
+    // Pass 1: determinism over the deterministic scope.
+    for rel in config::deterministic_files(root)? {
+        let ft = load(root, &rel)?;
+        out.extend(ft.scan_violations.iter().cloned());
+        out.extend(rules::determinism::check(&ft));
+    }
+
+    // Pass 2: panic-safety over the gateway, with per-file budgets.
+    for rel in config::panic_files(root)? {
+        let ft = load(root, &rel)?;
+        out.extend(ft.scan_violations.iter().cloned());
+        out.extend(rules::panics::check(&ft, config::panic_budget(&rel)));
+    }
+
+    // Pass 3: wire-completeness — explicit table + same-file inference
+    // on the wire files.
+    for pairing in config::wire_pairings() {
+        match (
+            load(root, pairing.enum_file),
+            load(root, pairing.codec_file),
+        ) {
+            (Ok(eft), Ok(cft)) => {
+                out.extend(rules::wire_complete::check_pairing(&pairing, &eft, &cft))
+            }
+            _ => out.push(Violation {
+                file: pairing.enum_file.to_string(),
+                line: 1,
+                rule: rules::wire_complete::RULE,
+                message: format!(
+                    "wire-completeness table references unreadable file(s) `{}`/`{}`",
+                    pairing.enum_file, pairing.codec_file
+                ),
+            }),
+        }
+    }
+    for rel in config::WIRE_INFERENCE_FILES {
+        if root.join(rel).is_file() {
+            let ft = load(root, rel)?;
+            out.extend(rules::wire_complete::check_inferred(&ft));
+        }
+    }
+
+    // Pass 4: lock-discipline over the pool and gateway connections.
+    for rel in config::LOCK_FILES {
+        if root.join(rel).is_file() {
+            let ft = load(root, rel)?;
+            out.extend(ft.scan_violations.iter().cloned());
+            out.extend(rules::locks::check(&ft));
+        }
+    }
+
+    report::finalize(&mut out);
+    Ok(out)
+}
+
+/// Runs every pass over explicit files: panic budget 0, same-file wire
+/// inference, lock discipline — the mode fixtures and spot checks use.
+pub fn run_paths(paths: &[String]) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for p in paths {
+        let src = fs::read_to_string(p)?;
+        let ft = FileTokens::new(p, &src);
+        out.extend(ft.scan_violations.iter().cloned());
+        out.extend(rules::determinism::check(&ft));
+        out.extend(rules::panics::check(&ft, 0));
+        out.extend(rules::wire_complete::check_inferred(&ft));
+        out.extend(rules::locks::check(&ft));
+    }
+    report::finalize(&mut out);
+    Ok(out)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,127 @@
+//! Determinism pass: forbid nondeterminism sources in trace-affecting
+//! crates.
+//!
+//! The headline guarantee of this workspace is byte-identical per-seed
+//! traces (DESIGN.md §9–10). Four constructs can silently break it:
+//!
+//! - `HashMap` / `HashSet` — iteration order varies per process when a
+//!   randomized hasher sneaks in, and even with a fixed hasher the
+//!   order encodes insertion history rather than a canonical key order.
+//! - `Instant::now` / `SystemTime` — wall-clock reads.
+//! - `thread::spawn` — untracked concurrency outside the fleet pool.
+//!
+//! The pass is token-based: any `Ident("HashMap")` in non-test code is
+//! a finding regardless of whether it appears in a `use`, a type, or a
+//! turbofish — the point is that the deterministic crates should not
+//! mention the type at all. `Instant` alone is fine (engines measure
+//! durations against injected clocks); `Instant :: now` is not.
+
+use crate::scan::FileTokens;
+use crate::Violation;
+
+pub const RULE: &str = "determinism";
+
+/// Runs the determinism pass over one file.
+#[must_use]
+pub fn check(ft: &FileTokens) -> Vec<Violation> {
+    let code = ft.code_indices();
+    let mut out = Vec::new();
+    for (c, &i) in code.iter().enumerate() {
+        let t = &ft.toks[i];
+        if !matches!(t.kind, crate::lexer::TokKind::Ident) {
+            continue;
+        }
+        let finding = match t.text.as_str() {
+            "HashMap" | "HashSet" => Some(format!(
+                "`{}` in a deterministic crate: iteration order is not canonical; \
+                 use `BTreeMap`/`BTreeSet` or a sorted drain",
+                t.text
+            )),
+            "SystemTime" => {
+                Some("`SystemTime` in a deterministic crate: wall-clock read".to_string())
+            }
+            "Instant" if path_calls(ft, &code, c, "now") => {
+                Some("`Instant::now` in a deterministic crate: wall-clock read".to_string())
+            }
+            "thread" if path_calls(ft, &code, c, "spawn") => Some(
+                "`thread::spawn` in a deterministic crate: untracked concurrency \
+                 outside the fleet pool"
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        if let Some(message) = finding {
+            if !ft.is_suppressed(RULE, t.line) {
+                out.push(Violation {
+                    file: ft.path.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    message,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether `code[c]` is followed by `:: <method>` (tolerating the
+/// lexer's single-char puncts: `::` arrives as two `:` tokens).
+fn path_calls(ft: &FileTokens, code: &[usize], c: usize, method: &str) -> bool {
+    c + 3 < code.len()
+        && ft.toks[code[c + 1]].is_punct(':')
+        && ft.toks[code[c + 2]].is_punct(':')
+        && ft.toks[code[c + 3]].is_ident(method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileTokens;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check(&FileTokens::new("f.rs", src))
+    }
+
+    #[test]
+    fn flags_hashmap_and_hashset() {
+        let v = run("use std::collections::HashMap;\nlet s: HashSet<u8> = HashSet::new();");
+        assert_eq!(v.len(), 3); // use + type + ctor
+        assert!(v.iter().all(|x| x.rule == RULE));
+    }
+
+    #[test]
+    fn flags_instant_now_but_not_instant_type() {
+        assert_eq!(run("let t = Instant::now();").len(), 1);
+        assert!(run("fn f(deadline: Instant) {}").is_empty());
+        assert!(run("let d: Duration = later - earlier;").is_empty());
+    }
+
+    #[test]
+    fn flags_thread_spawn_but_not_thread_sleep() {
+        assert_eq!(run("std::thread::spawn(|| {});").len(), 1);
+        assert!(run("std::thread::sleep(d);").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_invisible() {
+        assert!(run("#[cfg(test)]\nmod t { use std::collections::HashMap; }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        assert!(run("let s = \"HashMap\"; // HashMap\n/* HashSet */").is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let v = run("// stiglint: allow(determinism) -- keyed access only, never iterated\nuse std::collections::HashMap;");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_same_line_and_next_line_only() {
+        let v = run("use std::collections::HashMap;\n\nuse std::collections::HashMap; // stiglint: allow(determinism) -- line two is fine");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+}

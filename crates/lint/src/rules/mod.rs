@@ -1,0 +1,8 @@
+//! The four rule passes. Each pass consumes a [`FileTokens`] stream and
+//! returns [`Violation`]s; suppression filtering happens in the pass so
+//! a suppressed finding never leaves the module.
+
+pub mod determinism;
+pub mod locks;
+pub mod panics;
+pub mod wire_complete;

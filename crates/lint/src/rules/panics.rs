@@ -1,0 +1,198 @@
+//! Panic-safety pass: audit panic sites in connection-serving code.
+//!
+//! A panic in the gateway kills a connection that may be serving live
+//! jobs, so panic sites there are budgeted rather than merely styled
+//! against. Two tiers:
+//!
+//! - **Hard violations** — `unwrap(`, `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!`: always flagged (suppressible with a
+//!   reason like any rule).
+//! - **Budgeted sites** — `expect(`, `assert!`/`assert_eq!`/
+//!   `assert_ne!`, and slice/array indexing: counted per file and
+//!   flagged only when the count exceeds the file's configured budget.
+//!   `expect` with a message and checked asserts are accepted tools,
+//!   but their density is ratcheted so it can only go down.
+//!
+//! `unwrap_or` / `unwrap_or_else` / `unwrap_or_default` are distinct
+//! ident tokens and never match. `debug_assert!` is compiled out of
+//! release builds and is not counted. Indexing is detected as a `[`
+//! whose previous code token is an identifier, `)`, or `]` — i.e. an
+//! index expression, not an array literal or attribute.
+
+use crate::lexer::TokKind;
+use crate::scan::FileTokens;
+use crate::Violation;
+
+pub const RULE: &str = "panic-safety";
+
+const HARD: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const BUDGETED_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// Runs the panic pass over one file with the given budgeted-site
+/// allowance. Hard sites are individual violations; budgeted sites
+/// produce one violation naming the count when it exceeds `budget`.
+#[must_use]
+pub fn check(ft: &FileTokens, budget: usize) -> Vec<Violation> {
+    let code = ft.code_indices();
+    let mut out = Vec::new();
+    let mut budgeted: Vec<(u32, &'static str)> = Vec::new();
+    for (c, &i) in code.iter().enumerate() {
+        let t = &ft.toks[i];
+        match t.kind {
+            TokKind::Ident => {
+                let next_bang = c + 1 < code.len() && ft.toks[code[c + 1]].is_punct('!');
+                let next_paren = c + 1 < code.len() && ft.toks[code[c + 1]].is_punct('(');
+                if t.text == "unwrap" && next_paren {
+                    push_hard(ft, &mut out, t.line, "`.unwrap()`: panics on None/Err");
+                } else if HARD.contains(&t.text.as_str()) && next_bang {
+                    push_hard(
+                        ft,
+                        &mut out,
+                        t.line,
+                        &format!("`{}!`: unconditional panic site", t.text),
+                    );
+                } else if t.text == "expect" && next_paren {
+                    budgeted.push((t.line, "expect"));
+                } else if BUDGETED_MACROS.contains(&t.text.as_str()) && next_bang {
+                    budgeted.push((t.line, "assert"));
+                }
+            }
+            TokKind::Punct if t.text == "[" && c > 0 => {
+                let prev = &ft.toks[code[c - 1]];
+                let indexes = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if indexes {
+                    budgeted.push((t.line, "index"));
+                }
+            }
+            _ => {}
+        }
+    }
+    budgeted.retain(|(line, _)| !ft.is_suppressed(RULE, *line));
+    if budgeted.len() > budget {
+        let mut expects = 0usize;
+        let mut asserts = 0usize;
+        let mut indexes = 0usize;
+        for (_, k) in &budgeted {
+            match *k {
+                "expect" => expects += 1,
+                "assert" => asserts += 1,
+                _ => indexes += 1,
+            }
+        }
+        out.push(Violation {
+            file: ft.path.clone(),
+            line: budgeted[0].0,
+            rule: RULE,
+            message: format!(
+                "{} budgeted panic sites exceed the file budget of {budget} \
+                 ({expects} expect, {asserts} assert, {indexes} indexing); \
+                 remove sites or lower risk before raising the budget",
+                budgeted.len()
+            ),
+        });
+    }
+    out
+}
+
+fn push_hard(ft: &FileTokens, out: &mut Vec<Violation>, line: u32, message: &str) {
+    if !ft.is_suppressed(RULE, line) {
+        out.push(Violation {
+            file: ft.path.clone(),
+            line,
+            rule: RULE,
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, …).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "if" | "else" | "match" | "loop" | "while" | "move" | "mut"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileTokens;
+
+    fn run(src: &str, budget: usize) -> Vec<Violation> {
+        check(&FileTokens::new("f.rs", src), budget)
+    }
+
+    #[test]
+    fn unwrap_is_hard_unwrap_or_is_not() {
+        assert_eq!(run("x.unwrap();", 0).len(), 1);
+        assert!(run(
+            "x.unwrap_or(0); x.unwrap_or_else(f); x.unwrap_or_default();",
+            0
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_family_is_hard() {
+        let v = run(
+            "panic!(\"a\"); unreachable!(); todo!(); unimplemented!();",
+            0,
+        );
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn expect_and_asserts_count_against_budget() {
+        assert!(run("x.expect(\"m\"); assert!(a); assert_eq!(a, b);", 3).is_empty());
+        let v = run("x.expect(\"m\"); assert!(a); assert_eq!(a, b);", 2);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("3 budgeted"));
+        assert!(v[0].message.contains("budget of 2"));
+    }
+
+    #[test]
+    fn debug_assert_is_free() {
+        assert!(run("debug_assert!(a); debug_assert_eq!(a, b);", 0).is_empty());
+    }
+
+    #[test]
+    fn indexing_counts_but_literals_do_not() {
+        assert_eq!(run("let y = buf[0];", 0).len(), 1);
+        assert!(run("let a = [0u8; 4]; let b = vec![1, 2];", 1).is_empty()); // vec![..] is macro arg: `!` then `[`
+        assert!(run("return [1, 2];", 0).is_empty());
+    }
+
+    #[test]
+    fn chained_index_after_call_counts() {
+        assert_eq!(run("let y = f()[1];", 0).len(), 1);
+    }
+
+    #[test]
+    fn suppression_silences_hard_site() {
+        assert!(run(
+            "x.unwrap(); // stiglint: allow(panic-safety) -- length checked two lines up",
+            0
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn suppressed_budgeted_sites_leave_the_count() {
+        // The suppression covers its own line and the line below; the
+        // site on line 3 is outside its reach and still counts.
+        let v = run(
+            "let y = buf[0]; // stiglint: allow(panic-safety) -- bounds checked by frame header\n\nlet z = buf[1];",
+            0,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("1 budgeted"));
+    }
+
+    #[test]
+    fn test_code_is_invisible() {
+        assert!(run("#[test]\nfn t() { x.unwrap(); panic!(); }", 0).is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Wire-completeness pass: every enum variant must appear in its
+//! codec's match arms.
+//!
+//! Adding a `ScheduleSpec`/`FaultSpec`/gateway `Message` variant
+//! without touching the encode/decode arms currently surfaces as a
+//! proptest flake (or worse, a silent wire error). This pass makes it
+//! a lint failure: for each configured (enum, codec fns) pair, every
+//! variant name must occur as an identifier inside every listed codec
+//! fn body.
+//!
+//! Matching is by identifier occurrence, not full pattern analysis: a
+//! decode arm that names the variant (`ScheduleSpec::Bursty { .. }` or
+//! a constructor call) counts. A codec that genuinely covers a variant
+//! without naming it (e.g. via `_ =>`) is exactly the hazard this pass
+//! exists to flag — wildcard arms hide missing variants.
+//!
+//! Pairing comes from two sources:
+//!
+//! - An explicit cross-file table in [`crate::config`], for enums
+//!   defined in one file and encoded in another (spec enums live in
+//!   `scheduler::factory`, their codecs in `scheduler::wire`).
+//! - Same-file inference: an inherent `impl E { … }` in the same file
+//!   as `enum E` whose fns include any of [`CODEC_FNS`] is checked
+//!   automatically.
+
+use crate::scan::{enum_variants, find_enums, find_fn_bodies, FileTokens};
+use crate::Violation;
+
+pub const RULE: &str = "wire-completeness";
+
+/// Fn names that mark an inherent impl as a codec.
+pub const CODEC_FNS: &[&str] = &[
+    "encode",
+    "decode",
+    "encode_wire",
+    "decode_wire",
+    "kind",
+    "wire_code",
+    "from_wire_code",
+];
+
+/// One enum↔codec pairing to check.
+pub struct Pairing<'a> {
+    /// File (workspace-relative) holding `enum <name>`.
+    pub enum_file: &'a str,
+    /// The enum's name.
+    pub enum_name: &'a str,
+    /// File holding the codec impl.
+    pub codec_file: &'a str,
+    /// Name of the inherent impl holding the codec fns. Usually the
+    /// enum itself, but sub-enums ride inside a parent's codec (e.g.
+    /// `RejectReason` is encoded by `Message::encode`).
+    pub impl_name: &'a str,
+    /// Codec fns each variant must appear in. A fn listed here but
+    /// absent from the impl is itself a violation.
+    pub fns: &'a [&'a str],
+}
+
+/// Checks one explicit pairing given the two (possibly equal) files.
+#[must_use]
+pub fn check_pairing(
+    pairing: &Pairing,
+    enum_ft: &FileTokens,
+    codec_ft: &FileTokens,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some((_, espan)) = find_enums(enum_ft)
+        .into_iter()
+        .find(|(n, _)| n == pairing.enum_name)
+    else {
+        out.push(Violation {
+            file: pairing.enum_file.to_string(),
+            line: 1,
+            rule: RULE,
+            message: format!(
+                "configured enum `{}` not found in {}; update the wire-completeness table",
+                pairing.enum_name, pairing.enum_file
+            ),
+        });
+        return out;
+    };
+    let variants = enum_variants(enum_ft, espan);
+    let impls = find_impls_named(codec_ft, pairing.impl_name);
+    for fname in pairing.fns {
+        let Some((body_open, body_close)) = impls.iter().find_map(|span| {
+            find_fn_bodies(codec_ft, *span)
+                .into_iter()
+                .find(|(n, _, _)| n == fname)
+                .map(|(_, o, c)| (o, c))
+        }) else {
+            out.push(Violation {
+                file: pairing.codec_file.to_string(),
+                line: 1,
+                rule: RULE,
+                message: format!(
+                    "codec fn `{}::{fname}` not found in {}; update the wire-completeness table",
+                    pairing.impl_name, pairing.codec_file
+                ),
+            });
+            continue;
+        };
+        let mut named = std::collections::BTreeSet::new();
+        for i in codec_ft.all_code_indices() {
+            if i > body_open
+                && i < body_close
+                && codec_ft.toks[i].kind == crate::lexer::TokKind::Ident
+            {
+                named.insert(codec_ft.toks[i].text.clone());
+            }
+        }
+        for v in &variants {
+            if !named.contains(v) && !codec_ft.is_suppressed(RULE, codec_ft.toks[body_open].line) {
+                out.push(Violation {
+                    file: pairing.codec_file.to_string(),
+                    line: codec_ft.toks[body_open].line,
+                    rule: RULE,
+                    message: format!(
+                        "`{}::{fname}` has no arm naming `{}::{v}`; \
+                         a wildcard arm would hide it on the wire",
+                        pairing.impl_name, pairing.enum_name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Same-file inference: pair every `enum E` with an inherent
+/// `impl E` in the same file whose fns include a codec name.
+#[must_use]
+pub fn check_inferred(ft: &FileTokens) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (ename, _) in find_enums(ft) {
+        let fns: Vec<String> = find_impls_named(ft, &ename)
+            .iter()
+            .flat_map(|span| find_fn_bodies(ft, *span))
+            .map(|(n, _, _)| n)
+            .filter(|n| CODEC_FNS.contains(&n.as_str()))
+            .collect();
+        if fns.is_empty() {
+            continue;
+        }
+        let fn_refs: Vec<&str> = fns.iter().map(String::as_str).collect();
+        let pairing = Pairing {
+            enum_file: &ft.path,
+            enum_name: &ename,
+            codec_file: &ft.path,
+            impl_name: &ename,
+            fns: &fn_refs,
+        };
+        out.extend(check_pairing(&pairing, ft, ft));
+    }
+    out
+}
+
+fn find_impls_named(ft: &FileTokens, name: &str) -> Vec<crate::scan::ItemSpan> {
+    crate::scan::find_impls(ft)
+        .into_iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, s)| s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileTokens;
+
+    const COMPLETE: &str = "pub enum Frame { Ping, Pong, Data }\n\
+        impl Frame {\n\
+            pub fn encode(&self) -> u8 { match self { Frame::Ping => 0, Frame::Pong => 1, Frame::Data => 2 } }\n\
+            pub fn decode(b: u8) -> Frame { match b { 0 => Frame::Ping, 1 => Frame::Pong, _ => Frame::Data } }\n\
+        }";
+
+    const MISSING: &str = "pub enum Frame { Ping, Pong, Data }\n\
+        impl Frame {\n\
+            pub fn encode(&self) -> u8 { match self { Frame::Ping => 0, Frame::Pong => 1, Frame::Data => 2 } }\n\
+            pub fn decode(b: u8) -> Frame { match b { 0 => Frame::Ping, _ => Frame::Pong } }\n\
+        }";
+
+    #[test]
+    fn complete_codec_is_clean() {
+        assert!(check_inferred(&FileTokens::new("f.rs", COMPLETE)).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_is_flagged() {
+        let v = check_inferred(&FileTokens::new("f.rs", MISSING));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`Frame::decode`"));
+        assert!(v[0].message.contains("`Frame::Data`"));
+    }
+
+    #[test]
+    fn cross_file_pairing() {
+        let e = FileTokens::new("spec.rs", "pub enum Spec { A, B }");
+        let c = FileTokens::new(
+            "wire.rs",
+            "impl Spec { pub fn encode_wire(&self) -> u8 { match self { Spec::A => 0, Spec::B => 1 } } }",
+        );
+        let p = Pairing {
+            enum_file: "spec.rs",
+            enum_name: "Spec",
+            codec_file: "wire.rs",
+            impl_name: "Spec",
+            fns: &["encode_wire"],
+        };
+        assert!(check_pairing(&p, &e, &c).is_empty());
+        let p2 = Pairing {
+            fns: &["encode_wire", "decode_wire"],
+            ..p
+        };
+        let v = check_pairing(&p2, &e, &c);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("decode_wire"));
+    }
+
+    #[test]
+    fn missing_enum_is_a_config_violation() {
+        let e = FileTokens::new("spec.rs", "pub struct NotAnEnum;");
+        let p = Pairing {
+            enum_file: "spec.rs",
+            enum_name: "Spec",
+            codec_file: "spec.rs",
+            impl_name: "Spec",
+            fns: &["encode"],
+        };
+        let v = check_pairing(&p, &e, &e);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn sub_enum_checked_against_parent_codec() {
+        let src = "pub enum Reason { Full, Draining }\n\
+            pub enum Msg { Ok, No }\n\
+            impl Msg {\n\
+                pub fn encode(&self) -> u8 { match self { Msg::Ok => 0, Msg::No => 1 } }\n\
+            }";
+        let f = FileTokens::new("wire.rs", src);
+        let p = Pairing {
+            enum_file: "wire.rs",
+            enum_name: "Reason",
+            codec_file: "wire.rs",
+            impl_name: "Msg",
+            fns: &["encode"],
+        };
+        let v = check_pairing(&p, &f, &f);
+        assert_eq!(v.len(), 2); // neither Full nor Draining is named in Msg::encode
+        assert!(v[0].message.contains("`Reason::Full`"));
+    }
+
+    #[test]
+    fn non_codec_impls_are_not_inferred() {
+        let src = "pub enum E { A, B }\nimpl E { pub fn helper(&self) {} }";
+        assert!(check_inferred(&FileTokens::new("f.rs", src)).is_empty());
+    }
+}

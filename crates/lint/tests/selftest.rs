@@ -1,0 +1,209 @@
+//! The lint's own acceptance gate:
+//!
+//! 1. `stiglint --workspace` runs clean on this repository (the policy
+//!    and the code agree — any regression in either breaks this test
+//!    before it breaks CI);
+//! 2. every seeded-violation fixture is caught, with the expected rule
+//!    and count (the lint actually detects what it claims to);
+//! 3. the clean controls stay clean (including the adversarial one
+//!    built from raw strings, nested comments, and `#[cfg(test)]`);
+//! 4. the binary's exit codes match the contract CI relies on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn lint_fixture(name: &str) -> Vec<lint::Violation> {
+    lint::run_paths(&[fixture(name)]).expect("fixture readable")
+}
+
+fn count_rule(vs: &[lint::Violation], rule: &str) -> usize {
+    vs.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn workspace_is_clean() {
+    let violations = lint::run_workspace(&workspace_root()).expect("workspace lints");
+    assert!(
+        violations.is_empty(),
+        "stiglint found violations in the workspace:\n{}",
+        lint::report::human(&violations)
+    );
+}
+
+#[test]
+fn every_workspace_suppression_carries_a_reason() {
+    // Structural guarantee plus a direct check: collect every
+    // suppression the configured scopes parse and assert the reasons
+    // are non-empty. (A reason-less suppression would already have
+    // failed `workspace_is_clean` as a `suppression` violation; this
+    // test pins the stronger claim independently of scoping.)
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "tests", "examples"] {
+        lint::config::collect_rs(&root.join(dir), &root, &mut files).expect("walk");
+    }
+    // The seeded-violation fixtures deliberately contain malformed
+    // suppressions, and the linter's own sources quote the grammar in
+    // docs and test strings; both are data about suppressions, not
+    // suppressions.
+    files.retain(|f| !f.contains("/fixtures/") && !f.starts_with("crates/lint/"));
+    let mut seen = 0usize;
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("readable");
+        let ft = lint::scan::FileTokens::new(&rel, &src);
+        assert!(
+            ft.scan_violations.is_empty(),
+            "malformed suppression in {rel}"
+        );
+        for s in &ft.suppressions {
+            assert!(!s.reason.trim().is_empty(), "empty reason in {rel}");
+            seen += 1;
+        }
+    }
+    // The burn-down left exactly two justified suppressions in the
+    // tree (batch.rs wall-clock, server.rs writer mutex); if this
+    // drifts, re-read the new ones.
+    assert!(seen >= 2, "expected the two known suppressions, saw {seen}");
+}
+
+#[test]
+fn fixture_det_hashmap_is_caught() {
+    let v = lint_fixture("det_hashmap.rs");
+    assert_eq!(count_rule(&v, "determinism"), 5, "{v:?}");
+}
+
+#[test]
+fn fixture_det_instant_is_caught() {
+    let v = lint_fixture("det_instant.rs");
+    assert_eq!(count_rule(&v, "determinism"), 3, "{v:?}");
+}
+
+#[test]
+fn fixture_det_thread_is_caught_including_macro_body() {
+    let v = lint_fixture("det_thread.rs");
+    assert_eq!(count_rule(&v, "determinism"), 2, "{v:?}");
+    // One of the two is inside the macro_rules body.
+    assert!(v.iter().any(|x| x.line == 12), "{v:?}");
+}
+
+#[test]
+fn fixture_bad_suppressions_are_violations() {
+    let v = lint_fixture("det_suppression_bad.rs");
+    assert_eq!(count_rule(&v, "suppression"), 2, "{v:?}");
+    assert_eq!(count_rule(&v, "determinism"), 1, "{v:?}");
+}
+
+#[test]
+fn fixture_panic_unwrap_is_caught() {
+    let v = lint_fixture("panic_unwrap.rs");
+    assert_eq!(count_rule(&v, "panic-safety"), 3, "{v:?}");
+}
+
+#[test]
+fn fixture_panic_budget_is_caught() {
+    let v = lint_fixture("panic_budget.rs");
+    assert_eq!(count_rule(&v, "panic-safety"), 1, "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("4 budgeted")), "{v:?}");
+}
+
+#[test]
+fn fixture_wire_missing_is_caught() {
+    let v = lint_fixture("wire_missing.rs");
+    assert_eq!(count_rule(&v, "wire-completeness"), 1, "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("Frame::Data")), "{v:?}");
+}
+
+#[test]
+fn fixture_locks_io_is_caught() {
+    let v = lint_fixture("locks_io.rs");
+    assert_eq!(count_rule(&v, "lock-discipline"), 2, "{v:?}");
+}
+
+#[test]
+fn fixture_locks_condvar_is_caught() {
+    let v = lint_fixture("locks_condvar.rs");
+    assert_eq!(count_rule(&v, "lock-discipline"), 1, "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("deadlock")), "{v:?}");
+}
+
+#[test]
+fn clean_controls_stay_clean() {
+    for name in ["clean.rs", "wire_ok.rs"] {
+        let v = lint_fixture(name);
+        assert!(v.is_empty(), "{name}: {v:?}");
+    }
+    // det_suppressed_ok.rs is clean of determinism findings; its
+    // expects are visible to the budget pass, which is fine — assert
+    // the rules we seeded it for.
+    let v = lint_fixture("det_suppressed_ok.rs");
+    assert_eq!(count_rule(&v, "determinism"), 0, "{v:?}");
+    assert_eq!(count_rule(&v, "suppression"), 0, "{v:?}");
+}
+
+#[test]
+fn binary_exit_codes_match_the_ci_contract() {
+    let bin = env!("CARGO_BIN_EXE_stiglint");
+    // Clean workspace + --deny → 0.
+    let ok = Command::new(bin)
+        .args(["--workspace", "--deny", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn");
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    // Seeded fixture + --deny → 1.
+    let caught = Command::new(bin)
+        .args(["--deny", &fixture("det_hashmap.rs")])
+        .output()
+        .expect("spawn");
+    assert_eq!(caught.status.code(), Some(1));
+
+    // Same fixture without --deny → report but exit 0.
+    let advisory = Command::new(bin)
+        .arg(fixture("det_hashmap.rs"))
+        .output()
+        .expect("spawn");
+    assert!(advisory.status.success());
+    assert!(!advisory.stdout.is_empty());
+
+    // Usage error → 2.
+    let usage = Command::new(bin).output().expect("spawn");
+    assert_eq!(usage.status.code(), Some(2));
+}
+
+#[test]
+fn json_report_is_stable_and_paracomplete() {
+    let bin = env!("CARGO_BIN_EXE_stiglint");
+    let run = || {
+        Command::new(bin)
+            .args(["--json", &fixture("wire_missing.rs")])
+            .output()
+            .expect("spawn")
+            .stdout
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "JSON output must be byte-stable across runs");
+    let text = String::from_utf8(a).expect("utf8");
+    assert!(text.contains("\"rule\":\"wire-completeness\""), "{text}");
+    assert!(text.ends_with("\"count\":1}\n"), "{text}");
+}

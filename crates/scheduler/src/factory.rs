@@ -268,6 +268,8 @@ mod tests {
     }
 
     #[test]
+    // A bare thread is the point: this asserts Send across a real spawn.
+    #[allow(clippy::disallowed_methods)]
     fn specs_can_be_sent_across_threads() {
         let spec = ScheduleSpec::Bursty {
             seed: 1,

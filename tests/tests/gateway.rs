@@ -75,6 +75,9 @@ fn served_job_matches_direct_run_batch_at_any_worker_count() {
 }
 
 #[test]
+// Bare threads on purpose: the clients must be truly concurrent peers,
+// not pool workers sharing the server's own scheduling.
+#[allow(clippy::disallowed_methods)]
 fn concurrent_clients_each_get_their_own_deterministic_answer() {
     let (gateway, addr) = loopback(GatewayConfig {
         capacity: 16,
