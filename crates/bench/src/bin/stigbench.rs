@@ -1,0 +1,223 @@
+//! The engine performance regression gate.
+//!
+//! ```text
+//! # run the suite, print the table, write the document
+//! cargo run --release -p stigmergy-bench --bin stigbench -- --out BENCH_engine.json
+//!
+//! # CI perf gate: run once, compare against the committed baseline
+//! cargo run --release -p stigmergy-bench --bin stigbench -- --check --tolerance 0.25
+//!
+//! # refresh the committed baseline after an intentional change
+//! UPDATE_BASELINE=1 cargo run --release -p stigmergy-bench --bin stigbench -- --check
+//! ```
+//!
+//! Exit codes in `--check` mode: `0` clean, `1` work-counter drift (the
+//! engine did different work — a hard determinism/behavior failure), `4`
+//! wall-clock regression only (advisory; CI marks that step
+//! `continue-on-error`).
+
+use std::process::ExitCode;
+use stigmergy_bench::stigbench::{check, run_suite, suite_table, to_json, SuiteConfig};
+
+/// Exit code for a throughput-only regression.
+const EXIT_WALL: u8 = 4;
+
+#[derive(Debug, PartialEq)]
+struct Flags {
+    check: bool,
+    tolerance: f64,
+    baseline: String,
+    out: Option<String>,
+    seeds: u64,
+    workers: usize,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Self {
+            check: false,
+            tolerance: 0.25,
+            baseline: "BENCH_engine.json".into(),
+            out: None,
+            seeds: 16,
+            workers: 1,
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--check" => flags.check = true,
+            "--tolerance" => {
+                let t: f64 = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&t) {
+                    return Err("--tolerance must be in [0, 1)".into());
+                }
+                flags.tolerance = t;
+            }
+            "--baseline" => flags.baseline = value("--baseline")?.clone(),
+            "--out" => flags.out = Some(value("--out")?.clone()),
+            "--seeds" => {
+                let n: u64 = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+                flags.seeds = n;
+            }
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                flags.workers = n;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("stigbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = SuiteConfig {
+        seeds: flags.seeds,
+        workers: flags.workers,
+    };
+    let results = run_suite(&config);
+    println!("{}", suite_table(&results));
+    let doc = to_json(&results);
+    if let Some(path) = &flags.out {
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("stigbench: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if !flags.check {
+        return ExitCode::SUCCESS;
+    }
+
+    if std::env::var_os("UPDATE_BASELINE").is_some_and(|v| v == "1") {
+        if let Err(e) = std::fs::write(&flags.baseline, &doc) {
+            eprintln!("stigbench: writing baseline {}: {e}", flags.baseline);
+            return ExitCode::FAILURE;
+        }
+        println!("updated baseline {}", flags.baseline);
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&flags.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "stigbench: reading baseline {}: {e} (run with UPDATE_BASELINE=1 to create it)",
+                flags.baseline
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = check(&baseline, &results, flags.tolerance);
+    for drift in &outcome.counter_drift {
+        eprintln!("stigbench: COUNTER DRIFT: {drift}");
+    }
+    for slow in &outcome.wall_regressions {
+        eprintln!("stigbench: wall-clock regression: {slow}");
+    }
+    if !outcome.counters_ok() {
+        eprintln!(
+            "stigbench: work counters drifted from {} — the engine did different work",
+            flags.baseline
+        );
+        return ExitCode::FAILURE;
+    }
+    if !outcome.wall_ok() {
+        eprintln!(
+            "stigbench: throughput fell more than {:.0}% below {} (counters identical)",
+            flags.tolerance * 100.0,
+            flags.baseline
+        );
+        return ExitCode::from(EXIT_WALL);
+    }
+    println!(
+        "stigbench: clean against {} (tolerance {:.0}%)",
+        flags.baseline,
+        flags.tolerance * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Flags, String> {
+        let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
+        parse_flags(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let f = parse(&[]).unwrap();
+        assert!(!f.check);
+        assert_eq!(f.tolerance, 0.25);
+        assert_eq!(f.baseline, "BENCH_engine.json");
+        assert_eq!(f.seeds, 16);
+        assert_eq!(f.workers, 1);
+    }
+
+    #[test]
+    fn all_flags() {
+        let f = parse(&[
+            "--check",
+            "--tolerance",
+            "0.1",
+            "--baseline",
+            "b.json",
+            "--out",
+            "o.json",
+            "--seeds",
+            "2",
+            "--workers",
+            "3",
+        ])
+        .unwrap();
+        assert!(f.check);
+        assert_eq!(f.tolerance, 0.1);
+        assert_eq!(f.baseline, "b.json");
+        assert_eq!(f.out.as_deref(), Some("o.json"));
+        assert_eq!(f.seeds, 2);
+        assert_eq!(f.workers, 3);
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(parse(&["--tolerance", "1.5"])
+            .unwrap_err()
+            .contains("must be in [0, 1)"));
+        assert!(parse(&["--seeds", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--workers", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--frob"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--out"]).unwrap_err().contains("needs a value"));
+    }
+}

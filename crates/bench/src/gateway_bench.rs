@@ -3,7 +3,7 @@
 //! Two entry points, split the same way as [`crate::fleet_sweep`]:
 //! [`e17`] is the *deterministic* artefact (every printed number is a
 //! pure function of the spec, so the recorded output diffs cleanly),
-//! while [`bench`] is the *timed* run behind `experiments gateway-bench`
+//! while [`bench()`] is the *timed* run behind `experiments gateway-bench`
 //! that writes `BENCH_gateway.json` with wall-clocks and the serving
 //! histograms.
 
@@ -268,7 +268,7 @@ pub fn bench(spec: &BatchSpec, jobs: usize, workers: u64) -> GatewayBenchResult 
     }
 }
 
-/// Timing/serving summary of a [`bench`] run.
+/// Timing/serving summary of a [`bench()`] run.
 #[must_use]
 pub fn bench_table(result: &GatewayBenchResult) -> Table {
     let mut t = Table::new(

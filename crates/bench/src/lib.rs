@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod fleet_sweep;
 pub mod gateway_bench;
+pub mod stigbench;
 pub mod svg;
 pub mod table;
 pub mod workloads;

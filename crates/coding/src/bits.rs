@@ -163,6 +163,11 @@ impl BitString {
         self.bits.push(bit);
     }
 
+    /// Removes all bits, keeping the backing allocation.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+
     /// Appends all bits of `other`.
     pub fn extend_from(&mut self, other: &BitString) {
         self.bits.extend_from_slice(&other.bits);

@@ -86,9 +86,20 @@ pub fn decode_frames(bits: &BitString) -> Result<(Vec<Vec<u8>>, BitString), Codi
 
 /// An incremental frame decoder: feed bits as they are observed, collect
 /// messages as they complete.
+///
+/// Decoding is a constant-work-per-bit state machine: the header length
+/// is parsed once when its 16th bit arrives, after which each bit is a
+/// push-and-compare against the known frame length. The buffer only ever
+/// holds the current incomplete frame, and its allocation is reused
+/// across frames — the movement channel pays thousands of activations
+/// per bit, so the decoder must never re-scan what it has already seen.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FrameDecoder {
     buffer: BitString,
+    /// Total bits of the current frame once the header is complete
+    /// (`HEADER_BITS + 8 × payload`), or 0 while the header is partial.
+    /// Derived from `buffer`, so derived equality stays consistent.
+    frame_bits: usize,
     delivered: Vec<Vec<u8>>,
 }
 
@@ -102,14 +113,28 @@ impl FrameDecoder {
     /// Feeds one observed bit; returns a message if this bit completed one.
     pub fn push_bit(&mut self, bit: Bit) -> Option<Vec<u8>> {
         self.buffer.push(bit);
-        let (mut msgs, rest) = decode_frames(&self.buffer).expect("frame decoding is infallible");
-        self.buffer = rest;
-        debug_assert!(msgs.len() <= 1, "one bit completes at most one frame");
-        let msg = msgs.pop();
-        if let Some(m) = &msg {
-            self.delivered.push(m.clone());
+        if self.buffer.len() == HEADER_BITS {
+            let mut len = 0usize;
+            for b in self.buffer.iter() {
+                len = (len << 1) | usize::from(b.as_bool());
+            }
+            self.frame_bits = HEADER_BITS + len * 8;
         }
-        msg
+        if self.buffer.len() >= HEADER_BITS && self.buffer.len() == self.frame_bits {
+            let msg: Vec<u8> = self.buffer.as_slice()[HEADER_BITS..]
+                .chunks(8)
+                .map(|chunk| {
+                    chunk
+                        .iter()
+                        .fold(0u8, |acc, b| (acc << 1) | u8::from(b.as_bool()))
+                })
+                .collect();
+            self.buffer.clear();
+            self.frame_bits = 0;
+            self.delivered.push(msg.clone());
+            return Some(msg);
+        }
+        None
     }
 
     /// All messages completed so far, in arrival order.

@@ -27,6 +27,10 @@ pub struct Sync2 {
     counter: u64,
     home: Option<Point>,
     peer_home: Option<Point>,
+    // Homes are fixed after the first activation, so both right-hand
+    // directions are too — computed once there, not per signal/decode.
+    my_right: Option<Vec2>,
+    peer_right: Option<Vec2>,
     lateral_step: f64,
     outgoing: BitQueue,
     decoder: FrameDecoder,
@@ -81,14 +85,12 @@ impl Sync2 {
     /// The peer's right-hand direction as seen from `peer_home` facing
     /// `my_home` — the direction a peer's `0` displacement points to.
     fn peer_right(&self) -> Option<Vec2> {
-        let facing = (self.home? - self.peer_home?).normalized().ok()?;
-        Some(facing.perp_cw())
+        self.peer_right
     }
 
     /// My right-hand direction facing the peer.
     fn my_right(&self) -> Option<Vec2> {
-        let facing = (self.peer_home? - self.home?).normalized().ok()?;
-        Some(facing.perp_cw())
+        self.my_right
     }
 
     fn decode_peer(&mut self, peer_pos: Point) {
@@ -129,6 +131,8 @@ impl MovementProtocol for Sync2 {
                 // A quarter of the separation keeps signals unambiguous and
                 // well within any sane σ; still capped by σ below.
                 self.lateral_step = (h.distance(p) / 4.0).min(view.sigma());
+                self.my_right = (p - h).normalized().ok().map(Vec2::perp_cw);
+                self.peer_right = (h - p).normalized().ok().map(Vec2::perp_cw);
             }
         }
         let (Some(home), Some(_)) = (self.home, self.peer_home) else {

@@ -13,7 +13,9 @@
 
 use crate::metrics::{FleetMetrics, MetricsSnapshot, SessionOutcome};
 use crate::pool::{run_indexed_observed, CancelToken};
-use crate::trace_codec::{encode, fnv1a64};
+use crate::trace_codec::{encode, fnv1a64, TraceEncoder};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Duration;
 use std::time::Instant;
 use stigmergy::ack::RetransmitPolicy;
@@ -528,6 +530,14 @@ pub fn run_session(spec: &SessionSpec) -> RunReport {
 /// run to delivery or budget exhaustion. `corrupt_of` counts inbox
 /// entries that differ from the sent payload — detect-or-reject demands
 /// it stays 0.
+///
+/// Sessions run on the streaming trace path: the engine records no step
+/// history (see [`run_pair`]/[`run_swarm`]); a [`TraceEncoder`] attached
+/// as trace observer produces the canonical bytes incrementally, and the
+/// collision margin comes from the engine's streaming minimum. Both are
+/// bit-identical to the legacy record-then-encode path — the golden-trace
+/// suite compares these bytes against goldens generated before the
+/// rewrite.
 fn drive<P, Q, D, C>(
     spec: &SessionSpec,
     mut engine: Engine<P>,
@@ -536,11 +546,14 @@ fn drive<P, Q, D, C>(
     corrupt_of: C,
 ) -> RunReport
 where
-    P: MovementProtocol,
+    P: MovementProtocol + 'static,
     Q: FnOnce(&mut Engine<P>),
     D: Fn(&Engine<P>) -> bool,
     C: Fn(&Engine<P>) -> u64,
 {
+    let encoder = Rc::new(RefCell::new(TraceEncoder::new(engine.positions())));
+    let sink = Rc::clone(&encoder);
+    engine.observe_trace(move |ev| sink.borrow_mut().record_event(&ev));
     let mut error = None;
     let mut satisfied = false;
     let mut steps_to_delivery = None;
@@ -560,9 +573,11 @@ where
         }
     }
     let corrupt = corrupt_of(&engine);
+    let encoder = encoder.borrow();
     finish(
         spec,
         &engine,
+        &encoder,
         satisfied,
         steps_to_delivery,
         0,
@@ -571,11 +586,13 @@ where
     )
 }
 
-/// Builds the report from a finished engine: counters, trace encoding,
-/// and the collision invariant check.
+/// Builds the report from a finished engine: counters, the streamed trace
+/// encoding, and the collision invariant check.
+#[allow(clippy::too_many_arguments)]
 fn finish<P: MovementProtocol>(
     spec: &SessionSpec,
     engine: &Engine<P>,
+    encoder: &TraceEncoder,
     delivered: bool,
     steps_to_delivery: Option<u64>,
     retransmissions: u64,
@@ -583,13 +600,12 @@ fn finish<P: MovementProtocol>(
     mut error: Option<String>,
 ) -> RunReport {
     let stats = engine.stats();
-    let min_distance = engine.trace().min_pairwise_distance();
+    let min_distance = engine.min_pairwise_distance();
     if error.is_none() && min_distance < DEFAULT_COLLISION_EPS {
         error = Some(format!(
             "collision invariant violated: min distance {min_distance}"
         ));
     }
-    let bytes = encode(engine.trace());
     RunReport {
         protocol: spec.protocol.name(),
         schedule: spec.schedule.name(),
@@ -604,16 +620,16 @@ fn finish<P: MovementProtocol>(
         retransmissions,
         corrupt,
         min_distance,
-        trace_len: bytes.len(),
-        trace_hash: fnv1a64(&bytes),
-        trace: spec.keep_trace.then_some(bytes),
+        trace_len: encoder.encoded_len(),
+        trace_hash: encoder.fingerprint(),
+        trace: spec.keep_trace.then(|| encoder.to_bytes()),
         error,
     }
 }
 
 fn run_pair<P, F, I>(spec: &SessionSpec, make: F, inbox: I) -> RunReport
 where
-    P: MovementProtocol + PairProto,
+    P: MovementProtocol + PairProto + 'static,
     F: Fn() -> P,
     I: Fn(&P) -> &[Vec<u8>],
 {
@@ -622,6 +638,9 @@ where
         .protocols([make(), make()])
         .schedule(WakeAllFirst::new(spec.schedule.build(2)))
         .frame_seed(spec.frame_seed())
+        // The observer installed by `drive` streams the trace; keeping
+        // step records in memory too would double the cost for nothing.
+        .record_trace(false)
         .build()
         .expect("pair configuration is always valid");
     let payload = spec.payload.clone();
@@ -653,6 +672,9 @@ where
         .capabilities(caps)
         .schedule(WakeAllFirst::new(spec.schedule.build(n)))
         .frame_seed(spec.frame_seed())
+        // Streamed by the observer in `drive`; the trace keeps only the
+        // initial configuration (the `label_by_*` closures read it).
+        .record_trace(false)
         .build()
         .expect("ring configuration is always valid");
     let payload = spec.payload.clone();

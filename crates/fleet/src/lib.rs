@@ -42,4 +42,4 @@ pub use batch::{
 };
 pub use metrics::{FleetMetrics, Histogram, HistogramSnapshot, MetricsSnapshot, SessionOutcome};
 pub use pool::{run_indexed, run_indexed_observed, CancelToken, Interrupted, JobQueue};
-pub use trace_codec::{encode, encode_hex, fnv1a64, to_hex};
+pub use trace_codec::{encode, encode_hex, fnv1a64, fnv1a64_update, to_hex, TraceEncoder};

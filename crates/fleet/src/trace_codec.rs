@@ -9,12 +9,43 @@
 //! versioned; goldens regenerate (`UPDATE_GOLDEN=1`) on a version bump.
 
 use stigmergy_geometry::Point;
-use stigmergy_robots::{FaultEvent, Trace};
+use stigmergy_robots::{FaultEvent, Trace, TraceEvent};
+use stigmergy_scheduler::ActivationSet;
 
 /// Magic prefix of every encoded trace.
 pub const MAGIC: &[u8; 4] = b"STRC";
 /// Current format version.
 pub const VERSION: u8 = 1;
+
+fn put_fault(out: &mut Vec<u8>, fault: &FaultEvent) {
+    match *fault {
+        FaultEvent::CrashStop { time, robot } => {
+            out.push(1);
+            put_u64(out, time);
+            put_u32(out, robot as u32);
+        }
+        FaultEvent::NonRigidMotion {
+            time,
+            robot,
+            fraction,
+        } => {
+            out.push(2);
+            put_u64(out, time);
+            put_u32(out, robot as u32);
+            put_u64(out, fraction.to_bits());
+        }
+        FaultEvent::ObservationDropout {
+            time,
+            observer,
+            observed,
+        } => {
+            out.push(3);
+            put_u64(out, time);
+            put_u32(out, observer as u32);
+            put_u32(out, observed as u32);
+        }
+    }
+}
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -61,35 +92,128 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     }
     put_u32(&mut out, trace.faults().len() as u32);
     for fault in trace.faults() {
-        match *fault {
-            FaultEvent::CrashStop { time, robot } => {
-                out.push(1);
-                put_u64(&mut out, time);
-                put_u32(&mut out, robot as u32);
-            }
-            FaultEvent::NonRigidMotion {
-                time,
-                robot,
-                fraction,
-            } => {
-                out.push(2);
-                put_u64(&mut out, time);
-                put_u32(&mut out, robot as u32);
-                put_u64(&mut out, fraction.to_bits());
-            }
-            FaultEvent::ObservationDropout {
-                time,
-                observer,
-                observed,
-            } => {
-                out.push(3);
-                put_u64(&mut out, time);
-                put_u32(&mut out, observer as u32);
-                put_u32(&mut out, observed as u32);
-            }
-        }
+        put_fault(&mut out, fault);
     }
     out
+}
+
+/// An incremental encoder producing exactly the bytes of [`encode`],
+/// without ever materializing a [`Trace`].
+///
+/// Feed it the engine's [`TraceEvent`] stream (via
+/// [`stigmergy_robots::Engine::observe_trace`]) and it appends each step
+/// to an arena buffer as the step happens — no per-step `Vec<Point>`
+/// clones, no retained step records. Because the canonical layout puts
+/// the step count *before* the step records (and the fault count before
+/// the faults), the final byte string is assembled on demand by
+/// [`TraceEncoder::to_bytes`]; [`TraceEncoder::encoded_len`] and
+/// [`TraceEncoder::fingerprint`] answer without assembling.
+///
+/// Byte-identity with [`encode`] is pinned by tests below and by every
+/// golden-trace file: a streaming run and a recorded run of the same
+/// session must hash identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEncoder {
+    /// `MAGIC | version | n | initial points` — fixed at construction.
+    header: Vec<u8>,
+    /// Concatenated step records (time, bitmap, count, points).
+    steps: Vec<u8>,
+    step_count: u32,
+    /// Concatenated tagged fault records.
+    faults: Vec<u8>,
+    fault_count: u32,
+    n: usize,
+}
+
+impl TraceEncoder {
+    /// Starts an encoder from the initial configuration.
+    #[must_use]
+    pub fn new(initial: &[Point]) -> Self {
+        let n = initial.len();
+        let mut header = Vec::with_capacity(4 + 1 + 4 + n * 16);
+        header.extend_from_slice(MAGIC);
+        header.push(VERSION);
+        put_u32(&mut header, n as u32);
+        for &p in initial {
+            put_point(&mut header, p);
+        }
+        Self {
+            header,
+            steps: Vec::new(),
+            step_count: 0,
+            faults: Vec::new(),
+            fault_count: 0,
+            n,
+        }
+    }
+
+    /// Appends one instant's record.
+    pub fn record_step(&mut self, time: u64, active: &ActivationSet, positions: &[Point]) {
+        put_u64(&mut self.steps, time);
+        let start = self.steps.len();
+        self.steps.resize(start + self.n.div_ceil(8), 0);
+        for i in active.iter() {
+            self.steps[start + i / 8] |= 1 << (i % 8);
+        }
+        put_u32(&mut self.steps, positions.len() as u32);
+        for &p in positions {
+            put_point(&mut self.steps, p);
+        }
+        self.step_count += 1;
+    }
+
+    /// Appends one injected-fault record.
+    pub fn record_fault(&mut self, fault: &FaultEvent) {
+        put_fault(&mut self.faults, fault);
+        self.fault_count += 1;
+    }
+
+    /// Routes an engine trace event to the matching record method.
+    pub fn record_event(&mut self, event: &TraceEvent<'_>) {
+        match *event {
+            TraceEvent::Step {
+                time,
+                active,
+                positions,
+            } => self.record_step(time, active, positions),
+            TraceEvent::Fault(fault) => self.record_fault(fault),
+        }
+    }
+
+    /// Number of recorded instants.
+    #[must_use]
+    pub fn step_count(&self) -> u32 {
+        self.step_count
+    }
+
+    /// Length of the assembled encoding, in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.header.len() + 4 + self.steps.len() + 4 + self.faults.len()
+    }
+
+    /// FNV-1a 64 of the assembled encoding, computed without assembling.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = fnv1a64_update(FNV_BASIS, &self.header);
+        hash = fnv1a64_update(hash, &self.step_count.to_le_bytes());
+        hash = fnv1a64_update(hash, &self.steps);
+        hash = fnv1a64_update(hash, &self.fault_count.to_le_bytes());
+        fnv1a64_update(hash, &self.faults)
+    }
+
+    /// Assembles the canonical byte string — equal to [`encode`] of the
+    /// equivalent recorded trace.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.header);
+        put_u32(&mut out, self.step_count);
+        out.extend_from_slice(&self.steps);
+        put_u32(&mut out, self.fault_count);
+        out.extend_from_slice(&self.faults);
+        out
+    }
 }
 
 /// Encodes a trace as lowercase hex, wrapped at 64 characters per line —
@@ -114,11 +238,22 @@ pub fn to_hex(bytes: &[u8]) -> String {
     hex
 }
 
+/// The FNV-1a 64-bit offset basis — the hash of the empty string.
+pub const FNV_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+
 /// FNV-1a 64-bit hash — a stable fingerprint for traces too large to keep
 /// in memory per session (full-budget conformance runs).
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a64_update(FNV_BASIS, bytes)
+}
+
+/// Folds more bytes into a running FNV-1a 64 hash. Because FNV is a plain
+/// left-to-right fold, `fnv1a64(ab) == fnv1a64_update(fnv1a64(a), b)` —
+/// which is what lets [`TraceEncoder::fingerprint`] hash a segmented
+/// encoding without concatenating it.
+#[must_use]
+pub fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
@@ -196,6 +331,75 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn streaming_encoder_matches_batch_encode() {
+        let trace = sample_trace(5);
+        let mut enc = TraceEncoder::new(trace.initial());
+        for step in trace.steps() {
+            enc.record_step(step.time, &step.active, &step.positions);
+        }
+        for fault in trace.faults() {
+            enc.record_fault(fault);
+        }
+        let expected = encode(&trace);
+        assert_eq!(enc.to_bytes(), expected, "streaming bytes differ");
+        assert_eq!(enc.encoded_len(), expected.len());
+        assert_eq!(enc.fingerprint(), fnv1a64(&expected));
+        assert_eq!(enc.step_count() as usize, trace.steps().len());
+    }
+
+    #[test]
+    fn streaming_encoder_from_engine_observer_matches_recorded_trace() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let build = |record: bool| {
+            Engine::builder()
+                .positions([Point::new(0.0, 0.0), Point::new(7.0, 0.0)])
+                .protocols([Walker, Walker])
+                .unit_frames()
+                .schedule(RoundRobin)
+                .sigma(1.0)
+                .faults(FaultPlan::new(5).non_rigid(0.5, 0.5))
+                .record_trace(record)
+                .build()
+                .unwrap()
+        };
+        // Streaming engine: no in-memory step records at all.
+        let mut streaming = build(false);
+        let enc = Rc::new(RefCell::new(TraceEncoder::new(streaming.positions())));
+        let sink = Rc::clone(&enc);
+        streaming.observe_trace(move |ev| sink.borrow_mut().record_event(&ev));
+        streaming.run(12).unwrap();
+        // Recorded engine: the legacy full-trace path.
+        let mut recorded = build(true);
+        recorded.run(12).unwrap();
+        assert_eq!(enc.borrow().to_bytes(), encode(recorded.trace()));
+        assert_eq!(
+            enc.borrow().fingerprint(),
+            fnv1a64(&encode(recorded.trace()))
+        );
+    }
+
+    #[test]
+    fn empty_encoder_matches_empty_trace() {
+        let initial = vec![Point::new(1.0, -2.0)];
+        let enc = TraceEncoder::new(&initial);
+        let trace = Trace::new(initial);
+        assert_eq!(enc.to_bytes(), encode(&trace));
+        assert_eq!(enc.fingerprint(), fnv1a64(&encode(&trace)));
+    }
+
+    #[test]
+    fn fnv_update_is_a_fold() {
+        let bytes = b"deaf dumb chatting";
+        for split in 0..=bytes.len() {
+            let (a, b) = bytes.split_at(split);
+            assert_eq!(fnv1a64_update(fnv1a64(a), b), fnv1a64(bytes));
+        }
+        assert_eq!(FNV_BASIS, fnv1a64(b""));
     }
 
     #[test]

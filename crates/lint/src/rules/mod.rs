@@ -1,5 +1,5 @@
-//! The four rule passes. Each pass consumes a [`FileTokens`] stream and
-//! returns [`Violation`]s; suppression filtering happens in the pass so
+//! The four rule passes. Each pass consumes a [`crate::scan::FileTokens`] stream and
+//! returns [`crate::Violation`]s; suppression filtering happens in the pass so
 //! a suppressed finding never leaves the module.
 
 pub mod determinism;

@@ -17,11 +17,16 @@ use crate::capabilities::Capabilities;
 use crate::frame::{FrameGenerator, LocalFrame};
 use crate::identity::VisibleId;
 use crate::protocol::MovementProtocol;
-use crate::trace::{FaultEvent, StepRecord, Trace};
+use crate::trace::{FaultEvent, StepRecord, Trace, TraceEvent};
 use crate::view::{Observed, View};
 use crate::ModelError;
+use std::fmt;
 use stigmergy_geometry::{Point, Tolerance};
 use stigmergy_scheduler::{ActivationSet, FaultPlan, Schedule, Synchronous};
+
+/// The streaming trace consumer an engine can notify; see
+/// [`Engine::observe_trace`].
+pub type TraceObserver = Box<dyn FnMut(TraceEvent<'_>)>;
 
 /// Default collision tolerance: two robots closer than this have collided.
 pub const DEFAULT_COLLISION_EPS: f64 = 1e-9;
@@ -68,7 +73,14 @@ pub struct EngineStats {
 }
 
 /// The SSM simulation engine over a homogeneous cohort of protocol `P`.
-#[derive(Debug)]
+///
+/// Robot state is kept structure-of-arrays (`positions` / `frames` /
+/// `protocols` / `sigmas`), and the per-instant hot path reuses
+/// preallocated scratch buffers — the observation snapshot, the active
+/// set, the dropout list, and the observation view — so a steady-state
+/// instant performs no heap allocation at all. Derived geometry (the
+/// running collision margin) is cached and refreshed only on instants
+/// whose moves changed some position bitwise.
 pub struct Engine<P> {
     positions: Vec<Point>,
     frames: Vec<LocalFrame>,
@@ -81,9 +93,34 @@ pub struct Engine<P> {
     collision_eps: f64,
     global_clock: bool,
     visibility: Option<f64>,
-    record_trace: bool,
+    record_steps: bool,
+    record_faults: bool,
     faults: FaultPlan,
     stats: EngineStats,
+    observer: Option<TraceObserver>,
+    // Hot-path scratch, reused across instants.
+    snapshot: Vec<Point>,
+    active: ActivationSet,
+    dropped: Vec<usize>,
+    view: View,
+    // Cached derived geometry: the minimum pairwise distance over every
+    // configuration produced so far (initial + after each instant),
+    // refreshed only when a move changed some position bitwise.
+    min_pairwise: f64,
+    geometry_dirty: bool,
+}
+
+impl<P: fmt::Debug> fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("positions", &self.positions)
+            .field("protocols", &self.protocols)
+            .field("schedule", &self.schedule)
+            .field("time", &self.time)
+            .field("faults", &self.faults)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Engine<()> {
@@ -103,68 +140,111 @@ impl<P: MovementProtocol> Engine<P> {
     /// within the collision tolerance; the engine state still reflects the
     /// offending configuration for post-mortem inspection.
     pub fn step(&mut self) -> Result<StepReport, ModelError> {
+        let time = self.time;
+        let moved = self.step_inner()?;
+        Ok(StepReport {
+            time,
+            active: self.active.clone(),
+            moved,
+        })
+    }
+
+    /// The allocation-free instant: everything [`Engine::step`] does,
+    /// without materializing the [`StepReport`]. [`Engine::run`] and
+    /// [`Engine::run_until`] drive this directly.
+    fn step_inner(&mut self) -> Result<usize, ModelError> {
         let n = self.positions.len();
         let time = self.time;
-        let scheduled = self.schedule.activations(time, n);
-        let snapshot = self.positions.clone();
+        self.schedule.activations_into(time, n, &mut self.active);
 
         // Crash-stop: a crashed robot is never activated again (its body
         // stays visible). The crash itself is recorded at its instant so
         // the trace pins when the adversary struck.
-        let active = if self.faults.is_benign() {
-            scheduled
-        } else {
-            for &(robot, when) in self.faults.crash_stops() {
+        if !self.faults.is_benign() {
+            for k in 0..self.faults.crash_stops().len() {
+                let (robot, when) = self.faults.crash_stops()[k];
                 if when == time && robot < n {
                     self.stats.faults_injected += 1;
-                    if self.record_trace {
-                        self.trace
-                            .record_fault(FaultEvent::CrashStop { time, robot });
-                    }
+                    self.emit_fault(FaultEvent::CrashStop { time, robot });
                 }
             }
-            let mut live = ActivationSet::empty(n);
-            for i in scheduled.iter() {
-                if !self.faults.is_crashed(i, time) {
-                    live.insert(i);
+            for k in 0..self.faults.crash_stops().len() {
+                let (robot, when) = self.faults.crash_stops()[k];
+                if when <= time {
+                    self.active.remove(robot);
                 }
             }
-            live
-        };
-        self.stats.activations += active.len() as u64;
+        }
+        self.stats.activations += self.active.len() as u64;
+
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(&self.positions);
+        let has_dropouts = self.faults.has_dropouts();
+        let has_non_rigid = self.faults.has_non_rigid();
+        let view_time = self.global_clock.then_some(self.time);
 
         let mut moved = 0usize;
+        let mut changed = self.geometry_dirty;
         for i in 0..n {
-            if !active.contains(i) {
+            if !self.active.contains(i) {
                 continue;
             }
             // Transient observation dropout: this activation fails to see
             // some other robots. A robot always sees itself.
-            let dropped: Vec<usize> = (0..n)
-                .filter(|&j| self.faults.drops_observation(i, j, time))
-                .collect();
-            self.stats.faults_injected += dropped.len() as u64;
-            if self.record_trace {
+            let mut dropped = std::mem::take(&mut self.dropped);
+            dropped.clear();
+            if has_dropouts {
+                for j in 0..n {
+                    if self.faults.drops_observation(i, j, time) {
+                        dropped.push(j);
+                    }
+                }
+                self.stats.faults_injected += dropped.len() as u64;
                 for &j in &dropped {
-                    self.trace.record_fault(FaultEvent::ObservationDropout {
+                    self.emit_fault(FaultEvent::ObservationDropout {
                         time,
                         observer: i,
                         observed: j,
                     });
                 }
             }
-            let view = self.view_of(i, &snapshot, &dropped);
-            let local_target = self.protocols[i].on_activate(&view);
+            {
+                let ids = self.ids.as_deref();
+                let frame = &self.frames[i];
+                let own = Observed {
+                    position: frame.to_local(self.snapshot[i]),
+                    id: ids.map(|d| d[i]),
+                };
+                self.view
+                    .reset(own, frame.len_to_local(self.sigmas[i]), view_time);
+                for (j, &p) in self.snapshot.iter().enumerate() {
+                    if j != i
+                        && !dropped.contains(&j)
+                        && self
+                            .visibility
+                            .is_none_or(|r| self.snapshot[i].distance(p) <= r)
+                    {
+                        self.view.push_other(Observed {
+                            position: frame.to_local(p),
+                            id: ids.map(|d| d[j]),
+                        });
+                    }
+                }
+                self.view.seal_others();
+            }
+            self.dropped = dropped;
+
+            let local_target = self.protocols[i].on_activate(&self.view);
             let world_target = self.frames[i].to_world(local_target);
-            let mut new_pos = cap_move(snapshot[i], world_target, self.sigmas[i]);
+            let mut new_pos = cap_move(self.snapshot[i], world_target, self.sigmas[i]);
             // Non-rigid motion: the adversary interrupts the move after a
             // fraction in [δ, 1) of the σ-capped distance.
-            let fraction = self.faults.motion_fraction(i, time);
-            if fraction < 1.0 {
-                new_pos = snapshot[i].lerp(new_pos, fraction);
-                self.stats.faults_injected += 1;
-                if self.record_trace {
-                    self.trace.record_fault(FaultEvent::NonRigidMotion {
+            if has_non_rigid {
+                let fraction = self.faults.motion_fraction(i, time);
+                if fraction < 1.0 {
+                    new_pos = self.snapshot[i].lerp(new_pos, fraction);
+                    self.stats.faults_injected += 1;
+                    self.emit_fault(FaultEvent::NonRigidMotion {
                         time,
                         robot: i,
                         fraction,
@@ -174,26 +254,77 @@ impl<P: MovementProtocol> Engine<P> {
             if !new_pos.approx_eq(self.positions[i]) {
                 moved += 1;
             }
+            // Geometry invalidation is bitwise, not approximate: the
+            // collision margin must fold in *any* new configuration.
+            if new_pos.x.to_bits() != self.positions[i].x.to_bits()
+                || new_pos.y.to_bits() != self.positions[i].y.to_bits()
+            {
+                changed = true;
+            }
             self.positions[i] = new_pos;
         }
         self.stats.moves += moved as u64;
         self.stats.steps += 1;
 
-        if self.record_trace {
+        if let Some(observer) = self.observer.as_mut() {
+            observer(TraceEvent::Step {
+                time,
+                active: &self.active,
+                positions: &self.positions,
+            });
+        }
+        if self.record_steps {
             self.trace.record(StepRecord {
                 time,
-                active: active.clone(),
+                active: self.active.clone(),
                 positions: self.positions.clone(),
             });
         }
         self.time += 1;
 
-        self.check_collisions(time)?;
-        Ok(StepReport {
-            time,
-            active,
-            moved,
-        })
+        if changed {
+            self.geometry_dirty = false;
+            if let Some((first, second, distance)) = self.refresh_geometry() {
+                // Stay dirty so a post-mortem step re-detects the overlap.
+                self.geometry_dirty = true;
+                return Err(ModelError::Collision {
+                    time,
+                    first,
+                    second,
+                    distance,
+                });
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Folds the current configuration into the cached collision margin
+    /// and reports the first (row-major) colliding pair, if any. The full
+    /// pass always completes, so the margin stays exact even on the
+    /// instant that collides.
+    fn refresh_geometry(&mut self) -> Option<(usize, usize, f64)> {
+        let mut collision = None;
+        for i in 0..self.positions.len() {
+            for j in (i + 1)..self.positions.len() {
+                let d = self.positions[i].distance(self.positions[j]);
+                self.min_pairwise = self.min_pairwise.min(d);
+                if collision.is_none() && d < self.collision_eps {
+                    collision = Some((i, j, d));
+                }
+            }
+        }
+        collision
+    }
+
+    /// Records a fault with every installed consumer (observer first,
+    /// then the in-memory trace).
+    fn emit_fault(&mut self, event: FaultEvent) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer(TraceEvent::Fault(&event));
+        }
+        if self.record_faults {
+            self.trace.record_fault(event);
+        }
     }
 
     /// Runs until `predicate` returns `true` (checked after every instant)
@@ -211,7 +342,7 @@ impl<P: MovementProtocol> Engine<P> {
         F: FnMut(&Engine<P>) -> bool,
     {
         for taken in 0..max_steps {
-            self.step()?;
+            self.step_inner()?;
             if predicate(self) {
                 return Ok(RunOutcome {
                     steps_taken: taken + 1,
@@ -232,30 +363,9 @@ impl<P: MovementProtocol> Engine<P> {
     /// Propagates the first error from [`Engine::step`].
     pub fn run(&mut self, steps: u64) -> Result<(), ModelError> {
         for _ in 0..steps {
-            self.step()?;
+            self.step_inner()?;
         }
         Ok(())
-    }
-
-    fn view_of(&self, i: usize, snapshot: &[Point], dropped: &[usize]) -> View {
-        let frame = &self.frames[i];
-        let id_of = |j: usize| self.ids.as_ref().map(|ids| ids[j]);
-        let own = Observed {
-            position: frame.to_local(snapshot[i]),
-            id: id_of(i),
-        };
-        let others = snapshot
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i && !dropped.contains(&j))
-            .filter(|&(_, &p)| self.visibility.is_none_or(|r| snapshot[i].distance(p) <= r))
-            .map(|(j, &p)| Observed {
-                position: frame.to_local(p),
-                id: id_of(j),
-            })
-            .collect();
-        View::new(own, others, frame.len_to_local(self.sigmas[i]))
-            .with_time(self.global_clock.then_some(self.time))
     }
 
     fn check_collisions(&self, time: u64) -> Result<(), ModelError> {
@@ -345,6 +455,11 @@ impl<P: MovementProtocol> Engine<P> {
         offset: stigmergy_geometry::Vec2,
     ) -> Result<(), ModelError> {
         self.positions[i] += offset;
+        // The displaced configuration is never a trace step, so it must
+        // not enter the cached collision margin — but the next executed
+        // instant starts from new positions and must re-derive geometry
+        // even if none of its own moves change anything.
+        self.geometry_dirty = true;
         self.check_collisions(self.time)
     }
 
@@ -379,6 +494,31 @@ impl<P: MovementProtocol> Engine<P> {
     pub fn stats(&self) -> EngineStats {
         self.stats
     }
+
+    /// The minimum pairwise distance over every configuration the engine
+    /// has produced (initial + after each executed instant) — the
+    /// collision margin. Bit-identical to what
+    /// [`Trace::min_pairwise_distance`] computes on a fully recorded
+    /// trace, but maintained incrementally and available with recording
+    /// off. `INFINITY` for a single-robot cohort.
+    #[must_use]
+    pub fn min_pairwise_distance(&self) -> f64 {
+        self.min_pairwise
+    }
+
+    /// Installs a streaming trace observer.
+    ///
+    /// The observer is called at exactly the points trace recording
+    /// appends records — every executed instant (after its moves) and
+    /// every injected fault, in injection order — regardless of whether
+    /// in-memory recording is enabled. One observer at a time; installing
+    /// replaces any previous one.
+    pub fn observe_trace<F>(&mut self, observer: F)
+    where
+        F: FnMut(TraceEvent<'_>) + 'static,
+    {
+        self.observer = Some(Box::new(observer));
+    }
 }
 
 /// Moves from `from` toward `target`, travelling at most `sigma`.
@@ -405,7 +545,8 @@ pub struct EngineBuilder<P> {
     collision_eps: f64,
     global_clock: bool,
     visibility: Option<f64>,
-    record_trace: bool,
+    record_steps: bool,
+    record_faults: bool,
     faults: Option<FaultPlan>,
 }
 
@@ -431,7 +572,8 @@ impl<P> EngineBuilder<P> {
             collision_eps: DEFAULT_COLLISION_EPS,
             global_clock: false,
             visibility: None,
-            record_trace: true,
+            record_steps: true,
+            record_faults: true,
             faults: None,
         }
     }
@@ -520,7 +662,25 @@ impl<P> EngineBuilder<P> {
     /// collision margins) are unavailable on such engines.
     #[must_use]
     pub fn record_trace(mut self, record: bool) -> Self {
-        self.record_trace = record;
+        self.record_steps = record;
+        self.record_faults = record;
+        self
+    }
+
+    /// Controls per-instant step recording alone, leaving fault
+    /// recording as configured. A streaming consumer installed with
+    /// [`Engine::observe_trace`] still sees every step.
+    #[must_use]
+    pub fn record_steps(mut self, record: bool) -> Self {
+        self.record_steps = record;
+        self
+    }
+
+    /// Controls fault-event recording alone, leaving step recording as
+    /// configured.
+    #[must_use]
+    pub fn record_faults(mut self, record: bool) -> Self {
+        self.record_faults = record;
         self
     }
 
@@ -593,14 +753,17 @@ impl<P> EngineBuilder<P> {
             }
         }
         let tol = Tolerance::absolute(self.collision_eps);
+        let mut min_pairwise = f64::INFINITY;
         for i in 0..positions.len() {
             for j in (i + 1)..positions.len() {
-                if tol.zero(positions[i].distance(positions[j])) {
+                let d = positions[i].distance(positions[j]);
+                if tol.zero(d) {
                     return Err(ModelError::CoincidentRobots {
                         first: i,
                         second: j,
                     });
                 }
+                min_pairwise = min_pairwise.min(d);
             }
         }
 
@@ -621,7 +784,19 @@ impl<P> EngineBuilder<P> {
         });
 
         let trace = Trace::new(positions.clone());
+        let n = positions.len();
         Ok(Engine {
+            snapshot: Vec::with_capacity(n),
+            active: ActivationSet::empty(n),
+            dropped: Vec::new(),
+            view: View::new(
+                Observed {
+                    position: Point::ORIGIN,
+                    id: None,
+                },
+                Vec::with_capacity(n.saturating_sub(1)),
+                0.0,
+            ),
             positions,
             frames,
             protocols,
@@ -633,9 +808,13 @@ impl<P> EngineBuilder<P> {
             collision_eps: self.collision_eps,
             global_clock: self.global_clock,
             visibility: self.visibility,
-            record_trace: self.record_trace,
+            record_steps: self.record_steps,
+            record_faults: self.record_faults,
             faults: self.faults.unwrap_or_else(|| FaultPlan::new(0)),
             stats: EngineStats::default(),
+            observer: None,
+            min_pairwise,
+            geometry_dirty: false,
         })
     }
 }
@@ -1329,6 +1508,166 @@ mod tests {
         );
         assert!(recorded.stats().faults_injected > 0);
         assert!(blind.trace().is_empty());
+    }
+
+    #[test]
+    fn cached_collision_margin_matches_trace_min_pairwise() {
+        // A faulted, frame-randomized run: the cached margin must agree
+        // bitwise with the trace-derived one, including the initial
+        // configuration and every recorded step.
+        let mut e = faulted_walkers(
+            FaultPlan::new(123)
+                .crash_stop(0, 6)
+                .non_rigid(0.3, 0.4)
+                .observation_dropout(0.2),
+        );
+        assert_eq!(
+            e.min_pairwise_distance().to_bits(),
+            e.trace().min_pairwise_distance().to_bits(),
+            "initial margins diverge"
+        );
+        e.run(12).unwrap();
+        assert_eq!(
+            e.min_pairwise_distance().to_bits(),
+            e.trace().min_pairwise_distance().to_bits()
+        );
+        // Displacement is not a trace step: both margins must ignore the
+        // displaced configuration itself but fold in what follows.
+        e.displace_robot(0, Vec2::new(3.0, 0.0)).unwrap();
+        e.run(3).unwrap();
+        assert_eq!(
+            e.min_pairwise_distance().to_bits(),
+            e.trace().min_pairwise_distance().to_bits()
+        );
+    }
+
+    #[test]
+    fn margin_available_with_recording_off() {
+        let build = |record: bool| {
+            let mut e = Engine::builder()
+                .positions([Point::ORIGIN, Point::new(10.0, 0.0)])
+                .protocols([
+                    Walker {
+                        target: Point::new(8.0, 0.0),
+                    },
+                    Walker {
+                        target: Point::new(2.0, 0.0),
+                    },
+                ])
+                .unit_frames()
+                .sigma(1.0)
+                .record_trace(record)
+                .build()
+                .unwrap();
+            e.run(3).unwrap();
+            e
+        };
+        let recorded = build(true);
+        let blind = build(false);
+        assert_eq!(
+            blind.min_pairwise_distance().to_bits(),
+            recorded.trace().min_pairwise_distance().to_bits()
+        );
+    }
+
+    #[test]
+    fn observer_sees_exactly_what_the_trace_records() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let plan = FaultPlan::new(123)
+            .crash_stop(0, 6)
+            .non_rigid(0.3, 0.4)
+            .observation_dropout(0.2);
+        let mut recorded = faulted_walkers(plan.clone());
+        recorded.run(12).unwrap();
+
+        let rebuilt = Rc::new(RefCell::new(Trace::new(
+            recorded.trace().initial().to_vec(),
+        )));
+        let sink = Rc::clone(&rebuilt);
+        let mut observed = faulted_walkers(plan);
+        observed.observe_trace(move |event| match event {
+            TraceEvent::Step {
+                time,
+                active,
+                positions,
+            } => sink.borrow_mut().record(StepRecord {
+                time,
+                active: active.clone(),
+                positions: positions.to_vec(),
+            }),
+            TraceEvent::Fault(fault) => sink.borrow_mut().record_fault(fault.clone()),
+        });
+        observed.run(12).unwrap();
+
+        assert_eq!(*rebuilt.borrow(), *observed.trace());
+        assert_eq!(*rebuilt.borrow(), *recorded.trace());
+    }
+
+    #[test]
+    fn observer_fires_even_with_recording_off() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let steps = Rc::new(RefCell::new(0u64));
+        let faults = Rc::new(RefCell::new(0u64));
+        let (s, f) = (Rc::clone(&steps), Rc::clone(&faults));
+        let mut e = Engine::builder()
+            .positions([Point::ORIGIN, Point::new(10.0, 0.0)])
+            .protocols([
+                Walker {
+                    target: Point::new(0.0, 100.0),
+                },
+                Walker {
+                    target: Point::new(10.0, 100.0),
+                },
+            ])
+            .unit_frames()
+            .sigma(1.0)
+            .record_trace(false)
+            .faults(FaultPlan::new(77).non_rigid(0.25, 1.0))
+            .build()
+            .unwrap();
+        e.observe_trace(move |event| match event {
+            TraceEvent::Step { .. } => *s.borrow_mut() += 1,
+            TraceEvent::Fault(_) => *f.borrow_mut() += 1,
+        });
+        e.run(10).unwrap();
+        assert!(e.trace().is_empty(), "in-memory recording stayed off");
+        assert_eq!(*steps.borrow(), 10);
+        assert_eq!(*faults.borrow(), e.stats().faults_injected);
+    }
+
+    #[test]
+    fn step_recording_and_fault_recording_split_independently() {
+        let build = |steps: bool, faults: bool| {
+            let mut e = Engine::builder()
+                .positions([Point::ORIGIN, Point::new(10.0, 0.0)])
+                .protocols([
+                    Walker {
+                        target: Point::new(0.0, 100.0),
+                    },
+                    Walker {
+                        target: Point::new(10.0, 100.0),
+                    },
+                ])
+                .unit_frames()
+                .sigma(1.0)
+                .record_steps(steps)
+                .record_faults(faults)
+                .faults(FaultPlan::new(77).non_rigid(0.25, 1.0))
+                .build()
+                .unwrap();
+            e.run(5).unwrap();
+            e
+        };
+        let steps_only = build(true, false);
+        assert_eq!(steps_only.trace().len(), 5);
+        assert!(steps_only.trace().faults().is_empty());
+        let faults_only = build(false, true);
+        assert!(faults_only.trace().is_empty());
+        assert_eq!(faults_only.trace().faults().len(), 10);
     }
 
     #[test]

@@ -56,11 +56,11 @@ pub mod view;
 
 pub use capabilities::Capabilities;
 pub use corda::CordaEngine;
-pub use engine::{Engine, EngineBuilder, EngineStats, RunOutcome, StepReport};
+pub use engine::{Engine, EngineBuilder, EngineStats, RunOutcome, StepReport, TraceObserver};
 pub use frame::{FrameGenerator, LocalFrame};
 pub use identity::VisibleId;
 pub use protocol::MovementProtocol;
-pub use trace::{FaultEvent, StepRecord, Trace};
+pub use trace::{FaultEvent, StepRecord, Trace, TraceEvent};
 pub use view::{Observed, View};
 
 use std::error::Error;

@@ -70,6 +70,28 @@ impl FaultEvent {
     }
 }
 
+/// A borrowed trace event, delivered to an engine's trace observer.
+///
+/// Observers see events at exactly the points — and in exactly the order —
+/// that trace recording would append them, regardless of whether the
+/// engine is also keeping an in-memory [`Trace`]. This is what lets a
+/// streaming consumer (the fleet's incremental trace encoder) reproduce
+/// the canonical trace byte-for-byte without the `O(steps × n)` memory.
+#[derive(Debug)]
+pub enum TraceEvent<'a> {
+    /// One executed instant, observed after all of its moves were applied.
+    Step {
+        /// The time instant.
+        time: u64,
+        /// Which robots were active.
+        active: &'a ActivationSet,
+        /// World positions after the instant's moves.
+        positions: &'a [Point],
+    },
+    /// One injected fault, observed where it struck.
+    Fault(&'a FaultEvent),
+}
+
 /// A full execution trace.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Trace {

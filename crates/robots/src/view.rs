@@ -41,17 +41,36 @@ impl View {
     /// ordering carries no covert identity.
     #[must_use]
     pub fn new(own: Observed, mut others: Vec<Observed>, sigma: f64) -> Self {
-        others.sort_by(|a, b| {
-            (a.position.x, a.position.y)
-                .partial_cmp(&(b.position.x, b.position.y))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        sort_by_coordinates(&mut others);
         Self {
             own,
             others,
             sigma,
             time: None,
         }
+    }
+
+    /// Re-initializes the view in place for a new observer, keeping the
+    /// `others` allocation. The engine's hot path fills the reused view
+    /// with [`View::push_other`] and then applies the same covert-identity
+    /// sort as [`View::new`] via [`View::seal_others`].
+    pub(crate) fn reset(&mut self, own: Observed, sigma: f64, time: Option<u64>) {
+        self.own = own;
+        self.others.clear();
+        self.sigma = sigma;
+        self.time = time;
+    }
+
+    /// Appends one observed robot (engine hot path; call order must match
+    /// the snapshot's index order so [`View::seal_others`] reproduces
+    /// exactly what [`View::new`] would build).
+    pub(crate) fn push_other(&mut self, observed: Observed) {
+        self.others.push(observed);
+    }
+
+    /// Applies the coordinate sort [`View::new`] applies.
+    pub(crate) fn seal_others(&mut self) {
+        sort_by_coordinates(&mut self.others);
     }
 
     /// Attaches a global-clock reading (the engine sets this only when the
@@ -136,6 +155,18 @@ impl View {
     }
 }
 
+/// The covert-identity-free ordering: others sorted by local coordinates.
+/// `Vec::sort_by` is stable, so equal keys keep their push order — both
+/// construction paths feed robots in snapshot index order and therefore
+/// agree bit-for-bit.
+fn sort_by_coordinates(others: &mut [Observed]) {
+    others.sort_by(|a, b| {
+        (a.position.x, a.position.y)
+            .partial_cmp(&(b.position.x, b.position.y))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
 impl fmt::Display for View {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -171,6 +202,19 @@ mod tests {
             .map(|o| (o.position.x, o.position.y))
             .collect();
         assert_eq!(xs, vec![(-1.0, 5.0), (2.0, -3.0), (2.0, 0.0)]);
+    }
+
+    #[test]
+    fn in_place_assembly_matches_new() {
+        let others = vec![obs(2.0, 0.0), obs(-1.0, 5.0), obs(2.0, -3.0)];
+        let by_value = View::new(obs(0.0, 0.0), others.clone(), 1.5).with_time(Some(3));
+        let mut reused = View::new(obs(9.0, 9.0), vec![obs(7.0, 7.0)], 0.1);
+        reused.reset(obs(0.0, 0.0), 1.5, Some(3));
+        for o in others {
+            reused.push_other(o);
+        }
+        reused.seal_others();
+        assert_eq!(reused, by_value);
     }
 
     #[test]

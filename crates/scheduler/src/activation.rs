@@ -90,6 +90,38 @@ impl ActivationSet {
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.n).filter(move |&i| self.contains(i))
     }
+
+    /// Re-initializes to the empty set over cohort `n`, reusing the
+    /// backing allocation. Equivalent to `*self = ActivationSet::empty(n)`
+    /// without the heap churn.
+    pub fn reset(&mut self, n: usize) {
+        self.bits.clear();
+        self.bits.resize(n.div_ceil(64), 0);
+        self.n = n;
+    }
+
+    /// Marks every robot of the cohort active, in place. Equivalent to
+    /// `*self = ActivationSet::full(self.cohort())`.
+    pub fn fill(&mut self) {
+        let n = self.n;
+        for (k, word) in self.bits.iter_mut().enumerate() {
+            let lo = k * 64;
+            let width = n.min(lo + 64) - lo;
+            *word = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+        }
+    }
+
+    /// Marks robot `i` inactive. Out-of-range indices are a no-op (they
+    /// are never active).
+    pub fn remove(&mut self, i: usize) {
+        if i < self.n {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
 }
 
 impl fmt::Display for ActivationSet {
@@ -165,6 +197,36 @@ mod tests {
         let s: ActivationSet = [2usize, 5].into_iter().collect();
         assert_eq!(s.cohort(), 6);
         assert!(s.contains(2) && s.contains(5));
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_matches_empty() {
+        let mut s = ActivationSet::full(130);
+        s.reset(130);
+        assert_eq!(s, ActivationSet::empty(130));
+        s.reset(5);
+        assert_eq!(s, ActivationSet::empty(5));
+        s.reset(200);
+        assert_eq!(s, ActivationSet::empty(200));
+    }
+
+    #[test]
+    fn fill_matches_full() {
+        for n in [0usize, 1, 5, 63, 64, 65, 130] {
+            let mut s = ActivationSet::empty(n);
+            s.fill();
+            assert_eq!(s, ActivationSet::full(n), "cohort {n}");
+        }
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut s = ActivationSet::full(70);
+        s.remove(0);
+        s.remove(69);
+        s.remove(1000); // out of range: no-op
+        assert!(!s.contains(0) && !s.contains(69) && s.contains(1));
+        assert_eq!(s.len(), 68);
     }
 
     #[test]

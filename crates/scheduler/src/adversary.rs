@@ -60,28 +60,31 @@ impl LaggingRobot {
 
 impl Schedule for LaggingRobot {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
         if n == 0 {
-            return ActivationSet::empty(0);
+            return;
         }
         if self.victim >= n {
             // No robot to starve: behave synchronously.
-            return ActivationSet::full(n);
+            out.fill();
+            return;
         }
         let last = *self
             .last_victim_active
             .get_or_insert_with(|| t.saturating_sub(1));
         let victim_due = t.saturating_sub(last) >= self.max_gap;
-        let mut set = ActivationSet::empty(n);
-        for i in 0..n {
-            if i != self.victim {
-                set.insert(i);
-            }
-        }
+        out.fill();
+        out.remove(self.victim);
         if victim_due || n == 1 {
-            set.insert(self.victim);
+            out.insert(self.victim);
             self.last_victim_active = Some(t);
         }
-        set
     }
 
     fn name(&self) -> &'static str {
@@ -135,21 +138,28 @@ impl Bursty {
 
 impl Schedule for Bursty {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
         if n == 0 {
-            return ActivationSet::empty(0);
+            return;
         }
         let period = self.burst_len + self.lull_len;
         let phase = t % period;
         if phase < self.burst_len {
             self.current_lull = None;
-            ActivationSet::full(n)
+            out.fill();
         } else {
             let lull_index = t / period;
             if self.current_lull != Some(lull_index) {
                 self.current_lull = Some(lull_index);
                 self.lull_robot = self.rng.below(n);
             }
-            ActivationSet::from_indices(n, [self.lull_robot.min(n - 1)])
+            out.insert(self.lull_robot.min(n - 1));
         }
     }
 
@@ -198,30 +208,38 @@ impl WorstCaseFair {
 
 impl Schedule for WorstCaseFair {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
         if n == 0 {
-            return ActivationSet::empty(0);
+            return;
         }
         if !self.started || self.last_active.len() != n {
-            self.last_active = vec![t.saturating_sub(1); n];
+            self.last_active.clear();
+            self.last_active.resize(n, t.saturating_sub(1));
             self.started = true;
         }
-        let mut set = ActivationSet::empty(n);
         for i in 0..n {
             if t.saturating_sub(self.last_active[i]) >= self.max_gap {
-                set.insert(i);
+                out.insert(i);
             }
         }
-        if set.is_empty() {
+        if out.is_empty() {
             // Most overdue robot, lowest index on ties — deterministic.
             let chosen = (0..n)
                 .max_by_key(|&i| (t.saturating_sub(self.last_active[i]), usize::MAX - i))
                 .expect("n > 0");
-            set.insert(chosen);
+            out.insert(chosen);
         }
-        for i in set.iter().collect::<Vec<_>>() {
-            self.last_active[i] = t;
+        for (i, last) in self.last_active.iter_mut().enumerate() {
+            if out.contains(i) {
+                *last = t;
+            }
         }
-        set
     }
 
     fn name(&self) -> &'static str {
@@ -335,6 +353,19 @@ impl FaultPlan {
         &self.crash_stops
     }
 
+    /// Whether the plan can ever drop an observation. A `false` lets the
+    /// engine skip the per-(observer, observed) dropout queries entirely.
+    #[must_use]
+    pub fn has_dropouts(&self) -> bool {
+        self.dropout_prob > 0.0
+    }
+
+    /// Whether the plan can ever cut a move short.
+    #[must_use]
+    pub fn has_non_rigid(&self) -> bool {
+        self.non_rigid_prob > 0.0
+    }
+
     /// Whether `robot` has crash-stopped by instant `t`.
     #[must_use]
     pub fn is_crashed(&self, robot: usize, t: u64) -> bool {
@@ -428,14 +459,18 @@ impl<S> CrashFiltered<S> {
 
 impl<S: Schedule> Schedule for CrashFiltered<S> {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
-        let raw = self.inner.activations(t, n);
         let mut set = ActivationSet::empty(n);
-        for i in raw.iter() {
-            if !self.plan.is_crashed(i, t) {
-                set.insert(i);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        self.inner.activations_into(t, n, out);
+        for &(robot, when) in &self.plan.crash_stops {
+            if when <= t {
+                out.remove(robot);
             }
         }
-        set
     }
 
     fn name(&self) -> &'static str {

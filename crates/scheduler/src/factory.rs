@@ -247,6 +247,26 @@ mod tests {
     }
 
     #[test]
+    fn activations_into_matches_by_value_for_every_schedule() {
+        // Two identically seeded copies driven through the two entry
+        // points must produce the same sets *and* the same internal state
+        // evolution (same RNG draw sequence) — the contract the engine's
+        // allocation-free path relies on.
+        for spec in all_specs() {
+            for n in [1usize, 3, 5] {
+                let mut by_value = spec.build(n);
+                let mut in_place = spec.build(n);
+                let mut out = ActivationSet::empty(n);
+                for t in 0..200 {
+                    let expected = by_value.activations(t, n);
+                    in_place.activations_into(t, n, &mut out);
+                    assert_eq!(out, expected, "{spec:?} diverged at t={t}, n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn built_schedules_are_deterministic_per_spec() {
         for spec in all_specs() {
             assert_eq!(

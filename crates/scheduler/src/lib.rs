@@ -56,6 +56,19 @@ pub trait Schedule {
     /// Returns the set of robots (indices `0..n`) active at instant `t`.
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet;
 
+    /// Writes the instant-`t` activation set into `out`, reusing its
+    /// backing allocation.
+    ///
+    /// The default forwards to [`Schedule::activations`]. Stateful
+    /// schedulers override it with an allocation-free path; overrides
+    /// must produce the same set **and** the same internal state
+    /// transitions (including every RNG draw, in order) as
+    /// `activations`, so callers may mix the two entry points freely
+    /// without perturbing determinism.
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        *out = self.activations(t, n);
+    }
+
     /// A short human-readable name for reports and traces.
     fn name(&self) -> &'static str {
         "schedule"
@@ -73,6 +86,10 @@ impl fmt::Debug for dyn Schedule + '_ {
 impl<S: Schedule + ?Sized> Schedule for Box<S> {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
         (**self).activations(t, n)
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        (**self).activations_into(t, n, out);
     }
 
     fn name(&self) -> &'static str {

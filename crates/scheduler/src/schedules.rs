@@ -18,6 +18,11 @@ impl Schedule for Synchronous {
         ActivationSet::full(n)
     }
 
+    fn activations_into(&mut self, _t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
+        out.fill();
+    }
+
     fn name(&self) -> &'static str {
         "synchronous"
     }
@@ -80,28 +85,36 @@ impl FairAsync {
 
 impl Schedule for FairAsync {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
         if n == 0 {
-            return ActivationSet::empty(0);
+            return;
         }
         if !self.started || self.last_active.len() != n {
             // Treat every robot as having been active "just before" t.
-            self.last_active = vec![t.saturating_sub(1); n];
+            self.last_active.clear();
+            self.last_active.resize(n, t.saturating_sub(1));
             self.started = true;
         }
-        let mut set = ActivationSet::empty(n);
         for i in 0..n {
             let gap = t.saturating_sub(self.last_active[i]);
             if gap >= self.max_gap || self.rng.chance(self.p) {
-                set.insert(i);
+                out.insert(i);
             }
         }
-        if set.is_empty() {
-            set.insert(self.rng.below(n));
+        if out.is_empty() {
+            out.insert(self.rng.below(n));
         }
-        for i in set.iter().collect::<Vec<_>>() {
-            self.last_active[i] = t;
+        for (i, last) in self.last_active.iter_mut().enumerate() {
+            if out.contains(i) {
+                *last = t;
+            }
         }
-        set
     }
 
     fn name(&self) -> &'static str {
@@ -144,11 +157,19 @@ impl SingleActive {
 
 impl Schedule for SingleActive {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
         if n == 0 {
-            return ActivationSet::empty(0);
+            return;
         }
         if !self.started || self.last_active.len() != n {
-            self.last_active = vec![t.saturating_sub(1); n];
+            self.last_active.clear();
+            self.last_active.resize(n, t.saturating_sub(1));
             self.started = true;
         }
         // Fairness override: the robot with the largest (over-limit) gap.
@@ -157,7 +178,7 @@ impl Schedule for SingleActive {
             .max_by_key(|&i| t.saturating_sub(self.last_active[i]));
         let chosen = overdue.unwrap_or_else(|| self.rng.below(n));
         self.last_active[chosen] = t;
-        ActivationSet::from_indices(n, [chosen])
+        out.insert(chosen);
     }
 
     fn name(&self) -> &'static str {
@@ -174,10 +195,16 @@ pub struct RoundRobin;
 
 impl Schedule for RoundRobin {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
-        if n == 0 {
-            return ActivationSet::empty(0);
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
+        if n > 0 {
+            out.insert((t % n as u64) as usize);
         }
-        ActivationSet::from_indices(n, [(t % n as u64) as usize])
     }
 
     fn name(&self) -> &'static str {
@@ -229,8 +256,17 @@ impl Scripted {
 
 impl Schedule for Scripted {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
+        out.reset(n);
         let step = &self.script[(t % self.script.len() as u64) as usize];
-        ActivationSet::from_indices(n, step.iter().copied().filter(|&i| i < n))
+        for i in step.iter().copied().filter(|&i| i < n) {
+            out.insert(i);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -413,13 +449,20 @@ impl<S> WakeAllFirst<S> {
 
 impl<S: Schedule> Schedule for WakeAllFirst<S> {
     fn activations(&mut self, t: u64, n: usize) -> ActivationSet {
+        let mut set = ActivationSet::empty(n);
+        self.activations_into(t, n, &mut set);
+        set
+    }
+
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut ActivationSet) {
         if t == 0 {
             // Consume the inner schedule's instant anyway so resuming at
             // t=1 is well-defined for stateful schedulers.
-            let _ = self.inner.activations(0, n);
-            ActivationSet::full(n)
+            self.inner.activations_into(0, n, out);
+            out.reset(n);
+            out.fill();
         } else {
-            self.inner.activations(t, n)
+            self.inner.activations_into(t, n, out);
         }
     }
 
