@@ -7,7 +7,7 @@
 //!
 //! # fleet batch sweeps
 //! … -- batch --workers 4 --seeds 16 --metrics-out metrics.json
-//! … -- sweep --workers 2 --seeds 16 --out BENCH_fleet.json
+//! … -- sweep --workers 2 --seeds 16 --out sweep.json
 //!
 //! # the gateway (stigmergyd)
 //! … -- serve --addr 127.0.0.1:7841 --capacity 8
@@ -232,8 +232,10 @@ fn run_batch_cmd(args: &[String]) -> ExitCode {
 }
 
 /// `sweep`: times the same spec at workers=1 and workers=N, verifies the
-/// outputs are identical, and writes the timing document (`--out`,
-/// conventionally `BENCH_fleet.json`).
+/// outputs are identical, and writes the timing document (`--out`). The
+/// committed `BENCH_fleet.json` baseline is produced by `stigbench
+/// --suite fleet` instead, which measures the full worker-count matrix
+/// under the CI counter gate.
 fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let flags = match parse_fleet_flags(args) {
         Ok(f) => f,

@@ -1,32 +1,45 @@
-//! The engine performance regression gate.
+//! The performance regression gate for the engine and the fleet.
 //!
 //! ```text
-//! # run the suite, print the table, write the document
+//! # run the engine suite, print the table, write the document
 //! cargo run --release -p stigmergy-bench --bin stigbench -- --out BENCH_engine.json
 //!
 //! # CI perf gate: run once, compare against the committed baseline
 //! cargo run --release -p stigmergy-bench --bin stigbench -- --check --tolerance 0.25
 //!
-//! # refresh the committed baseline after an intentional change
-//! UPDATE_BASELINE=1 cargo run --release -p stigmergy-bench --bin stigbench -- --check
+//! # fleet-scaling suite: workers 1/2/4/8 rows + the 100k-session sweep
+//! cargo run --release -p stigmergy-bench --bin stigbench -- --suite fleet --check
+//!
+//! # refresh a committed baseline after an intentional change
+//! UPDATE_BASELINE=1 cargo run --release -p stigmergy-bench --bin stigbench -- --suite fleet --check
 //! ```
 //!
 //! Exit codes in `--check` mode: `0` clean, `1` work-counter drift (the
-//! engine did different work — a hard determinism/behavior failure), `4`
+//! run did different work — a hard determinism/behavior failure), `4`
 //! wall-clock regression only (advisory; CI marks that step
 //! `continue-on-error`).
 
 use std::process::ExitCode;
-use stigmergy_bench::stigbench::{check, run_suite, suite_table, to_json, SuiteConfig};
+use stigmergy_bench::fleet_scaling::{fleet_table, run_fleet_suite, FleetSuiteConfig};
+use stigmergy_bench::stigbench::{
+    check, run_suite, suite_table, to_json, to_json_named, SuiteConfig, WorkloadResult,
+};
 
 /// Exit code for a throughput-only regression.
 const EXIT_WALL: u8 = 4;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Suite {
+    Engine,
+    Fleet,
+}
+
 #[derive(Debug, PartialEq)]
 struct Flags {
+    suite: Suite,
     check: bool,
     tolerance: f64,
-    baseline: String,
+    baseline: Option<String>,
     out: Option<String>,
     seeds: u64,
     workers: usize,
@@ -35,13 +48,25 @@ struct Flags {
 impl Default for Flags {
     fn default() -> Self {
         Self {
+            suite: Suite::Engine,
             check: false,
             tolerance: 0.25,
-            baseline: "BENCH_engine.json".into(),
+            baseline: None,
             out: None,
             seeds: 16,
             workers: 1,
         }
+    }
+}
+
+impl Flags {
+    /// The baseline path: explicit `--baseline`, else the committed
+    /// document for the selected suite.
+    fn baseline_path(&self) -> &str {
+        self.baseline.as_deref().unwrap_or(match self.suite {
+            Suite::Engine => "BENCH_engine.json",
+            Suite::Fleet => "BENCH_fleet.json",
+        })
     }
 }
 
@@ -54,6 +79,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         };
         match flag.as_str() {
             "--check" => flags.check = true,
+            "--suite" => {
+                flags.suite = match value("--suite")?.as_str() {
+                    "engine" => Suite::Engine,
+                    "fleet" => Suite::Fleet,
+                    other => return Err(format!("--suite must be engine or fleet, got {other:?}")),
+                };
+            }
             "--tolerance" => {
                 let t: f64 = value("--tolerance")?
                     .parse()
@@ -63,7 +95,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 flags.tolerance = t;
             }
-            "--baseline" => flags.baseline = value("--baseline")?.clone(),
+            "--baseline" => flags.baseline = Some(value("--baseline")?.clone()),
             "--out" => flags.out = Some(value("--out")?.clone()),
             "--seeds" => {
                 let n: u64 = value("--seeds")?
@@ -89,6 +121,32 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
+/// Runs the selected suite and renders its console table + JSON doc.
+fn run_selected(flags: &Flags) -> (Vec<WorkloadResult>, String) {
+    match flags.suite {
+        Suite::Engine => {
+            let config = SuiteConfig {
+                seeds: flags.seeds,
+                workers: flags.workers,
+            };
+            let results = run_suite(&config);
+            println!("{}", suite_table(&results));
+            let doc = to_json(&results);
+            (results, doc)
+        }
+        Suite::Fleet => {
+            let config = FleetSuiteConfig {
+                seeds: flags.seeds,
+                ..FleetSuiteConfig::default()
+            };
+            let results = run_fleet_suite(&config);
+            println!("{}", fleet_table(&results));
+            let doc = to_json_named(stigmergy_bench::fleet_scaling::FLEET_BENCHMARK, &results);
+            (results, doc)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = match parse_flags(&args) {
@@ -98,13 +156,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = SuiteConfig {
-        seeds: flags.seeds,
-        workers: flags.workers,
-    };
-    let results = run_suite(&config);
-    println!("{}", suite_table(&results));
-    let doc = to_json(&results);
+    let (results, doc) = run_selected(&flags);
     if let Some(path) = &flags.out {
         if let Err(e) = std::fs::write(path, &doc) {
             eprintln!("stigbench: writing {path}: {e}");
@@ -116,21 +168,21 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let baseline_path = flags.baseline_path();
     if std::env::var_os("UPDATE_BASELINE").is_some_and(|v| v == "1") {
-        if let Err(e) = std::fs::write(&flags.baseline, &doc) {
-            eprintln!("stigbench: writing baseline {}: {e}", flags.baseline);
+        if let Err(e) = std::fs::write(baseline_path, &doc) {
+            eprintln!("stigbench: writing baseline {baseline_path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("updated baseline {}", flags.baseline);
+        println!("updated baseline {baseline_path}");
         return ExitCode::SUCCESS;
     }
 
-    let baseline = match std::fs::read_to_string(&flags.baseline) {
+    let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(b) => b,
         Err(e) => {
             eprintln!(
-                "stigbench: reading baseline {}: {e} (run with UPDATE_BASELINE=1 to create it)",
-                flags.baseline
+                "stigbench: reading baseline {baseline_path}: {e} (run with UPDATE_BASELINE=1 to create it)"
             );
             return ExitCode::FAILURE;
         }
@@ -144,22 +196,19 @@ fn main() -> ExitCode {
     }
     if !outcome.counters_ok() {
         eprintln!(
-            "stigbench: work counters drifted from {} — the engine did different work",
-            flags.baseline
+            "stigbench: work counters drifted from {baseline_path} — the run did different work"
         );
         return ExitCode::FAILURE;
     }
     if !outcome.wall_ok() {
         eprintln!(
-            "stigbench: throughput fell more than {:.0}% below {} (counters identical)",
-            flags.tolerance * 100.0,
-            flags.baseline
+            "stigbench: throughput fell more than {:.0}% below {baseline_path} (counters identical)",
+            flags.tolerance * 100.0
         );
         return ExitCode::from(EXIT_WALL);
     }
     println!(
-        "stigbench: clean against {} (tolerance {:.0}%)",
-        flags.baseline,
+        "stigbench: clean against {baseline_path} (tolerance {:.0}%)",
         flags.tolerance * 100.0
     );
     ExitCode::SUCCESS
@@ -178,8 +227,9 @@ mod tests {
     fn defaults() {
         let f = parse(&[]).unwrap();
         assert!(!f.check);
+        assert_eq!(f.suite, Suite::Engine);
         assert_eq!(f.tolerance, 0.25);
-        assert_eq!(f.baseline, "BENCH_engine.json");
+        assert_eq!(f.baseline_path(), "BENCH_engine.json");
         assert_eq!(f.seeds, 16);
         assert_eq!(f.workers, 1);
     }
@@ -188,6 +238,8 @@ mod tests {
     fn all_flags() {
         let f = parse(&[
             "--check",
+            "--suite",
+            "fleet",
             "--tolerance",
             "0.1",
             "--baseline",
@@ -201,11 +253,18 @@ mod tests {
         ])
         .unwrap();
         assert!(f.check);
+        assert_eq!(f.suite, Suite::Fleet);
         assert_eq!(f.tolerance, 0.1);
-        assert_eq!(f.baseline, "b.json");
+        assert_eq!(f.baseline_path(), "b.json");
         assert_eq!(f.out.as_deref(), Some("o.json"));
         assert_eq!(f.seeds, 2);
         assert_eq!(f.workers, 3);
+    }
+
+    #[test]
+    fn fleet_suite_defaults_to_its_own_baseline() {
+        let f = parse(&["--suite", "fleet"]).unwrap();
+        assert_eq!(f.baseline_path(), "BENCH_fleet.json");
     }
 
     #[test]
@@ -217,6 +276,9 @@ mod tests {
         assert!(parse(&["--workers", "0"])
             .unwrap_err()
             .contains("at least 1"));
+        assert!(parse(&["--suite", "warp"])
+            .unwrap_err()
+            .contains("engine or fleet"));
         assert!(parse(&["--frob"]).unwrap_err().contains("unknown flag"));
         assert!(parse(&["--out"]).unwrap_err().contains("needs a value"));
     }

@@ -1,0 +1,193 @@
+//! `fleet-scaling`: the fleet-runtime scaling suite behind
+//! `BENCH_fleet.json` and CI's `fleet-scaling` job.
+//!
+//! Two workload families:
+//!
+//! 1. **`fleet-scaling-w{N}`** — the full-budget conformance sweep (the
+//!    same 864 sessions as the engine suite's `sweep-864`) run through
+//!    the work-stealing pool at each worker count in
+//!    [`FleetSuiteConfig::worker_counts`]. Every row must report
+//!    *byte-identical work counters* — sessions, steps, delivered,
+//!    trace fingerprint — because the pool's headline guarantee is that
+//!    the steal schedule never changes what work is done, only who does
+//!    it. [`run_fleet_suite`] enforces this itself and panics on drift,
+//!    so a scaling run that silently diverged can never be written out
+//!    as a baseline.
+//! 2. **`sweep-wide-100008`** — a 100 008-session sweep (54 conformance cells
+//!    × 1 852 seeds) at a reduced per-session step budget, sized so the
+//!    scheduler — claim CASes, steals, index-ordered collection — is a
+//!    visible fraction of the wall clock instead of being drowned by
+//!    engine work. This is the dispatch-overhead regression canary.
+//!
+//! Wall-clock columns are honest for whatever machine ran the suite; on
+//! a single-core container the scaling rows are expected to sit near
+//! 1.0× and the committed baseline says so. Counter columns are
+//! machine-independent and gated exactly by `stigbench --suite fleet
+//! --check`.
+
+use stigmergy_fleet::BatchSpec;
+
+use crate::stigbench::{batch_workload, WorkloadResult};
+use crate::table::Table;
+
+/// Benchmark name stamped into `BENCH_fleet.json`.
+pub const FLEET_BENCHMARK: &str = "stigbench-fleet";
+
+/// Knobs for a fleet-scaling suite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSuiteConfig {
+    /// Seeds for the full-budget scaling sweep (16 → 864 sessions).
+    pub seeds: u64,
+    /// Worker counts for the scaling rows, one row per entry.
+    pub worker_counts: Vec<usize>,
+    /// Seeds for the reduced-budget wide sweep (1852 → 100 008 sessions).
+    pub wide_seeds: u64,
+    /// Per-session step budget for the wide sweep. Small enough that
+    /// dispatch overhead shows up in the rate, large enough that every
+    /// session still executes real protocol work.
+    pub wide_budget: u64,
+    /// Worker count for the wide sweep.
+    pub wide_workers: usize,
+}
+
+impl Default for FleetSuiteConfig {
+    fn default() -> Self {
+        Self {
+            seeds: 16,
+            worker_counts: vec![1, 2, 4, 8],
+            wide_seeds: 1852,
+            wide_budget: 2000,
+            wide_workers: 8,
+        }
+    }
+}
+
+/// Runs the scaling rows and the wide sweep in stable order.
+///
+/// # Panics
+///
+/// Panics if any two scaling rows disagree on a work counter — that
+/// would mean the steal schedule changed the batch's observable work,
+/// which is precisely the regression this suite exists to catch, and a
+/// baseline must never be generated from such a run.
+#[must_use]
+pub fn run_fleet_suite(config: &FleetSuiteConfig) -> Vec<WorkloadResult> {
+    let spec = BatchSpec::conformance_matrix((0..config.seeds).collect());
+    let mut results: Vec<WorkloadResult> = config
+        .worker_counts
+        .iter()
+        .map(|&workers| batch_workload(format!("fleet-scaling-w{workers}"), &spec, workers))
+        .collect();
+    if let Some((first, rest)) = results.split_first() {
+        for row in rest {
+            assert_eq!(
+                first.counters, row.counters,
+                "scaling rows diverged: {} vs {} did different work",
+                first.name, row.name
+            );
+        }
+    }
+    results.push(wide_sweep_workload(config));
+    results
+}
+
+/// The 100k-session dispatch-overhead workload.
+#[must_use]
+pub fn wide_sweep_workload(config: &FleetSuiteConfig) -> WorkloadResult {
+    let spec = BatchSpec {
+        budget_cap: Some(config.wide_budget),
+        ..BatchSpec::conformance_matrix((0..config.wide_seeds).collect())
+    };
+    let sessions = spec.sessions().len();
+    batch_workload(format!("sweep-wide-{sessions}"), &spec, config.wide_workers)
+}
+
+/// Summary table with a speedup column relative to the `w1` row.
+#[must_use]
+pub fn fleet_table(results: &[WorkloadResult]) -> Table {
+    let serial_wall = results
+        .iter()
+        .find(|w| w.name == "fleet-scaling-w1")
+        .map(|w| w.wall_seconds);
+    let mut t = Table::new(
+        "stigbench: fleet-scaling workloads",
+        ["workload", "sessions", "wall s", "steps/s", "speedup"],
+    );
+    for w in results {
+        let sessions = w
+            .counters
+            .iter()
+            .find(|(k, _)| *k == "sessions")
+            .map_or(0, |&(_, v)| v);
+        let speedup = match serial_wall {
+            Some(serial) if w.name.starts_with("fleet-scaling-") && w.wall_seconds > 0.0 => {
+                format!("{:.2}x", serial / w.wall_seconds)
+            }
+            _ => "-".into(),
+        };
+        t.row([
+            w.name.clone(),
+            sessions.to_string(),
+            format!("{:.3}", w.wall_seconds),
+            format!("{:.0}", w.steps_per_sec),
+            speedup,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stigbench::{baseline_workload_names, check, to_json_named};
+
+    fn tiny() -> FleetSuiteConfig {
+        FleetSuiteConfig {
+            seeds: 1,
+            worker_counts: vec![1, 2],
+            wide_seeds: 2,
+            wide_budget: 400,
+            wide_workers: 2,
+        }
+    }
+
+    #[test]
+    fn scaling_rows_do_identical_work() {
+        let results = run_fleet_suite(&tiny());
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].name, "fleet-scaling-w1");
+        assert_eq!(results[1].name, "fleet-scaling-w2");
+        assert_eq!(results[0].counters, results[1].counters);
+        assert_eq!(results[2].name, "sweep-wide-108");
+    }
+
+    #[test]
+    fn fleet_json_roundtrips_and_checks() {
+        let results = run_fleet_suite(&tiny());
+        let doc = to_json_named(FLEET_BENCHMARK, &results);
+        assert!(doc.starts_with("{\"benchmark\":\"stigbench-fleet\","));
+        assert_eq!(
+            baseline_workload_names(&doc),
+            vec!["fleet-scaling-w1", "fleet-scaling-w2", "sweep-wide-108"]
+        );
+        let outcome = check(&doc, &results, 0.25);
+        assert!(outcome.counters_ok());
+        assert!(outcome.wall_ok());
+    }
+
+    #[test]
+    fn table_reports_speedup_against_w1() {
+        let results = run_fleet_suite(&tiny());
+        let rendered = fleet_table(&results).to_string();
+        assert!(rendered.contains("fleet-scaling-w2"));
+        assert!(rendered.contains('x'), "speedup column renders: {rendered}");
+    }
+
+    #[test]
+    fn wide_sweep_counters_replay() {
+        let config = tiny();
+        let a = wide_sweep_workload(&config);
+        let b = wide_sweep_workload(&config);
+        assert_eq!(a.counters, b.counters);
+    }
+}

@@ -7,7 +7,10 @@
 //! and `workers = N` and checking the fleet's headline guarantee on the
 //! way: identical per-seed reports and identical merged metrics
 //! regardless of worker count. `experiments sweep` serializes the result
-//! to `BENCH_fleet.json`.
+//! for ad-hoc comparisons; the *committed* fleet baseline
+//! (`BENCH_fleet.json`) is owned by the `fleet-scaling` stigbench suite
+//! (`stigbench --suite fleet`), which measures workers ∈ {1, 2, 4, 8}
+//! plus the 100k-session sweep under the CI counter gate.
 
 use std::time::{Duration, Instant};
 
@@ -44,9 +47,9 @@ impl SweepResult {
         }
     }
 
-    /// The `BENCH_fleet.json` document: timings plus the deterministic
-    /// metrics snapshot. Timings vary run to run; everything under
-    /// `"metrics"` is byte-stable for a given spec.
+    /// The sweep document: timings plus the deterministic metrics
+    /// snapshot. Timings vary run to run; everything under `"metrics"`
+    /// is byte-stable for a given spec.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(

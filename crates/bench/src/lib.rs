@@ -20,6 +20,7 @@
 #![allow(clippy::disallowed_methods)]
 
 pub mod experiments;
+pub mod fleet_scaling;
 pub mod fleet_sweep;
 pub mod gateway_bench;
 pub mod stigbench;

@@ -101,8 +101,16 @@ pub fn run_suite(config: &SuiteConfig) -> Vec<WorkloadResult> {
 pub fn sweep_workload(config: &SuiteConfig) -> WorkloadResult {
     let spec = BatchSpec::conformance_matrix((0..config.seeds).collect());
     let sessions = spec.sessions().len() as u64;
+    batch_workload(format!("sweep-{sessions}"), &spec, config.workers)
+}
+
+/// Runs an arbitrary batch as a timed workload under a caller-chosen
+/// name — the shared engine behind [`sweep_workload`] and the
+/// `fleet-scaling` suite's per-worker-count rows.
+#[must_use]
+pub fn batch_workload(name: String, spec: &BatchSpec, workers: usize) -> WorkloadResult {
     let t0 = Instant::now();
-    let report = run_batch(&spec, config.workers);
+    let report = run_batch(spec, workers);
     let wall = t0.elapsed().as_secs_f64();
     let m = &report.metrics;
     let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
@@ -111,7 +119,7 @@ pub fn sweep_workload(config: &SuiteConfig) -> WorkloadResult {
         fingerprint = fnv1a64_update(fingerprint, &(run.trace_len as u64).to_le_bytes());
     }
     WorkloadResult {
-        name: format!("sweep-{sessions}"),
+        name,
         counters: vec![
             ("sessions", m.sessions),
             ("delivered", m.delivered),
@@ -259,8 +267,16 @@ fn rate(count: u64, wall: f64) -> f64 {
 /// wall-clock fields.
 #[must_use]
 pub fn to_json(results: &[WorkloadResult]) -> String {
+    to_json_named("stigbench-engine", results)
+}
+
+/// Serializes a suite run under an explicit benchmark name — the same
+/// stable document shape as [`to_json`], reused by the `fleet-scaling`
+/// suite for `BENCH_fleet.json`.
+#[must_use]
+pub fn to_json_named(benchmark: &str, results: &[WorkloadResult]) -> String {
     let mut out = String::with_capacity(2048);
-    out.push_str("{\"benchmark\":\"stigbench-engine\",");
+    out.push_str(&format!("{{\"benchmark\":\"{benchmark}\","));
     out.push_str(&format!("\"version\":{FORMAT_VERSION},"));
     out.push_str("\"workloads\":[");
     for (i, w) in results.iter().enumerate() {

@@ -15,6 +15,7 @@ use crate::metrics::{FleetMetrics, MetricsSnapshot, SessionOutcome};
 use crate::pool::{run_indexed_observed, CancelToken};
 use crate::trace_codec::{encode, fnv1a64, TraceEncoder};
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::time::Duration;
 use std::time::Instant;
@@ -359,6 +360,35 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// The report of a session whose worker closure panicked: zero work
+    /// counters, no trace, and the panic message preserved as the
+    /// session's `error`. Panic containment is per session — one
+    /// poisoned spec fails its own `RunReport` while the rest of the
+    /// batch (and the pool) carries on — and stays deterministic: the
+    /// same spec panics with the same message at every worker count.
+    #[must_use]
+    pub fn poisoned(spec: &SessionSpec, message: &str) -> Self {
+        Self {
+            protocol: spec.protocol.name(),
+            schedule: spec.schedule.name(),
+            plan: spec.plan.name(),
+            seed: spec.seed,
+            delivered: false,
+            steps: 0,
+            steps_to_delivery: None,
+            activations: 0,
+            moves: 0,
+            faults: 0,
+            retransmissions: 0,
+            corrupt: 0,
+            min_distance: f64::INFINITY,
+            trace_len: 0,
+            trace_hash: fnv1a64(&[]),
+            trace: None,
+            error: Some(format!("session panicked: {message}")),
+        }
+    }
+
     fn outcome(&self) -> SessionOutcome {
         SessionOutcome {
             delivered: self.delivered,
@@ -471,7 +501,7 @@ where
         sessions,
         workers,
         |session| {
-            let report = run_session(&session);
+            let report = run_session_contained(session);
             metrics.record_session(&report.outcome());
             report
         },
@@ -488,6 +518,31 @@ where
         workers,
         wall: start.elapsed(),
     })
+}
+
+/// [`run_session`] with panic containment: a panic anywhere inside the
+/// session (a degenerate spec tripping a constructor `expect`, an engine
+/// invariant assertion) is caught and converted into
+/// [`RunReport::poisoned`] instead of unwinding through the worker pool.
+/// One poisoned chunk fails its own report; the batch completes.
+#[must_use]
+pub fn run_session_contained(spec: &SessionSpec) -> RunReport {
+    catch_unwind(AssertUnwindSafe(|| run_session(spec)))
+        .unwrap_or_else(|payload| RunReport::poisoned(spec, &panic_message(payload.as_ref())))
+}
+
+/// Renders a panic payload as text. `panic!`/`assert!`/`expect` payloads
+/// are `&str` or `String`; both forms are deterministic for a given
+/// spec, which keeps poisoned reports byte-identical across worker
+/// counts.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs one session to completion. Pure: same spec, same report (modulo
@@ -951,6 +1006,44 @@ mod tests {
             assert_eq!(ProtocolKind::from_wire_code(kind.wire_code()), Some(kind));
         }
         assert_eq!(ProtocolKind::from_wire_code(7), None);
+    }
+
+    #[test]
+    fn poisoned_session_is_contained_and_deterministic() {
+        // cohort = 0 trips a constructor invariant inside run_session
+        // (empty ring) in every build profile; the containment wrapper
+        // must turn the panic into a failed report, not an unwind.
+        let spec = SessionSpec {
+            protocol: ProtocolKind::SyncSwarmSec,
+            schedule: ScheduleSpec::Synchronous,
+            plan: FaultSpec::Benign,
+            seed: 0,
+            cohort: 0,
+            payload: DEFAULT_PAYLOAD.to_vec(),
+            budget_cap: None,
+            keep_trace: false,
+        };
+        let report = run_session_contained(&spec);
+        let error = report.error.as_deref().expect("poisoned report errors");
+        assert!(error.starts_with("session panicked:"), "{error}");
+        assert!(!report.delivered);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.trace_len, 0);
+        assert_eq!(
+            run_session_contained(&spec),
+            report,
+            "poisoned reports replay byte-identically"
+        );
+    }
+
+    #[test]
+    fn panic_messages_render_str_string_and_other() {
+        let a: Box<dyn std::any::Any + Send> = Box::new("boom");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("owned boom"));
+        let c: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(a.as_ref()), "boom");
+        assert_eq!(panic_message(b.as_ref()), "owned boom");
+        assert_eq!(panic_message(c.as_ref()), "non-string panic payload");
     }
 
     #[test]

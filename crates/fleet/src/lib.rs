@@ -11,10 +11,12 @@
 //! metrics totals. The regression suite in `tests/` asserts exactly
 //! that.
 //!
-//! No external dependencies: the pool is `Mutex<VecDeque>` + `Condvar`
-//! (rayon is unavailable under the vendored-offline constraint), metrics
-//! are `AtomicU64` counters and fixed-bucket histograms, and the trace
-//! codec writes IEEE-754 bit patterns directly.
+//! No external dependencies: the pool is a lock-free work-stealing
+//! scheduler — per-worker index-range shards packed into `AtomicU64`s,
+//! owners popping from the front, dry workers stealing back half-ranges
+//! (rayon is unavailable under the vendored-offline constraint) —
+//! metrics are `AtomicU64` counters and fixed-bucket histograms, and the
+//! trace codec writes IEEE-754 bit patterns directly.
 //!
 //! # Example
 //!
@@ -37,9 +39,10 @@ pub mod pool;
 pub mod trace_codec;
 
 pub use batch::{
-    ring, run_batch, run_batch_with, run_session, BatchInterrupted, BatchReport, BatchSpec,
-    Progress, ProtocolKind, RunReport, SessionSpec, CONFORMANCE, DEFAULT_PAYLOAD,
+    ring, run_batch, run_batch_with, run_session, run_session_contained, BatchInterrupted,
+    BatchReport, BatchSpec, Progress, ProtocolKind, RunReport, SessionSpec, CONFORMANCE,
+    DEFAULT_PAYLOAD,
 };
 pub use metrics::{FleetMetrics, Histogram, HistogramSnapshot, MetricsSnapshot, SessionOutcome};
-pub use pool::{run_indexed, run_indexed_observed, CancelToken, Interrupted, JobQueue};
+pub use pool::{run_indexed, run_indexed_observed, CancelToken, Interrupted, StealScheduler};
 pub use trace_codec::{encode, encode_hex, fnv1a64, fnv1a64_update, to_hex, TraceEncoder};

@@ -294,6 +294,12 @@ impl MetricsSnapshot {
 
     /// Adds `other` into `self` — the per-worker → global merge.
     ///
+    /// Merging is commutative and associative (every field is a plain
+    /// `u64` sum, including each histogram bin), so folding per-session
+    /// or per-worker snapshots in *any* steal order yields the same
+    /// totals — the property `tests/tests/properties.rs` pins with a
+    /// permutation proptest down to the JSON bytes.
+    ///
     /// # Panics
     ///
     /// Panics if histogram bucketings differ.
@@ -312,6 +318,25 @@ impl MetricsSnapshot {
         self.faults_per_session.merge(&other.faults_per_session);
         self.retransmissions_per_session
             .merge(&other.retransmissions_per_session);
+    }
+
+    /// Folds any number of snapshots into one, in iteration order —
+    /// which, by [`MetricsSnapshot::merge`]'s commutativity, does not
+    /// matter: any permutation of `parts` produces byte-identical JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if histogram bucketings differ between parts.
+    #[must_use]
+    pub fn merge_all<'a, I>(parts: I) -> Self
+    where
+        I: IntoIterator<Item = &'a MetricsSnapshot>,
+    {
+        let mut out = Self::empty();
+        for part in parts {
+            out.merge(part);
+        }
+        out
     }
 
     /// Serializes the snapshot as a JSON object with a stable key order,

@@ -1,0 +1,19 @@
+//! Seeded violations for the `lock-free` pass: a Mutex type, a `.lock(`
+//! call, and a Condvar wait in a file that claims to be lock-free.
+
+use std::sync::{Condvar, Mutex};
+
+struct Pool {
+    queue: Mutex<Vec<usize>>,
+    ready: Condvar,
+}
+
+impl Pool {
+    fn pop(&self) -> Option<usize> {
+        let mut q = self.queue.lock().unwrap();
+        while q.is_empty() {
+            q = self.ready.wait(q).unwrap();
+        }
+        q.pop()
+    }
+}

@@ -36,12 +36,18 @@ pub const PANIC_BUDGETS: &[(&str, usize)] = &[
     ("crates/gateway/src/wire.rs", 4),
 ];
 
-/// Files in lock-discipline scope.
+/// Files in lock-discipline scope (guards may exist, but must not be
+/// held across blocking calls).
 pub const LOCK_FILES: &[&str] = &[
-    "crates/fleet/src/pool.rs",
     "crates/gateway/src/server.rs",
     "crates/gateway/src/client.rs",
 ];
+
+/// Files declared lock-free: no blocking synchronization primitive at
+/// all. The work-stealing pool's claim path is CAS over packed atomic
+/// ranges; a `Mutex` reappearing here would resurrect the serialized
+/// hand-off the sharded rewrite removed.
+pub const LOCK_FREE_FILES: &[&str] = &["crates/fleet/src/pool.rs"];
 
 /// Files where same-file enum↔codec inference runs in workspace mode.
 pub const WIRE_INFERENCE_FILES: &[&str] = &[

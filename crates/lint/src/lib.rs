@@ -1,9 +1,9 @@
 //! `stiglint` — a zero-dependency static analyzer for this workspace.
 //!
-//! Four rule passes over a hand-rolled token stream (no rustc, no
-//! syn): `determinism`, `panic-safety`, `wire-completeness`, and
-//! `lock-discipline`. See DESIGN.md §11 for the rule catalogue,
-//! suppression grammar, and false-positive policy.
+//! Five rule passes over a hand-rolled token stream (no rustc, no
+//! syn): `determinism`, `panic-safety`, `wire-completeness`,
+//! `lock-discipline`, and `lock-free`. See DESIGN.md §11 for the rule
+//! catalogue, suppression grammar, and false-positive policy.
 //!
 //! Two entry points:
 //!
@@ -92,12 +92,22 @@ pub fn run_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         }
     }
 
-    // Pass 4: lock-discipline over the pool and gateway connections.
+    // Pass 4: lock-discipline over the gateway connections.
     for rel in config::LOCK_FILES {
         if root.join(rel).is_file() {
             let ft = load(root, rel)?;
             out.extend(ft.scan_violations.iter().cloned());
             out.extend(rules::locks::check(&ft));
+        }
+    }
+
+    // Pass 5: lock-free over the steal scheduler — no blocking
+    // synchronization primitives at all.
+    for rel in config::LOCK_FREE_FILES {
+        if root.join(rel).is_file() {
+            let ft = load(root, rel)?;
+            out.extend(ft.scan_violations.iter().cloned());
+            out.extend(rules::locks::check_lockfree(&ft));
         }
     }
 

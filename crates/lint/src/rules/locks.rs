@@ -32,6 +32,15 @@ use crate::Violation;
 
 pub const RULE: &str = "lock-discipline";
 
+/// Rule name for the lock-free pass.
+pub const RULE_LOCK_FREE: &str = "lock-free";
+
+/// Blocking-synchronization type names banned in lock-free scope.
+const BLOCKING_SYNC_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier"];
+
+/// Method names banned in lock-free scope (in `.name(` call form).
+const BLOCKING_SYNC_METHODS: &[&str] = &["lock", "wait", "wait_timeout", "wait_while"];
+
 /// Method names treated as blocking: socket I/O, frame I/O, channel
 /// handoff, and sleeps. These only count in method (`.send(`) or path
 /// (`::sleep(`) form, so a local fn that happens to share a name is
@@ -143,6 +152,55 @@ pub fn check(ft: &FileTokens) -> Vec<Violation> {
             }
         }
         c += 1;
+    }
+    out
+}
+
+/// Runs the lock-free pass over one file: in files declared lock-free
+/// (the work-stealing pool), *any* blocking synchronization primitive
+/// is a violation — the whole point of the sharded-deque design is
+/// that claims are CAS-only, so a `Mutex` sneaking back in is an
+/// architecture regression, not a style problem. Bans the blocking
+/// sync type names ([`BLOCKING_SYNC_TYPES`]) and `.lock(` / `.wait*(`
+/// method calls; `mpsc` channels and atomics stay legal (the result
+/// path is a channel, and `recv` blocking on the collector is the
+/// design).
+#[must_use]
+pub fn check_lockfree(ft: &FileTokens) -> Vec<Violation> {
+    let code = ft.code_indices();
+    let mut out = Vec::new();
+    for (i, &ti) in code.iter().enumerate() {
+        let t = &ft.toks[ti];
+        if t.kind != TokKind::Ident || ft.is_suppressed(RULE_LOCK_FREE, t.line) {
+            continue;
+        }
+        if BLOCKING_SYNC_TYPES.contains(&t.text.as_str()) {
+            out.push(Violation {
+                file: ft.path.clone(),
+                line: t.line,
+                rule: RULE_LOCK_FREE,
+                message: format!(
+                    "`{}` in a lock-free file: the steal scheduler must stay \
+                     CAS-only (atomics + channels); see DESIGN.md §9",
+                    t.text
+                ),
+            });
+        } else if BLOCKING_SYNC_METHODS.contains(&t.text.as_str())
+            && i + 1 < code.len()
+            && ft.toks[code[i + 1]].is_punct('(')
+            && is_method_call(ft, &code, i)
+        {
+            out.push(Violation {
+                file: ft.path.clone(),
+                line: t.line,
+                rule: RULE_LOCK_FREE,
+                message: format!(
+                    "`.{}(..)` in a lock-free file: blocking synchronization is \
+                     banned here; claims must go through the CAS protocol",
+                    t.text
+                ),
+            });
+        }
     }
     out
 }
@@ -318,6 +376,54 @@ mod tests {
         let src =
             "fn f(&self) {\n    let g = self.state.lock().unwrap();\n    std::thread::sleep(d);\n}";
         assert_eq!(run(src).len(), 1);
+    }
+
+    fn run_lockfree(src: &str) -> Vec<Violation> {
+        check_lockfree(&FileTokens::new("f.rs", src))
+    }
+
+    #[test]
+    fn lockfree_flags_mutex_types_and_lock_calls() {
+        let src =
+            "use std::sync::Mutex;\nfn f(&self) {\n    let g = self.state.lock().unwrap();\n}";
+        let v = run_lockfree(src);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("`Mutex`"));
+        assert!(v[1].message.contains(".lock(..)"));
+        assert!(v.iter().all(|x| x.rule == RULE_LOCK_FREE));
+    }
+
+    #[test]
+    fn lockfree_flags_condvar_wait() {
+        let src = "fn f(&self) {\n    let g = self.ready.wait(g).unwrap();\n}";
+        let v = run_lockfree(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains(".wait(..)"));
+    }
+
+    #[test]
+    fn lockfree_allows_atomics_and_channels() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::mpsc;\nfn f(&self) {\n    self.word.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire);\n    let (tx, rx) = mpsc::sync_channel(4);\n    rx.recv();\n}";
+        assert!(run_lockfree(src).is_empty());
+    }
+
+    #[test]
+    fn lockfree_ignores_names_in_comments_and_strings() {
+        let src =
+            "// A Mutex would serialize every claim here.\nfn f() {\n    let s = \"Mutex\";\n}";
+        assert!(run_lockfree(src).is_empty());
+    }
+
+    #[test]
+    fn lockfree_fn_named_wait_is_not_a_call_site() {
+        let src = "fn wait(n: u64) {}\nfn f() {\n    wait(3);\n}";
+        assert!(run_lockfree(src).is_empty());
+    }
+
+    #[test]
+    fn lockfree_suppression_silences() {
+        let src = "fn f(&self) {\n    // stiglint: allow(lock-free) -- shutdown path only, never on a claim\n    let g = self.state.lock().unwrap();\n}";
+        assert!(run_lockfree(src).is_empty());
     }
 
     #[test]

@@ -142,6 +142,28 @@ fn fixture_locks_condvar_is_caught() {
 }
 
 #[test]
+fn fixture_lockfree_mutex_is_caught() {
+    // The lock-free pass is scoped by `LOCK_FREE_FILES` in workspace
+    // mode (not part of `run_paths`), so exercise it directly on the
+    // seeded fixture: Mutex + Condvar type names, `.lock(`, `.wait(`.
+    let src = std::fs::read_to_string(fixture("lockfree_mutex.rs")).expect("fixture readable");
+    let ft = lint::scan::FileTokens::new("lockfree_mutex.rs", &src);
+    let v = lint::rules::locks::check_lockfree(&ft);
+    assert_eq!(count_rule(&v, "lock-free"), 6, "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("`Mutex`")), "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains(".wait(..)")), "{v:?}");
+}
+
+#[test]
+fn the_pool_is_in_lock_free_scope() {
+    // The whole point of the sharded rewrite: if pool.rs leaves the
+    // lock-free list (or the list empties), the architecture guarantee
+    // is no longer enforced.
+    assert!(lint::config::LOCK_FREE_FILES.contains(&"crates/fleet/src/pool.rs"));
+    assert!(!lint::config::LOCK_FILES.contains(&"crates/fleet/src/pool.rs"));
+}
+
+#[test]
 fn clean_controls_stay_clean() {
     for name in ["clean.rs", "wire_ok.rs"] {
         let v = lint_fixture(name);

@@ -5,7 +5,7 @@
 //! the worker pool only changes *when* they run, never *what* they
 //! compute — this file is what keeps that true as the engine evolves.
 
-use stigmergy_fleet::{fnv1a64, run_batch, BatchReport, BatchSpec};
+use stigmergy_fleet::{fnv1a64, fnv1a64_update, run_batch, BatchReport, BatchSpec};
 
 /// The full matrix at a budget small enough to keep every whole trace in
 /// memory (the byte-level comparison) but large enough for every fault
@@ -42,6 +42,56 @@ fn workers_1_and_8_produce_byte_identical_traces_per_seed() {
         assert_eq!(a, b, "full report diverged for {cell}");
     }
     assert_eq!(serial.metrics, parallel.metrics, "merged metrics diverged");
+}
+
+/// Folds every run's trace hash and length, report order included — the
+/// same fingerprint the stigbench suites gate on.
+fn fingerprint(report: &BatchReport) -> u64 {
+    report.runs.iter().fold(0xCBF2_9CE4_8422_2325u64, |acc, r| {
+        let acc = fnv1a64_update(acc, &r.trace_hash.to_le_bytes());
+        fnv1a64_update(acc, &(r.trace_len as u64).to_le_bytes())
+    })
+}
+
+#[test]
+fn determinism_matrix_workers_1_2_4_8() {
+    // The work-stealing pool's acceptance gate: every worker count in
+    // the matrix produces the same trace fingerprint and byte-identical
+    // merged-metrics JSON — including the crash cells, which route
+    // through `CrashFiltered` schedule wrappers.
+    let spec = capped_spec(vec![0, 1]);
+    let reference = run_batch(&spec, 1);
+    let reference_json = reference.metrics.to_json();
+    let crash_hashes = |report: &BatchReport| -> Vec<u64> {
+        report
+            .runs
+            .iter()
+            .filter(|r| r.plan == "crash")
+            .map(|r| r.trace_hash)
+            .collect()
+    };
+    assert!(
+        !crash_hashes(&reference).is_empty(),
+        "matrix must exercise CrashFiltered plans"
+    );
+    for workers in [2, 4, 8] {
+        let other = run_batch(&spec, workers);
+        assert_eq!(
+            fingerprint(&reference),
+            fingerprint(&other),
+            "trace fingerprint diverged at workers={workers}"
+        );
+        assert_eq!(
+            reference_json,
+            other.metrics.to_json(),
+            "merged-metrics JSON diverged at workers={workers}"
+        );
+        assert_eq!(
+            crash_hashes(&reference),
+            crash_hashes(&other),
+            "CrashFiltered cells diverged at workers={workers}"
+        );
+    }
 }
 
 #[test]

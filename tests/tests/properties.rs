@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use stigmergy::naming::label_by_sec;
 use stigmergy::session::SyncNetwork;
+use stigmergy_fleet::{FleetMetrics, MetricsSnapshot, SessionOutcome};
 use stigmergy_geometry::Point;
 
 /// Random well-separated configurations with no robot at the SEC centre —
@@ -31,8 +32,95 @@ fn configuration(min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<Point>
         })
 }
 
+/// Random per-session outcomes for the metrics-merge property.
+fn outcome() -> impl Strategy<Value = SessionOutcome> {
+    (
+        any::<bool>(),
+        0u64..5_000,
+        0u64..50_000,
+        0u64..20_000,
+        0u64..100,
+        0u64..50,
+        0u64..3,
+    )
+        .prop_map(
+            |(
+                delivered,
+                steps_to_delivery,
+                steps,
+                activations,
+                faults,
+                retransmissions,
+                corrupt,
+            )| {
+                SessionOutcome {
+                    delivered,
+                    steps_to_delivery,
+                    steps,
+                    activations,
+                    faults,
+                    retransmissions,
+                    corrupt,
+                }
+            },
+        )
+}
+
+/// SplitMix64 step — drives the Fisher–Yates shuffle deterministically
+/// from a proptest-chosen seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fleet_metrics_merge_is_permutation_invariant(
+        outcomes in prop::collection::vec(outcome(), 1..40),
+        perm_seed in any::<u64>(),
+        shard_size in 1usize..8,
+    ) {
+        // Reference: every outcome recorded in submission order into one
+        // sink — what workers=1 observes.
+        let serial = FleetMetrics::new();
+        for o in &outcomes {
+            serial.record_session(o);
+        }
+        let reference = serial.snapshot();
+
+        // Adversarial steal order: a seeded Fisher–Yates permutation,
+        // recorded into shards of arbitrary size and merged — what any
+        // steal schedule at any worker count observes.
+        let mut permuted = outcomes.clone();
+        let mut state = perm_seed;
+        for i in (1..permuted.len()).rev() {
+            let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+            permuted.swap(i, j);
+        }
+        let parts: Vec<MetricsSnapshot> = permuted
+            .chunks(shard_size)
+            .map(|chunk| {
+                let shard = FleetMetrics::new();
+                for o in chunk {
+                    shard.record_session(o);
+                }
+                shard.snapshot()
+            })
+            .collect();
+        let merged = MetricsSnapshot::merge_all(&parts);
+
+        prop_assert_eq!(&reference, &merged, "snapshot diverged under permutation");
+        prop_assert_eq!(
+            reference.to_json(),
+            merged.to_json(),
+            "JSON must be byte-identical, not just logically equal"
+        );
+    }
 
     #[test]
     fn random_configurations_route_with_lex_naming(
