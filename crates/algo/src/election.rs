@@ -1,0 +1,252 @@
+//! Leader election over SEC-naming signatures.
+//!
+//! Robots are anonymous, so election needs an external symmetry breaker:
+//! each robot computes `stigmergy::naming::election_signature` — a
+//! similarity-invariant hash of the configuration *as seen from its own
+//! position* — and broadcasts it as a `CLAIM`. Once a robot holds a claim
+//! from every member of the electorate, the **unique minimum** signature
+//! wins and every robot decides that value (so the winner is common
+//! knowledge even though robots have no common names).
+//!
+//! The signature construction guarantees that robots in the same orbit of
+//! a rotational symmetry produce *identical* signatures (paper Fig. 3:
+//! such configurations admit no deterministic leader). A duplicated
+//! minimum therefore means the configuration is symmetric, and the
+//! session terminates with [`Status::Rejected`] instead of picking an
+//! arbitrary — hence non-deterministic across naming choices — winner.
+//!
+//! Crash handling: the electorate is the set of *never-suspected* robots.
+//! When the perfect failure detector reports a crash, the crashed peer's
+//! claim is discarded retroactively — even if it already arrived — so
+//! every live robot evaluates the same electorate once the detector has
+//! fired everywhere. The driver's in-order crash notification plus the
+//! near-atomic movement broadcast (a frame completes only when every live
+//! observer has tracked each bit) makes that evaluation consistent.
+//!
+//! Wire format (after the stack strips the protocol-id header):
+//!
+//! ```text
+//! CLAIM: [0x01, sig as u32 LE]     broadcast, everyone → everyone
+//! ```
+//!
+//! Signatures travel truncated to 32 bits to halve the frame length on
+//! the bit-expensive motion channel; symmetry orbits collide at full
+//! width, so truncation can only *add* collisions, which fail safe
+//! (reject instead of electing two leaders).
+
+use crate::stack::{Outgoing, PeerId, Session, Status};
+
+/// Protocol id for the election layer in a [`crate::NodeStack`].
+pub const PROTOCOL_ID: u8 = 0x02;
+
+const OP_CLAIM: u8 = 0x01;
+
+/// Why an election refused to elect.
+pub const REJECT_SYMMETRIC: &str = "symmetric configuration: minimum signature is not unique";
+
+/// One robot's election session.
+pub struct ElectionSession {
+    /// `claims[p]` is the signature claimed by local peer `p`; index 0 is
+    /// this robot's own.
+    claims: Vec<Option<u32>>,
+    /// Peers reported crashed; their claims are discarded and never
+    /// awaited.
+    crashed: Vec<bool>,
+    status: Status,
+}
+
+impl ElectionSession {
+    /// A session for a robot whose own signature is `own_signature`, in a
+    /// cohort of `cohort` robots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cohort < 2` — electing among one robot is vacuous.
+    #[must_use]
+    pub fn new(own_signature: u32, cohort: usize) -> Self {
+        assert!(
+            cohort >= 2,
+            "election needs at least two robots, cohort={cohort}"
+        );
+        let mut claims = vec![None; cohort];
+        claims[0] = Some(own_signature);
+        Self {
+            claims,
+            crashed: vec![false; cohort],
+            status: Status::Active,
+        }
+    }
+
+    fn try_decide(&mut self) {
+        if self.status.is_terminal() {
+            return;
+        }
+        let electorate: Vec<u32> = match self
+            .claims
+            .iter()
+            .zip(&self.crashed)
+            .filter(|&(_, &dead)| !dead)
+            .map(|(claim, _)| *claim)
+            .collect::<Option<Vec<u32>>>()
+        {
+            Some(sigs) => sigs,
+            None => return, // a live member has not claimed yet
+        };
+        let min = *electorate.iter().min().expect("self is always live");
+        if electorate.iter().filter(|&&s| s == min).count() == 1 {
+            self.status = Status::Decided(u64::from(min));
+        } else {
+            self.status = Status::Rejected(REJECT_SYMMETRIC);
+        }
+    }
+}
+
+impl Session for ElectionSession {
+    fn on_start(&mut self, out: &mut Vec<Outgoing>) {
+        let own = self.claims[0].expect("own claim is set at construction");
+        let mut body = vec![OP_CLAIM];
+        body.extend_from_slice(&own.to_le_bytes());
+        out.push(Outgoing::Broadcast { body });
+        // A two-robot cohort whose peer already crashed decides alone.
+        self.try_decide();
+    }
+
+    fn on_message(&mut self, from: PeerId, body: &[u8], _out: &mut Vec<Outgoing>) {
+        let Some((&OP_CLAIM, sig)) = body.split_first() else {
+            return;
+        };
+        let Ok(sig): Result<[u8; 4], _> = sig.try_into() else {
+            return;
+        };
+        if from == 0 || from >= self.claims.len() || self.crashed[from] {
+            // A claim from a struck peer stays discarded: the electorate
+            // is the never-suspected set, evaluated identically at every
+            // live robot.
+            return;
+        }
+        self.claims[from] = Some(u32::from_le_bytes(sig));
+        self.try_decide();
+    }
+
+    fn on_crash(&mut self, peer: PeerId, _out: &mut Vec<Outgoing>) {
+        if peer == 0 || peer >= self.claims.len() {
+            return;
+        }
+        self.crashed[peer] = true;
+        self.claims[peer] = None; // retroactive discard
+        self.try_decide();
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claim(sig: u32) -> Vec<u8> {
+        let mut body = vec![OP_CLAIM];
+        body.extend_from_slice(&sig.to_le_bytes());
+        body
+    }
+
+    #[test]
+    fn unique_minimum_wins_everywhere() {
+        // Three robots, signatures 30/10/20 — everyone elects 10.
+        let mut out = Vec::new();
+        let mut a = ElectionSession::new(30, 3);
+        a.on_start(&mut out);
+        assert_eq!(out, vec![Outgoing::Broadcast { body: claim(30) }]);
+        a.on_message(1, &claim(10), &mut out);
+        assert_eq!(a.status(), Status::Active);
+        a.on_message(2, &claim(20), &mut out);
+        assert_eq!(a.status(), Status::Decided(10));
+
+        let mut b = ElectionSession::new(10, 3);
+        b.on_start(&mut Vec::new());
+        b.on_message(1, &claim(20), &mut Vec::new());
+        b.on_message(2, &claim(30), &mut Vec::new());
+        assert_eq!(b.status(), Status::Decided(10));
+    }
+
+    #[test]
+    fn duplicated_minimum_rejects() {
+        let mut s = ElectionSession::new(10, 3);
+        s.on_start(&mut Vec::new());
+        s.on_message(1, &claim(10), &mut Vec::new());
+        s.on_message(2, &claim(99), &mut Vec::new());
+        assert_eq!(s.status(), Status::Rejected(REJECT_SYMMETRIC));
+    }
+
+    #[test]
+    fn crash_shrinks_the_electorate() {
+        let mut s = ElectionSession::new(20, 3);
+        s.on_start(&mut Vec::new());
+        s.on_crash(2, &mut Vec::new());
+        assert_eq!(s.status(), Status::Active);
+        s.on_message(1, &claim(40), &mut Vec::new());
+        assert_eq!(s.status(), Status::Decided(20));
+    }
+
+    #[test]
+    fn crash_discards_an_already_received_claim() {
+        // Peer 1 claimed the minimum, then crashed: its claim is struck
+        // retroactively and the remaining electorate decides without it.
+        let mut s = ElectionSession::new(20, 3);
+        s.on_start(&mut Vec::new());
+        s.on_message(1, &claim(5), &mut Vec::new());
+        assert_eq!(s.status(), Status::Active);
+        s.on_crash(1, &mut Vec::new());
+        assert_eq!(s.status(), Status::Active);
+        s.on_message(2, &claim(30), &mut Vec::new());
+        assert_eq!(s.status(), Status::Decided(20));
+    }
+
+    #[test]
+    fn late_claim_from_struck_peer_stays_discarded() {
+        let mut s = ElectionSession::new(20, 3);
+        s.on_start(&mut Vec::new());
+        s.on_crash(1, &mut Vec::new());
+        s.on_message(1, &claim(5), &mut Vec::new()); // frozen-excursion leftover
+        s.on_message(2, &claim(30), &mut Vec::new());
+        assert_eq!(s.status(), Status::Decided(20));
+    }
+
+    #[test]
+    fn symmetric_tie_resolves_identically_after_crash() {
+        // The tie is between live peers, so the session must reject even
+        // though a third (crashed) robot held the unique minimum.
+        let mut s = ElectionSession::new(7, 4);
+        s.on_start(&mut Vec::new());
+        s.on_message(1, &claim(3), &mut Vec::new());
+        s.on_message(2, &claim(7), &mut Vec::new());
+        s.on_crash(1, &mut Vec::new());
+        s.on_message(3, &claim(9), &mut Vec::new());
+        assert_eq!(s.status(), Status::Rejected(REJECT_SYMMETRIC));
+    }
+
+    #[test]
+    fn malformed_claims_are_dropped() {
+        let mut s = ElectionSession::new(1, 3);
+        s.on_start(&mut Vec::new());
+        s.on_message(1, b"", &mut Vec::new());
+        s.on_message(1, &[OP_CLAIM, 1, 2], &mut Vec::new()); // short sig
+        s.on_message(1, &[0x09, 0, 0, 0, 0], &mut Vec::new()); // bad opcode
+        s.on_message(9, &claim(5), &mut Vec::new()); // out-of-range peer
+        s.on_message(0, &claim(5), &mut Vec::new()); // "self" is impossible
+        assert_eq!(s.status(), Status::Active);
+        s.on_crash(0, &mut Vec::new()); // ignored: self never crashes here
+        s.on_crash(9, &mut Vec::new()); // ignored: out of range
+        s.on_message(1, &claim(5), &mut Vec::new());
+        s.on_message(2, &claim(6), &mut Vec::new());
+        assert_eq!(s.status(), Status::Decided(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two robots")]
+    fn singleton_election_panics() {
+        let _ = ElectionSession::new(1, 1);
+    }
+}

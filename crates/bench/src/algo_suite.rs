@@ -1,0 +1,264 @@
+//! `algo`: the distributed-algorithm suite behind `BENCH_algo.json`
+//! and CI's perf-gate `algo` step.
+//!
+//! Two workload families:
+//!
+//! 1. **`algo-matrix-w{N}`** — the full algorithm conformance matrix
+//!    (3 algorithms × 2 schedules × 2 fault plans × seeds) through the
+//!    fleet at each worker count in
+//!    [`AlgoSuiteConfig::worker_counts`]. As with the fleet-scaling
+//!    rows, every row must report *byte-identical work counters* —
+//!    here that includes the algorithm counters (rounds, channel bits,
+//!    decisions, activations-to-decision) on top of the transport ones
+//!    — and [`run_algo_suite`] panics on drift so a diverged run can
+//!    never become a baseline.
+//! 2. **`algo-{flood,election,agreement}`** — each algorithm alone over
+//!    the same schedule × plan × seed grid, so a regression in one
+//!    algorithm's decision path (extra rounds, inflated channel cost, a
+//!    lost decision) can't hide inside the matrix aggregate.
+//!
+//! Counter columns are machine-independent and gated exactly by
+//! `stigbench --suite algo --check`; wall-clock columns are advisory.
+
+use std::time::Instant;
+
+use stigmergy_fleet::{fnv1a64_update, run_batch, BatchSpec};
+use stigmergy_scheduler::AlgorithmSpec;
+
+use crate::stigbench::WorkloadResult;
+use crate::table::Table;
+
+/// Benchmark name stamped into `BENCH_algo.json`.
+pub const ALGO_BENCHMARK: &str = "stigbench-algo";
+
+/// Knobs for an algorithm suite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgoSuiteConfig {
+    /// Seeds for the algorithm matrix (16 → 192 sessions, the baseline).
+    pub seeds: u64,
+    /// Worker counts for the matrix rows, one row per entry.
+    pub worker_counts: Vec<usize>,
+}
+
+impl Default for AlgoSuiteConfig {
+    fn default() -> Self {
+        Self {
+            seeds: 16,
+            worker_counts: vec![1, 4],
+        }
+    }
+}
+
+/// Runs the matrix rows and the per-algorithm rows in stable order.
+///
+/// # Panics
+///
+/// Panics if any two matrix rows disagree on a work counter (the steal
+/// schedule changed what the algorithms computed), or if any session in
+/// any row failed to decide — a benchmark of a non-terminating
+/// algorithm run would gate nothing.
+#[must_use]
+pub fn run_algo_suite(config: &AlgoSuiteConfig) -> Vec<WorkloadResult> {
+    let seeds: Vec<u64> = (0..config.seeds).collect();
+    let matrix = BatchSpec::algorithm_matrix(seeds.clone());
+    let mut results: Vec<WorkloadResult> = config
+        .worker_counts
+        .iter()
+        .map(|&workers| algo_workload(format!("algo-matrix-w{workers}"), &matrix, workers))
+        .collect();
+    if let Some((first, rest)) = results.split_first() {
+        for row in rest {
+            assert_eq!(
+                first.counters, row.counters,
+                "matrix rows diverged: {} vs {} did different work",
+                first.name, row.name
+            );
+        }
+    }
+    for algorithm in [
+        AlgorithmSpec::Flood { initiator: 0 },
+        AlgorithmSpec::Election,
+        AlgorithmSpec::Agreement { inputs: 0b101 },
+    ] {
+        let spec = BatchSpec {
+            algorithms: vec![algorithm],
+            ..BatchSpec::algorithm_matrix(seeds.clone())
+        };
+        results.push(algo_workload(
+            format!("algo-{}", algorithm.name()),
+            &spec,
+            1,
+        ));
+    }
+    results
+}
+
+/// Runs one algorithm batch as a timed workload: the transport counters
+/// plus the algorithm ones, with the trace fingerprint folded over
+/// every session in report order.
+///
+/// # Panics
+///
+/// Panics if any session errors or fails to decide.
+#[must_use]
+pub fn algo_workload(name: String, spec: &BatchSpec, workers: usize) -> WorkloadResult {
+    let t0 = Instant::now();
+    let report = run_batch(spec, workers);
+    let wall = t0.elapsed().as_secs_f64();
+    let m = &report.metrics;
+    assert_eq!(
+        m.algo_decided,
+        m.sessions,
+        "{name}: {} of {} sessions failed to decide",
+        m.sessions - m.algo_decided,
+        m.sessions
+    );
+    let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
+    for run in &report.runs {
+        assert!(run.error.is_none(), "{name}: {:?}", run.error);
+        fingerprint = fnv1a64_update(fingerprint, &run.trace_hash.to_le_bytes());
+        fingerprint = fnv1a64_update(fingerprint, &(run.trace_len as u64).to_le_bytes());
+    }
+    WorkloadResult {
+        name,
+        counters: vec![
+            ("sessions", m.sessions),
+            ("delivered", m.delivered),
+            ("steps", m.steps),
+            ("activations", m.activations),
+            ("faults", m.faults),
+            ("corrupt", m.corrupt),
+            ("algo_rounds", m.algo_rounds),
+            ("algo_bits", m.algo_bits),
+            ("algo_decided", m.algo_decided),
+            ("activations_to_decision", m.activations_to_decision.sum),
+            ("trace_fingerprint", fingerprint),
+        ],
+        wall_seconds: wall,
+        steps_per_sec: rate(m.steps, wall),
+        activations_per_sec: rate(m.activations, wall),
+    }
+}
+
+fn rate(count: u64, wall: f64) -> f64 {
+    if wall > 0.0 {
+        count as f64 / wall
+    } else {
+        0.0
+    }
+}
+
+/// Summary table: decisions, rounds, and channel cost per workload.
+#[must_use]
+pub fn algo_table(results: &[WorkloadResult]) -> Table {
+    let mut t = Table::new(
+        "stigbench: distributed-algorithm workloads",
+        [
+            "workload",
+            "sessions",
+            "decided",
+            "rounds",
+            "bits",
+            "wall s",
+            "activations/s",
+        ],
+    );
+    let counter = |w: &WorkloadResult, key: &str| {
+        w.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |&(_, v)| v)
+    };
+    for w in results {
+        t.row([
+            w.name.clone(),
+            counter(w, "sessions").to_string(),
+            counter(w, "algo_decided").to_string(),
+            counter(w, "algo_rounds").to_string(),
+            counter(w, "algo_bits").to_string(),
+            format!("{:.3}", w.wall_seconds),
+            format!("{:.0}", w.activations_per_sec),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stigbench::{
+        baseline_workload_names, check, extract_u64, extract_workload, to_json_named,
+    };
+
+    fn tiny() -> AlgoSuiteConfig {
+        AlgoSuiteConfig {
+            seeds: 1,
+            worker_counts: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn matrix_rows_do_identical_work_and_all_decide() {
+        let results = run_algo_suite(&tiny());
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].name, "algo-matrix-w1");
+        assert_eq!(results[1].name, "algo-matrix-w2");
+        assert_eq!(results[0].counters, results[1].counters);
+        let sessions = extract_u64(
+            extract_workload(&to_json_named(ALGO_BENCHMARK, &results), "algo-matrix-w1").unwrap(),
+            "sessions",
+        );
+        assert_eq!(sessions, Some(12));
+    }
+
+    #[test]
+    fn per_algorithm_rows_partition_the_matrix() {
+        let results = run_algo_suite(&tiny());
+        let counter = |name: &str, key: &str| {
+            results
+                .iter()
+                .find(|w| w.name == name)
+                .and_then(|w| w.counters.iter().find(|(k, _)| *k == key))
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        for key in ["sessions", "steps", "algo_rounds", "algo_bits"] {
+            let parts = counter("algo-flood", key)
+                + counter("algo-election", key)
+                + counter("algo-agreement", key);
+            assert_eq!(
+                counter("algo-matrix-w1", key),
+                parts,
+                "{key}: per-algorithm rows must partition the matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn algo_json_roundtrips_and_checks() {
+        let results = run_algo_suite(&tiny());
+        let doc = to_json_named(ALGO_BENCHMARK, &results);
+        assert!(doc.starts_with("{\"benchmark\":\"stigbench-algo\","));
+        assert_eq!(
+            baseline_workload_names(&doc),
+            vec![
+                "algo-matrix-w1",
+                "algo-matrix-w2",
+                "algo-flood",
+                "algo-election",
+                "algo-agreement"
+            ]
+        );
+        let outcome = check(&doc, &results, 0.25);
+        assert!(outcome.counters_ok());
+        assert!(outcome.wall_ok());
+    }
+
+    #[test]
+    fn table_reports_decisions_and_channel_cost() {
+        let results = run_algo_suite(&tiny());
+        let rendered = algo_table(&results).to_string();
+        assert!(rendered.contains("algo-election"));
+        assert!(rendered.contains("bits"));
+    }
+}

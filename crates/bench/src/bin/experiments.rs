@@ -5,13 +5,15 @@
 //! cargo run --release -p stigmergy-bench --bin experiments -- fig4  # one
 //! cargo run --release -p stigmergy-bench --bin experiments -- list  # ids
 //!
-//! # fleet batch sweeps
+//! # fleet batch sweeps (--algorithms swaps in the distributed-algorithm matrix)
 //! … -- batch --workers 4 --seeds 16 --metrics-out metrics.json
+//! … -- batch --algorithms --workers 4 --seeds 8 --metrics-out algo.json
 //! … -- sweep --workers 2 --seeds 16 --out sweep.json
 //!
 //! # the gateway (stigmergyd)
 //! … -- serve --addr 127.0.0.1:7841 --capacity 8
 //! … -- submit --addr 127.0.0.1:7841 --workers 4 --seeds 16 --metrics-out m.json
+//! … -- submit --algorithms --addr 127.0.0.1:7841 --workers 4 --metrics-out a.json
 //! … -- cancel --addr 127.0.0.1:7841 --job 3
 //! … -- gateway-bench --jobs 4 --workers 4 --out BENCH_gateway.json
 //! ```
@@ -101,6 +103,7 @@ fn main() -> ExitCode {
 struct FleetFlags {
     workers: usize,
     seeds: u64,
+    algorithms: bool,
     budget_cap: Option<u64>,
     out: Option<String>,
     addr: String,
@@ -116,6 +119,7 @@ impl Default for FleetFlags {
         Self {
             workers: 1,
             seeds: 8,
+            algorithms: false,
             budget_cap: None,
             out: None,
             addr: "127.0.0.1:7841".into(),
@@ -153,6 +157,7 @@ fn parse_fleet_flags(args: &[String]) -> Result<FleetFlags, String> {
             "--seeds" => {
                 flags.seeds = positive("--seeds", value("--seeds")?)?;
             }
+            "--algorithms" => flags.algorithms = true,
             "--budget-cap" => {
                 flags.budget_cap = Some(positive("--budget-cap", value("--budget-cap")?)?);
             }
@@ -193,9 +198,15 @@ fn parse_fleet_flags(args: &[String]) -> Result<FleetFlags, String> {
 }
 
 fn fleet_spec(flags: &FleetFlags) -> BatchSpec {
+    let seeds: Vec<u64> = (0..flags.seeds).collect();
+    let base = if flags.algorithms {
+        BatchSpec::algorithm_matrix(seeds)
+    } else {
+        BatchSpec::conformance_matrix(seeds)
+    };
     BatchSpec {
         budget_cap: flags.budget_cap,
-        ..BatchSpec::conformance_matrix((0..flags.seeds).collect())
+        ..base
     }
 }
 
@@ -212,10 +223,15 @@ fn run_batch_cmd(args: &[String]) -> ExitCode {
         }
     };
     let report = run_batch(&fleet_spec(&flags), flags.workers);
+    let matrix = if flags.algorithms {
+        "algorithm matrix"
+    } else {
+        "conformance matrix"
+    };
     banner(
         "batch",
         &format!(
-            "conformance matrix, {} sessions, {} workers",
+            "{matrix}, {} sessions, {} workers",
             report.runs.len(),
             flags.workers
         ),
@@ -482,6 +498,7 @@ mod tests {
             "4",
             "--seeds",
             "16",
+            "--algorithms",
             "--budget-cap",
             "500",
             "--out",
@@ -502,6 +519,7 @@ mod tests {
         .unwrap();
         assert_eq!(flags.workers, 4);
         assert_eq!(flags.seeds, 16);
+        assert!(flags.algorithms);
         assert_eq!(flags.budget_cap, Some(500));
         assert_eq!(flags.out.as_deref(), Some("bench.json"));
         assert_eq!(flags.addr, "127.0.0.1:9000");

@@ -10,6 +10,9 @@
 //! # fleet-scaling suite: workers 1/2/4/8 rows + the 100k-session sweep
 //! cargo run --release -p stigmergy-bench --bin stigbench -- --suite fleet --check
 //!
+//! # distributed-algorithm suite: the algorithm matrix + per-algorithm rows
+//! cargo run --release -p stigmergy-bench --bin stigbench -- --suite algo --check
+//!
 //! # refresh a committed baseline after an intentional change
 //! UPDATE_BASELINE=1 cargo run --release -p stigmergy-bench --bin stigbench -- --suite fleet --check
 //! ```
@@ -20,6 +23,7 @@
 //! `continue-on-error`).
 
 use std::process::ExitCode;
+use stigmergy_bench::algo_suite::{algo_table, run_algo_suite, AlgoSuiteConfig};
 use stigmergy_bench::fleet_scaling::{fleet_table, run_fleet_suite, FleetSuiteConfig};
 use stigmergy_bench::stigbench::{
     check, run_suite, suite_table, to_json, to_json_named, SuiteConfig, WorkloadResult,
@@ -32,6 +36,7 @@ const EXIT_WALL: u8 = 4;
 enum Suite {
     Engine,
     Fleet,
+    Algo,
 }
 
 #[derive(Debug, PartialEq)]
@@ -66,6 +71,7 @@ impl Flags {
         self.baseline.as_deref().unwrap_or(match self.suite {
             Suite::Engine => "BENCH_engine.json",
             Suite::Fleet => "BENCH_fleet.json",
+            Suite::Algo => "BENCH_algo.json",
         })
     }
 }
@@ -83,7 +89,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.suite = match value("--suite")?.as_str() {
                     "engine" => Suite::Engine,
                     "fleet" => Suite::Fleet,
-                    other => return Err(format!("--suite must be engine or fleet, got {other:?}")),
+                    "algo" => Suite::Algo,
+                    other => {
+                        return Err(format!(
+                            "--suite must be engine, fleet, or algo, got {other:?}"
+                        ))
+                    }
                 };
             }
             "--tolerance" => {
@@ -142,6 +153,16 @@ fn run_selected(flags: &Flags) -> (Vec<WorkloadResult>, String) {
             let results = run_fleet_suite(&config);
             println!("{}", fleet_table(&results));
             let doc = to_json_named(stigmergy_bench::fleet_scaling::FLEET_BENCHMARK, &results);
+            (results, doc)
+        }
+        Suite::Algo => {
+            let config = AlgoSuiteConfig {
+                seeds: flags.seeds,
+                ..AlgoSuiteConfig::default()
+            };
+            let results = run_algo_suite(&config);
+            println!("{}", algo_table(&results));
+            let doc = to_json_named(stigmergy_bench::algo_suite::ALGO_BENCHMARK, &results);
             (results, doc)
         }
     }
@@ -278,7 +299,7 @@ mod tests {
             .contains("at least 1"));
         assert!(parse(&["--suite", "warp"])
             .unwrap_err()
-            .contains("engine or fleet"));
+            .contains("engine, fleet, or algo"));
         assert!(parse(&["--frob"]).unwrap_err().contains("unknown flag"));
         assert!(parse(&["--out"]).unwrap_err().contains("needs a value"));
     }

@@ -19,6 +19,7 @@
 // Determinism of what it measures is enforced inside the fleet/gateway.
 #![allow(clippy::disallowed_methods)]
 
+pub mod algo_suite;
 pub mod experiments;
 pub mod fleet_scaling;
 pub mod fleet_sweep;

@@ -217,6 +217,7 @@ pub fn e12_workload() -> WorkloadResult {
 pub fn micro_workload(kind: ProtocolKind) -> WorkloadResult {
     let spec = SessionSpec {
         protocol: kind,
+        algorithm: None,
         schedule: ScheduleSpec::LaggingReceiver { max_gap: 8 },
         plan: FaultSpec::NonRigid {
             delta: 0.35,

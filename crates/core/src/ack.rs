@@ -91,6 +91,25 @@ impl ChangeTracker {
             .all(|(_, &c)| c >= k)
     }
 
+    /// Whether every peer *not* listed in `excluded` has changed at least
+    /// `k` times since the reset.
+    ///
+    /// This is the crash-aware form of [`ChangeTracker::all_changed_at_least`]:
+    /// a crash-stopped robot never moves again, so a sender that keeps
+    /// waiting on its double-change would hold an excursion forever. A
+    /// failure detector (the algorithm driver, which sees fault events)
+    /// reports crashed peers and the sender drops them from the
+    /// acknowledgement condition. Lemma 4.1 still holds pairwise for every
+    /// live peer.
+    #[must_use]
+    pub fn all_changed_at_least_except(&self, k: u32, excluded: &[usize]) -> bool {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !excluded.contains(&i))
+            .all(|(_, &c)| c >= k)
+    }
+
     /// Resets all change counts (keeps the last observed positions, so the
     /// next stint compares against current reality, not stale data).
     pub fn reset(&mut self) {
@@ -259,6 +278,30 @@ mod tests {
         assert!(t.all_changed_at_least(2, Some(0)));
         assert!(!t.all_changed_at_least(2, None));
         assert!(!t.all_changed_at_least(3, Some(0)));
+    }
+
+    #[test]
+    fn exclusion_set_ignores_frozen_peers() {
+        let mut t = ChangeTracker::new(3);
+        for i in 0..3 {
+            t.observe(i, Point::new(i as f64, 0.0));
+        }
+        // Peer 2 is crash-stopped: it never changes again. Peer 1 keeps
+        // moving.
+        for step in 1..=2 {
+            t.observe(1, Point::new(1.0, step as f64));
+            t.observe(2, Point::new(2.0, 0.0));
+        }
+        // Waiting on everyone wedges…
+        assert!(!t.all_changed_at_least(2, Some(0)));
+        // …but excluding the crashed peer unblocks the stint.
+        assert!(t.all_changed_at_least_except(2, &[0, 2]));
+        assert!(!t.all_changed_at_least_except(3, &[0, 2]));
+        // The single-exclusion form is the `&[i]` special case.
+        assert_eq!(
+            t.all_changed_at_least(2, Some(0)),
+            t.all_changed_at_least_except(2, &[0])
+        );
     }
 
     #[test]

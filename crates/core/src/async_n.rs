@@ -77,6 +77,10 @@ pub struct AsyncSwarm {
     init_error: Option<crate::CoreError>,
     phase: Phase,
     tracker: ChangeTracker,
+    /// Home indices excluded from the acknowledgement condition: always
+    /// `0` (self) plus every peer reported crashed via
+    /// [`AsyncSwarm::suspect`]. Kept sorted for deterministic iteration.
+    excluded: Vec<usize>,
     stint_ready: bool,
     pending: VecDeque<(Dest, Vec<u8>)>,
     current: Option<(usize, SliceSide, BitQueue)>,
@@ -93,6 +97,7 @@ impl AsyncSwarm {
             init_error: None,
             phase: Phase::Kappa { outward: true },
             tracker: ChangeTracker::new(0),
+            excluded: vec![0],
             stint_ready: false,
             pending: VecDeque::new(),
             current: None,
@@ -176,6 +181,34 @@ impl AsyncSwarm {
         self.bits_sent
     }
 
+    /// Excludes the peer at local home index `home` from the implicit
+    /// acknowledgement condition.
+    ///
+    /// The §4.2 sending rule waits until *every* other robot changed
+    /// position twice — so one crash-stopped peer wedges every sender
+    /// forever. The repo's algorithm driver acts as a perfect failure
+    /// detector: it sees the engine's crash-stop fault events and calls
+    /// `suspect` on every surviving robot, after which excursions are
+    /// acknowledged by the live peers alone (Lemma 4.1 still applies
+    /// pairwise to each of them). Suspecting is deliberately one-way —
+    /// crash-stop faults are permanent in this model.
+    ///
+    /// Suspecting `0` (self) or an out-of-range index is a no-op: self is
+    /// always excluded already, and unknown homes never gate an ack.
+    pub fn suspect(&mut self, home: usize) {
+        if home != 0 && !self.excluded.contains(&home) {
+            self.excluded.push(home);
+            self.excluded.sort_unstable();
+        }
+    }
+
+    /// The home indices currently excluded from acknowledgements
+    /// (always contains `0`, the robot itself).
+    #[must_use]
+    pub fn suspected(&self) -> &[usize] {
+        &self.excluded
+    }
+
     fn resolve_slice(&self, dest: &Dest) -> Option<(usize, usize)> {
         let g = self.geometry.as_ref()?;
         let label = match dest {
@@ -218,9 +251,10 @@ impl AsyncSwarm {
         }
     }
 
-    /// Everyone (but me) has changed at least twice this stint.
+    /// Everyone (but me and the suspected crashed peers) has changed at
+    /// least twice this stint.
     fn acked(&self) -> bool {
-        self.tracker.all_changed_at_least(2, Some(0))
+        self.tracker.all_changed_at_least_except(2, &self.excluded)
     }
 
     fn observe_and_decode(&mut self, view: &View) {
@@ -296,11 +330,18 @@ impl AsyncSwarm {
 
     /// One outward move on an addressing slice: first stride to half the
     /// radius, then contracted steps toward (never to) the outer bound.
+    ///
+    /// The stride test carries a relative tolerance: the half-radius
+    /// launch point round-trips through the robot's local frame between
+    /// activations, and for some frame rotations the re-observed distance
+    /// lands one ULP *below* `radius / 2`. An exact `d < radius / 2`
+    /// would then re-issue the identical jump target forever — a frozen
+    /// sender that also wedges every peer waiting on its double-change.
     fn slice_move(&self, own: Point, slice: usize, side: SliceSide) -> Point {
         let g = self.geometry.as_ref().expect("initialized");
         let radius = g.keyboard(0).radius();
         let d = own.distance(g.home(0));
-        if d < radius * 0.5 {
+        if d < radius * (0.5 - 1e-9) {
             g.keyboard(0)
                 .target(slice, side, 0.5)
                 .expect("valid addressing slice")
@@ -429,16 +470,21 @@ mod tests {
             .unwrap()
     }
 
-    /// Label of engine robot `target` from `sender`'s perspective,
-    /// computed via world-home matching.
+    /// Local home index of engine robot `target` from `observer`'s
+    /// perspective, computed via world-home matching.
+    fn home_of(e: &Engine<AsyncSwarm>, observer: usize, target: usize) -> usize {
+        let g = e.protocol(observer).geometry().expect("preprocessed");
+        let world_home = e.trace().initial()[target];
+        let local_home = e.frames()[observer].to_local(world_home);
+        (0..g.cohort())
+            .find(|&h| g.home(h).approx_eq(local_home))
+            .expect("home present")
+    }
+
+    /// Label of engine robot `target` from `sender`'s perspective.
     fn label_of(e: &Engine<AsyncSwarm>, sender: usize, target: usize) -> usize {
         let g = e.protocol(sender).geometry().expect("preprocessed");
-        let world_home = e.trace().initial()[target];
-        let local_home = e.frames()[sender].to_local(world_home);
-        let home_idx = (0..g.cohort())
-            .find(|&h| g.home(h).approx_eq(local_home))
-            .expect("home present");
-        g.label_for(0, home_idx)
+        g.label_for(0, home_of(e, sender, target))
     }
 
     #[test]
@@ -518,6 +564,35 @@ mod tests {
             })
             .unwrap();
         assert!(out.satisfied);
+    }
+
+    /// Regression: under this frame seed, the half-radius launch point of
+    /// an excursion round-trips through a robot's local frame to a
+    /// distance one ULP below `radius / 2`, and the old exact `d < r/2`
+    /// stride test re-issued the identical jump target forever — a
+    /// bitwise-frozen sender that wedged every peer's double-change ack.
+    /// Three simultaneous broadcasters made the freeze near-certain.
+    #[test]
+    fn half_radius_roundtrip_cannot_freeze_a_sender() {
+        use stigmergy_scheduler::WorstCaseFair;
+        let mut e = Engine::builder()
+            .positions(ring(3))
+            .protocols((0..3).map(|_| AsyncSwarm::anonymous()))
+            .capabilities(Capabilities::anonymous())
+            .schedule(WakeAllFirst::new(WorstCaseFair::new(6)))
+            .frame_seed(0xAA71_E90F_553B_6904)
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        for i in 0..3 {
+            e.protocol_mut(i).send_broadcast(b"zzzzzz");
+        }
+        let out = e
+            .run_until(400_000, |e| {
+                (0..3).all(|i| e.protocol(i).inbox().len() >= 2)
+            })
+            .unwrap();
+        assert!(out.satisfied, "a broadcaster froze mid-excursion");
     }
 
     #[test]
@@ -620,6 +695,44 @@ mod tests {
             })
             .unwrap();
         assert!(out.satisfied);
+    }
+
+    #[test]
+    fn suspecting_a_crashed_peer_unwedges_the_sender() {
+        use stigmergy_scheduler::FaultPlan;
+        let mut e = engine(3, FairAsync::new(47, 0.5, 8), 12);
+        e.step().unwrap();
+        e.set_fault_plan(FaultPlan::new(0xC4A5).crash_stop(2, 5));
+        e.protocol_mut(0).send_broadcast(b"x");
+        // The crashed robot never moves again, so the plain §4.2 ack
+        // condition (everyone changes twice) can never be met: the
+        // sender wedges before the first excursion even starts.
+        let wedged = e.run_until(40_000, |e| e.protocol(0).is_drained()).unwrap();
+        assert!(!wedged.satisfied, "crash must wedge an unsuspecting sender");
+        // The failure detector reports the crash: survivors suspect the
+        // frozen home and stints complete on live acks alone.
+        for i in 0..2 {
+            let home = home_of(&e, i, 2);
+            e.protocol_mut(i).suspect(home);
+        }
+        let out = e
+            .run_until(120_000, |e| {
+                e.protocol(0).is_drained()
+                    && e.protocol(1).inbox().iter().any(|m| m.payload == b"x")
+            })
+            .unwrap();
+        assert!(out.satisfied, "suspected crash still wedges the channel");
+    }
+
+    #[test]
+    fn suspect_dedups_and_ignores_self() {
+        let mut p = AsyncSwarm::anonymous();
+        assert_eq!(p.suspected(), &[0]);
+        p.suspect(0); // self: no-op
+        p.suspect(2);
+        p.suspect(2); // duplicate: no-op
+        p.suspect(1);
+        assert_eq!(p.suspected(), &[0, 1, 2]);
     }
 
     #[test]

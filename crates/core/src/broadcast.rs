@@ -117,6 +117,32 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_survives_the_fully_symmetric_ring() {
+        // The degenerate all-robots-on-SEC configuration: a perfectly
+        // regular ring, full rotational symmetry group. Observer-relative
+        // SEC naming never needed a *common* naming, so transport-level
+        // broadcast works unchanged; only symmetry-sensitive layers above
+        // — leader election in `crates/algo` — must reject it, which is
+        // what `naming::election_signature`'s deliberate collisions
+        // enforce.
+        let positions: Vec<Point> = (0..4)
+            .map(|k| {
+                let theta = std::f64::consts::TAU * (k as f64) / 4.0;
+                Point::new(9.0 * theta.cos(), 9.0 * theta.sin())
+            })
+            .collect();
+        assert!(!crate::naming::rotational_symmetries(&positions)
+            .unwrap()
+            .is_empty());
+        let mut n = SyncNetwork::anonymous(positions, 6).unwrap();
+        n.broadcast(2, b"sym").unwrap();
+        n.run_until_delivered(30_000).unwrap();
+        for i in [0usize, 1, 3] {
+            assert_eq!(n.inbox(i), vec![(2, b"sym".to_vec())]);
+        }
+    }
+
+    #[test]
     fn multicast_to_everyone_matches_broadcast_semantics() {
         let mut a = net(5);
         multicast(&mut a, 1, &[0, 2, 3, 4], b"m").unwrap();

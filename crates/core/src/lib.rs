@@ -57,7 +57,10 @@ pub mod sync2;
 pub mod sync2_coded;
 pub mod sync_swarm;
 
-pub use naming::{label_by_id, label_by_lex, label_by_sec, Labeling, NamingError};
+pub use naming::{
+    election_signature, election_signatures, label_by_id, label_by_lex, label_by_sec,
+    rotational_symmetries, Labeling, NamingError,
+};
 pub use preprocess::{NamingScheme, SwarmGeometry};
 
 use std::error::Error;

@@ -295,6 +295,92 @@ pub fn rotational_symmetries(positions: &[Point]) -> Result<Vec<f64>, NamingErro
     Ok(found)
 }
 
+/// Quantization grid for [`election_signature`]: normalized distance
+/// ratios are snapped to `1 / SIGNATURE_GRID` buckets so that every
+/// observer — whose private frame differs by translation, rotation and
+/// positive scale, perturbing ratios only at the 1e-15 level — computes
+/// the *same* signature for the same robot.
+const SIGNATURE_GRID: f64 = (1u64 << 30) as f64;
+
+/// A similarity-invariant signature of `robot`'s place in the
+/// configuration, for symmetry-aware leader election.
+///
+/// The signature is an FNV-1a hash of the sorted, diameter-normalized,
+/// quantized distances from `robot` to every other robot. Distance
+/// ratios are invariant under translation, rotation, reflection and
+/// uniform scaling, so every observer computes the same value from its
+/// own private frame — no shared coordinate system needed.
+///
+/// Two robots get the *same* signature exactly when the configuration
+/// cannot distinguish them by distances — in particular whenever a
+/// non-trivial [`rotational_symmetries`] orbit maps one onto the other
+/// (the degenerate all-robots-on-a-regular-ring SEC configuration is the
+/// canonical case). A leader election over signatures must treat a
+/// duplicated minimum as a deterministic *rejection*: electing either
+/// twin would require breaking a symmetry that, per Fig. 3, no
+/// deterministic chirality-only algorithm can break.
+///
+/// # Errors
+///
+/// * [`NamingError::Geometry`] for an empty cohort or out-of-range index.
+/// * [`NamingError::AmbiguousPositions`] when all robots coincide (no
+///   diameter to normalize by).
+pub fn election_signature(positions: &[Point], robot: usize) -> Result<u64, NamingError> {
+    if positions.is_empty() {
+        return Err(NamingError::Geometry(
+            stigmergy_geometry::GeometryError::TooFewPoints { needed: 1, got: 0 },
+        ));
+    }
+    if robot >= positions.len() {
+        return Err(NamingError::Geometry(
+            stigmergy_geometry::GeometryError::IndexOutOfRange {
+                index: robot,
+                len: positions.len(),
+            },
+        ));
+    }
+    let n = positions.len();
+    let mut diameter = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            diameter = diameter.max(positions[i].distance(positions[j]));
+        }
+    }
+    if n > 1 && diameter <= 0.0 {
+        return Err(NamingError::AmbiguousPositions {
+            first: 0,
+            second: 1,
+        });
+    }
+    let mut quantized: Vec<u64> = (0..n)
+        .filter(|&j| j != robot)
+        .map(|j| {
+            let ratio = positions[robot].distance(positions[j]) / diameter;
+            (ratio * SIGNATURE_GRID).round() as u64
+        })
+        .collect();
+    quantized.sort_unstable();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for q in quantized {
+        for byte in q.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    Ok(hash)
+}
+
+/// The [`election_signature`] of every robot, in input order.
+///
+/// # Errors
+///
+/// Same conditions as [`election_signature`].
+pub fn election_signatures(positions: &[Point]) -> Result<Vec<u64>, NamingError> {
+    (0..positions.len())
+        .map(|i| election_signature(positions, i))
+        .collect()
+}
+
 /// Whether rotating every point clockwise by `theta` about `center` maps
 /// the set onto itself.
 fn is_symmetry(positions: &[Point], center: Point, theta: f64, tol: f64) -> bool {
@@ -559,6 +645,83 @@ mod tests {
         assert_eq!(l0.label_of(0), l3.label_of(3));
         // …and each other symmetric ranks.
         assert_eq!(l0.label_of(3), l3.label_of(0));
+    }
+
+    #[test]
+    fn signatures_distinct_on_asymmetric_configurations() {
+        let pts = vec![
+            Point::new(0.0, 2.0),
+            Point::new(1.7, -0.3),
+            Point::new(-1.1, -1.2),
+            Point::new(0.2, 0.4),
+        ];
+        assert!(rotational_symmetries(&pts).unwrap().is_empty());
+        let sigs = election_signatures(&pts).unwrap();
+        let mut sorted = sigs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pts.len(), "collision on asymmetric config");
+    }
+
+    #[test]
+    fn signatures_collide_exactly_on_symmetry_orbits() {
+        // Regular ring: full rotation group, every robot equivalent —
+        // all signatures identical. This is the degenerate
+        // all-robots-on-SEC configuration leader election must reject.
+        let pts = ring(5, 2.0);
+        assert!(!rotational_symmetries(&pts).unwrap().is_empty());
+        let sigs = election_signatures(&pts).unwrap();
+        assert!(sigs.windows(2).all(|w| w[0] == w[1]), "{sigs:?}");
+
+        // Fig. 3: half-turn symmetry pairs robots i and i+3.
+        let pts = fig3_symmetric();
+        let sigs = election_signatures(&pts).unwrap();
+        for i in 0..3 {
+            assert_eq!(sigs[i], sigs[i + 3], "antipodal twins must tie");
+        }
+        // A symmetric configuration has no unique minimum to elect.
+        let min = *sigs.iter().min().unwrap();
+        assert!(sigs.iter().filter(|&&s| s == min).count() > 1);
+    }
+
+    #[test]
+    fn signatures_are_similarity_invariant() {
+        let pts = vec![
+            Point::new(0.1, 1.9),
+            Point::new(1.3, -0.4),
+            Point::new(-1.6, -0.9),
+            Point::new(0.4, 0.2),
+        ];
+        let base = election_signatures(&pts).unwrap();
+        for (theta, s, dx, dy) in [(0.7, 3.0, 10.0, -4.0), (2.1, 0.25, -1.0, 8.0)] {
+            let mapped: Vec<Point> = pts
+                .iter()
+                .map(|p| {
+                    let v = p.to_vec().rotated(theta);
+                    Point::new(v.x * s + dx, v.y * s + dy)
+                })
+                .collect();
+            assert_eq!(election_signatures(&mapped).unwrap(), base);
+        }
+    }
+
+    #[test]
+    fn signature_degenerate_inputs() {
+        assert!(matches!(
+            election_signature(&[], 0),
+            Err(NamingError::Geometry(_))
+        ));
+        assert!(matches!(
+            election_signature(&[Point::ORIGIN], 3),
+            Err(NamingError::Geometry(_))
+        ));
+        // A single robot has a well-defined (empty-distance-list) signature.
+        assert!(election_signature(&[Point::ORIGIN], 0).is_ok());
+        // All-coincident robots have no diameter to normalize by.
+        assert!(matches!(
+            election_signature(&[Point::ORIGIN, Point::ORIGIN], 0),
+            Err(NamingError::AmbiguousPositions { .. })
+        ));
     }
 
     #[test]

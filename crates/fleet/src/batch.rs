@@ -26,12 +26,16 @@ use stigmergy::backup::Wireless;
 use stigmergy::session::HardenedSession;
 use stigmergy::sync2::Sync2;
 use stigmergy::sync_swarm::SyncSwarm;
-use stigmergy::{label_by_id, label_by_lex, label_by_sec};
+use stigmergy::{election_signature, label_by_id, label_by_lex, label_by_sec};
+use stigmergy_algo::{
+    agreement, election, flood, AgreementSession, ElectionSession, FloodSession, NodeStack,
+    Outgoing, Status,
+};
 use stigmergy_geometry::Point;
 use stigmergy_robots::engine::DEFAULT_COLLISION_EPS;
 use stigmergy_robots::{Capabilities, Engine, MovementProtocol};
 use stigmergy_scheduler::rng::SplitMix64;
-use stigmergy_scheduler::{FaultSpec, ScheduleSpec, WakeAllFirst};
+use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec, WakeAllFirst};
 
 /// Payload every batch session sends, unless overridden.
 pub const DEFAULT_PAYLOAD: &[u8] = b"adv";
@@ -165,6 +169,9 @@ fn pair_positions() -> Vec<Point> {
 pub struct BatchSpec {
     /// Protocols to exercise.
     pub protocols: Vec<ProtocolKind>,
+    /// Distributed algorithms to run over the async-swarm transport
+    /// (each expands into its own sessions after the protocol block).
+    pub algorithms: Vec<AlgorithmSpec>,
     /// Activation schedules (each wrapped in `WakeAllFirst`).
     pub schedules: Vec<ScheduleSpec>,
     /// Fault plans.
@@ -193,6 +200,7 @@ impl BatchSpec {
     pub fn conformance_matrix(seeds: Vec<u64>) -> Self {
         Self {
             protocols: CONFORMANCE.to_vec(),
+            algorithms: Vec::new(),
             schedules: vec![
                 // The message's receiver is the starved victim.
                 ScheduleSpec::LaggingReceiver { max_gap: 8 },
@@ -226,19 +234,68 @@ impl BatchSpec {
         }
     }
 
+    /// The algorithm conformance matrix over the given seeds: the three
+    /// distributed algorithms × a fair schedule with and without the
+    /// crash-filtering wrapper × a benign-ish and a crash-stop fault
+    /// plan. Every cell must terminate with consistent decisions among
+    /// the non-crashed robots.
+    #[must_use]
+    pub fn algorithm_matrix(seeds: Vec<u64>) -> Self {
+        Self {
+            protocols: Vec::new(),
+            algorithms: vec![
+                AlgorithmSpec::Flood { initiator: 0 },
+                AlgorithmSpec::Election,
+                AlgorithmSpec::Agreement { inputs: 0b101 },
+            ],
+            schedules: vec![
+                ScheduleSpec::WorstCaseFair { max_gap: 6 },
+                ScheduleSpec::CrashFiltered {
+                    inner: Box::new(ScheduleSpec::WorstCaseFair { max_gap: 6 }),
+                },
+            ],
+            plans: vec![
+                FaultSpec::NonRigid {
+                    delta: 0.35,
+                    prob: 0.5,
+                },
+                // Robot 1 crash-stops before any frame can complete
+                // (the shortest algorithm frame is 32 bits > 35
+                // instants), so every algorithm must decide among the
+                // survivors.
+                FaultSpec::Crash {
+                    robot: 1,
+                    time: 35,
+                    delta: 0.5,
+                    prob: 0.25,
+                },
+            ],
+            seeds,
+            cohort: 3,
+            payload: DEFAULT_PAYLOAD.to_vec(),
+            budget_cap: None,
+            keep_traces: false,
+        }
+    }
+
     /// Expands the cross product into individual session specs, in the
-    /// canonical order (protocol-major, then schedule, plan, seed).
+    /// canonical order: protocol-major (then schedule, plan, seed),
+    /// followed by the algorithm block in the same inner order.
     #[must_use]
     pub fn sessions(&self) -> Vec<SessionSpec> {
         let mut out = Vec::with_capacity(
-            self.protocols.len() * self.schedules.len() * self.plans.len() * self.seeds.len(),
+            (self.protocols.len() + self.algorithms.len())
+                * self.schedules.len()
+                * self.plans.len()
+                * self.seeds.len(),
         );
-        for &protocol in &self.protocols {
+        let mut push_block = |protocol: ProtocolKind, algorithm: Option<AlgorithmSpec>| {
             for schedule in &self.schedules {
                 for plan in &self.plans {
                     for &seed in &self.seeds {
                         out.push(SessionSpec {
                             protocol,
+                            algorithm,
                             schedule: schedule.clone(),
                             plan: plan.clone(),
                             seed,
@@ -250,6 +307,13 @@ impl BatchSpec {
                     }
                 }
             }
+        };
+        for &protocol in &self.protocols {
+            push_block(protocol, None);
+        }
+        for &algorithm in &self.algorithms {
+            // Algorithms ride the §4 anonymous swarm transport.
+            push_block(ProtocolKind::AsyncSwarm, Some(algorithm));
         }
         out
     }
@@ -261,6 +325,10 @@ impl BatchSpec {
 pub struct SessionSpec {
     /// The protocol under test.
     pub protocol: ProtocolKind,
+    /// The distributed algorithm to run over it, if any. Set only with
+    /// [`ProtocolKind::AsyncSwarm`], whose channel the algorithm driver
+    /// speaks.
+    pub algorithm: Option<AlgorithmSpec>,
     /// The activation schedule (wrapped in `WakeAllFirst` at build time).
     pub schedule: ScheduleSpec,
     /// The fault plan.
@@ -280,13 +348,20 @@ pub struct SessionSpec {
 impl SessionSpec {
     /// Frame-generation seed: the protocol's historical base perturbed by
     /// the session seed (seed 0 reproduces the adversarial suite's fixed
-    /// frames exactly).
+    /// frames exactly). Algorithm sessions fold in a per-algorithm tag so
+    /// the three algorithms never share frames.
     #[must_use]
     pub fn frame_seed(&self) -> u64 {
+        let tag = match self.algorithm {
+            Some(AlgorithmSpec::Flood { .. }) => 0xA1_60_01,
+            Some(AlgorithmSpec::Election) => 0xA1_60_02,
+            Some(AlgorithmSpec::Agreement { .. }) => 0xA1_60_03,
+            None => self.protocol.tag(),
+        };
         if self.seed == 0 {
-            self.protocol.tag()
+            tag
         } else {
-            SplitMix64::new(self.protocol.tag() ^ self.seed).next_u64()
+            SplitMix64::new(tag ^ self.seed).next_u64()
         }
     }
 
@@ -304,13 +379,23 @@ impl SessionSpec {
 
     /// The effective step budget: the protocol default, capped for crash
     /// plans (which can only time out, so a full budget is waste) and by
-    /// the spec's explicit ceiling.
+    /// the spec's explicit ceiling. Algorithm sessions get per-algorithm
+    /// budgets instead and are exempt from the crash cap — crash-stop is
+    /// exactly the regime they must *terminate* under, not time out.
     #[must_use]
     pub fn budget(&self) -> u64 {
-        let mut budget = self.protocol.default_budget();
-        if self.plan.crashes() {
-            budget = budget.min(20_000);
-        }
+        let mut budget = match self.algorithm {
+            Some(AlgorithmSpec::Flood { .. }) => 600_000,
+            Some(AlgorithmSpec::Election) => 900_000,
+            Some(AlgorithmSpec::Agreement { .. }) => 1_200_000,
+            None => {
+                let mut budget = self.protocol.default_budget();
+                if self.plan.crashes() {
+                    budget = budget.min(20_000);
+                }
+                budget
+            }
+        };
         if let Some(cap) = self.budget_cap {
             budget = budget.min(cap);
         }
@@ -323,6 +408,8 @@ impl SessionSpec {
 pub struct RunReport {
     /// Protocol name.
     pub protocol: &'static str,
+    /// Algorithm name, for algorithm sessions.
+    pub algorithm: Option<&'static str>,
     /// Schedule name.
     pub schedule: &'static str,
     /// Fault plan name.
@@ -354,9 +441,32 @@ pub struct RunReport {
     pub trace_hash: u64,
     /// The encoded trace itself, when `keep_trace` was set.
     pub trace: Option<Vec<u8>>,
+    /// Algorithm counters, for algorithm sessions.
+    pub algo: Option<AlgoOutcome>,
     /// A model violation (collision, degenerate naming), if the session
     /// died. Invariant sessions must report `None`.
     pub error: Option<String>,
+}
+
+/// What a distributed-algorithm session measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoOutcome {
+    /// Protocol rounds executed (1 for flood and election; the highest
+    /// FloodSet round any live robot reached for agreement).
+    pub rounds: u64,
+    /// Channel cost of every frame enqueued, in bits: 16 header bits
+    /// plus 8 per payload byte (`bits(L) = 16 + 8L`).
+    pub bits: u64,
+    /// Engine activations consumed when the last live robot reached a
+    /// terminal status, if the run terminated in budget.
+    pub activations_to_decision: Option<u64>,
+    /// The common decision value, when every live robot decided (flood:
+    /// the initiator's coverage count; election: the winning signature;
+    /// agreement: the agreed bit).
+    pub decision: Option<u64>,
+    /// Whether the algorithm *rejected* the configuration (e.g. a
+    /// symmetric election) — terminal, but not a decision.
+    pub rejected: bool,
 }
 
 impl RunReport {
@@ -370,6 +480,7 @@ impl RunReport {
     pub fn poisoned(spec: &SessionSpec, message: &str) -> Self {
         Self {
             protocol: spec.protocol.name(),
+            algorithm: spec.algorithm.map(|a| a.name()),
             schedule: spec.schedule.name(),
             plan: spec.plan.name(),
             seed: spec.seed,
@@ -385,6 +496,7 @@ impl RunReport {
             trace_len: 0,
             trace_hash: fnv1a64(&[]),
             trace: None,
+            algo: None,
             error: Some(format!("session panicked: {message}")),
         }
     }
@@ -398,6 +510,15 @@ impl RunReport {
             faults: self.faults,
             retransmissions: self.retransmissions,
             corrupt: self.corrupt,
+            algo_rounds: self.algo.map_or(0, |a| a.rounds),
+            algo_bits: self.algo.map_or(0, |a| a.bits),
+            algo_decided: self
+                .algo
+                .is_some_and(|a| a.activations_to_decision.is_some()),
+            activations_to_decision: self
+                .algo
+                .and_then(|a| a.activations_to_decision)
+                .unwrap_or(0),
         }
     }
 }
@@ -549,6 +670,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// nothing — even the trace bytes are pinned by the spec).
 #[must_use]
 pub fn run_session(spec: &SessionSpec) -> RunReport {
+    if let Some(algorithm) = spec.algorithm {
+        return run_algo_session(spec, algorithm);
+    }
     match spec.protocol {
         ProtocolKind::Sync2 => run_pair(spec, Sync2::new, Sync2::inbox),
         ProtocolKind::Async2 => run_pair(spec, || Async2::new(DriftPolicy::Diverge), Async2::inbox),
@@ -663,6 +787,7 @@ fn finish<P: MovementProtocol>(
     }
     RunReport {
         protocol: spec.protocol.name(),
+        algorithm: spec.algorithm.map(|a| a.name()),
         schedule: spec.schedule.name(),
         plan: spec.plan.name(),
         seed: spec.seed,
@@ -678,6 +803,7 @@ fn finish<P: MovementProtocol>(
         trace_len: encoder.encoded_len(),
         trace_hash: encoder.fingerprint(),
         trace: spec.keep_trace.then(|| encoder.to_bytes()),
+        algo: None,
         error,
     }
 }
@@ -691,7 +817,13 @@ where
     let engine = Engine::builder()
         .positions(pair_positions())
         .protocols([make(), make()])
-        .schedule(WakeAllFirst::new(spec.schedule.build(2)))
+        // `build_faulted` arms crash-aware wrappers (`CrashFiltered`)
+        // with this session's plan; plain schedules ignore the plan and
+        // build exactly as before.
+        .schedule(WakeAllFirst::new(
+            spec.schedule
+                .build_faulted(2, &spec.plan.plan(spec.plan_seed())),
+        ))
         .frame_seed(spec.frame_seed())
         // The observer installed by `drive` streams the trace; keeping
         // step records in memory too would double the cost for nothing.
@@ -725,7 +857,10 @@ where
         .positions(ring(n, 18.0))
         .protocols((0..n).map(|_| make()))
         .capabilities(caps)
-        .schedule(WakeAllFirst::new(spec.schedule.build(n)))
+        .schedule(WakeAllFirst::new(
+            spec.schedule
+                .build_faulted(n, &spec.plan.plan(spec.plan_seed())),
+        ))
         .frame_seed(spec.frame_seed())
         // Streamed by the observer in `drive`; the trace keeps only the
         // initial configuration (the `label_by_*` closures read it).
@@ -787,6 +922,7 @@ fn run_hardened(spec: &SessionSpec) -> RunReport {
         .count() as u64;
     RunReport {
         protocol: spec.protocol.name(),
+        algorithm: None,
         schedule: spec.schedule.name(),
         plan: spec.plan.name(),
         seed: spec.seed,
@@ -802,8 +938,288 @@ fn run_hardened(spec: &SessionSpec) -> RunReport {
         trace_len: bytes.len(),
         trace_hash: fnv1a64(&bytes),
         trace: spec.keep_trace.then_some(bytes),
+        algo: None,
         error,
     }
+}
+
+/// Queues a stack's outgoing frames on robot `i`'s protocol and returns
+/// their channel cost in bits: `bits(L) = 16 + 8L` per frame (16-bit
+/// header plus 8 bits per payload byte, one excursion per bit).
+fn enqueue_frames(
+    engine: &mut Engine<AsyncSwarm>,
+    i: usize,
+    labels: &[usize],
+    out: Vec<Outgoing>,
+) -> u64 {
+    let mut bits = 0;
+    for msg in out {
+        bits += 16 + 8 * msg.body().len() as u64;
+        match msg {
+            Outgoing::Broadcast { body } => engine.protocol_mut(i).send_broadcast(&body),
+            Outgoing::Unicast { peer, body } => {
+                engine.protocol_mut(i).send_label(labels[peer], &body);
+            }
+        }
+    }
+    bits
+}
+
+/// Drives one distributed-algorithm session over the async-swarm
+/// movement channel.
+///
+/// The driver is the glue `DESIGN.md` §13 specifies: it builds each
+/// robot's [`NodeStack`], translates engine indices into each robot's
+/// local home indices, pumps delivered inbox frames into the stacks, and
+/// acts as the perfect failure detector — when the fault plan's
+/// crash-stop instant has passed, every surviving robot gets `suspect`
+/// (unwedging the §4.2 implicit-ack rule) and `on_crash` (unwedging the
+/// algorithm), in fixed robot order. The run ends when every live
+/// robot's stack is terminal, or the budget expires.
+#[allow(clippy::too_many_lines)]
+fn run_algo_session(spec: &SessionSpec, algorithm: AlgorithmSpec) -> RunReport {
+    let n = spec.cohort;
+    assert!(
+        (2..=64).contains(&n),
+        "algorithm sessions need a cohort in 2..=64, got {n}"
+    );
+    if let AlgorithmSpec::Flood { initiator } = algorithm {
+        assert!(
+            initiator < n,
+            "flood initiator {initiator} outside cohort {n}"
+        );
+    }
+    let plan = spec.plan.plan(spec.plan_seed());
+    let mut engine = Engine::builder()
+        .positions(ring(n, 18.0))
+        .protocols((0..n).map(|_| AsyncSwarm::anonymous()))
+        .capabilities(Capabilities::anonymous())
+        .schedule(WakeAllFirst::new(spec.schedule.build_faulted(n, &plan)))
+        .frame_seed(spec.frame_seed())
+        .record_trace(false)
+        .build()
+        .expect("ring configuration is always valid");
+    let encoder = Rc::new(RefCell::new(TraceEncoder::new(engine.positions())));
+    let sink = Rc::clone(&encoder);
+    engine.observe_trace(move |ev| sink.borrow_mut().record_event(&ev));
+
+    let mut error: Option<String> = None;
+    let mut algo = AlgoOutcome {
+        rounds: 0,
+        bits: 0,
+        activations_to_decision: None,
+        decision: None,
+        rejected: false,
+    };
+    let mut delivered = false;
+    let mut steps_to_delivery = None;
+    let mut corrupt = 0u64;
+
+    'run: {
+        // One benign preprocessing instant (geometries build), then arm
+        // the fault plan — the same shape as `drive`.
+        if let Err(e) = engine.step() {
+            error = Some(e.to_string());
+            break 'run;
+        }
+        engine.set_fault_plan(plan.clone());
+
+        // Identity maps: `home[i][j]` is engine robot `j` as a home index
+        // of robot `i`'s geometry; `labels[i][h]` addresses home `h` for
+        // unicast sends from `i`.
+        let initial: Vec<Point> = engine.trace().initial().to_vec();
+        let mut home = vec![vec![0usize; n]; n];
+        let mut labels = vec![vec![0usize; n]; n];
+        for i in 0..n {
+            let Some(g) = engine.protocol(i).geometry() else {
+                error = Some(format!("robot {i}: degenerate configuration, no geometry"));
+                break 'run;
+            };
+            for (j, &world) in initial.iter().enumerate() {
+                if i == j {
+                    continue; // home[i][i] = 0, self
+                }
+                let local = engine.frames()[i].to_local(world);
+                let Some(h) = (0..g.cohort()).find(|&h| g.home(h).approx_eq(local)) else {
+                    error = Some(format!("robot {i}: robot {j} not among its homes"));
+                    break 'run;
+                };
+                home[i][j] = h;
+            }
+            for (h, label) in labels[i].iter_mut().enumerate() {
+                *label = g.label_for(0, h);
+            }
+        }
+
+        // One stack per robot. All robots must agree on `max_rounds`; it
+        // derives from the plan's crash budget (`f + 1` FloodSet rounds).
+        let max_rounds = plan.crash_stops().len() as u64 + 1;
+        let proto_id = match algorithm {
+            AlgorithmSpec::Flood { .. } => flood::PROTOCOL_ID,
+            AlgorithmSpec::Election => election::PROTOCOL_ID,
+            AlgorithmSpec::Agreement { .. } => agreement::PROTOCOL_ID,
+        };
+        let mut stacks: Vec<NodeStack> = Vec::with_capacity(n);
+        for (i, home_i) in home.iter().enumerate() {
+            let session: Box<dyn stigmergy_algo::Session> = match algorithm {
+                AlgorithmSpec::Flood { initiator } if i == initiator => {
+                    Box::new(FloodSession::initiator(spec.payload.clone(), n))
+                }
+                AlgorithmSpec::Flood { initiator } => {
+                    Box::new(FloodSession::follower(home_i[initiator]))
+                }
+                AlgorithmSpec::Election => {
+                    // The election signature is similarity-invariant, so
+                    // computing it from the world-frame snapshot equals
+                    // each robot's own local-frame computation. Truncation
+                    // to the 32-bit wire width preserves symmetry ties.
+                    match election_signature(&initial, i) {
+                        Ok(sig) => Box::new(ElectionSession::new(sig as u32, n)),
+                        Err(e) => {
+                            error = Some(format!("election signature: {e}"));
+                            break 'run;
+                        }
+                    }
+                }
+                AlgorithmSpec::Agreement { inputs } => {
+                    Box::new(AgreementSession::new((inputs >> i) & 1 == 1, n, max_rounds))
+                }
+            };
+            let mut stack = NodeStack::new();
+            stack.register(proto_id, session);
+            stacks.push(stack);
+        }
+        for i in 0..n {
+            let out = stacks[i].start();
+            algo.bits += enqueue_frames(&mut engine, i, &labels[i], out);
+        }
+
+        // The pump loop: step, strike newly-crashed robots, route fresh
+        // inbox frames, check termination.
+        let crash_list: Vec<(usize, u64)> = {
+            let mut list = plan.crash_stops().to_vec();
+            list.sort_unstable_by_key(|&(robot, time)| (time, robot));
+            list
+        };
+        let mut live = vec![true; n];
+        let mut notified = vec![false; n];
+        let mut cursor = vec![0usize; n];
+        let budget = spec.budget();
+        let mut taken = 0u64;
+        while taken < budget {
+            if let Err(e) = engine.step() {
+                error = Some(e.to_string());
+                break 'run;
+            }
+            taken += 1;
+            let now = engine.stats().steps;
+            for &(robot, when) in &crash_list {
+                // `steps` counts executed instants, so `now > when` means
+                // instant `when` — where the engine froze the robot — has
+                // already run: the detector never accuses a live robot.
+                if notified[robot] || now <= when {
+                    continue;
+                }
+                notified[robot] = true;
+                live[robot] = false;
+                for i in 0..n {
+                    if i == robot || !live[i] {
+                        continue;
+                    }
+                    let h = home[i][robot];
+                    engine.protocol_mut(i).suspect(h);
+                    let out = stacks[i].on_crash(h);
+                    algo.bits += enqueue_frames(&mut engine, i, &labels[i], out);
+                }
+            }
+            for i in 0..n {
+                if !live[i] {
+                    continue;
+                }
+                let fresh: Vec<(usize, Vec<u8>)> = engine.protocol(i).inbox()[cursor[i]..]
+                    .iter()
+                    .map(|m| (m.sender, m.payload.clone()))
+                    .collect();
+                cursor[i] += fresh.len();
+                for (sender, payload) in fresh {
+                    let out = stacks[i].on_frame(sender, &payload);
+                    algo.bits += enqueue_frames(&mut engine, i, &labels[i], out);
+                }
+            }
+            if (0..n)
+                .filter(|&i| live[i])
+                .all(|i| stacks[i].all_terminal())
+            {
+                steps_to_delivery = Some(taken);
+                algo.activations_to_decision = Some(engine.stats().activations);
+                break;
+            }
+        }
+
+        if algo.activations_to_decision.is_none() {
+            break 'run; // timed out: counters stand, no decision
+        }
+
+        // Decision extraction. Frames that failed demux count as corrupt
+        // (a garbled frame cannot carry a registered protocol id).
+        let mut statuses = Vec::with_capacity(n);
+        for (i, stack) in stacks.iter().enumerate() {
+            corrupt += stack.unroutable();
+            if !live[i] {
+                continue;
+            }
+            algo.rounds = algo.rounds.max(stack.rounds_of(proto_id).unwrap_or(1));
+            statuses.push(stack.status_of(proto_id).expect("session registered"));
+        }
+        algo.rejected = statuses.iter().any(|s| matches!(s, Status::Rejected(_)));
+        match algorithm {
+            AlgorithmSpec::Flood { initiator } => {
+                // The initiator's coverage count is the session decision
+                // (followers decide 1). A crashed initiator leaves the
+                // followers rejecting: terminal, but no decision.
+                if live[initiator] {
+                    algo.decision = stacks[initiator]
+                        .status_of(proto_id)
+                        .and_then(|s| s.decision());
+                }
+            }
+            AlgorithmSpec::Election | AlgorithmSpec::Agreement { .. } => {
+                // Every live robot must land on the same terminal status —
+                // the agreement property itself for FloodSet, and the
+                // common-knowledge property for election (identical
+                // electorates see the same unique-or-tied minimum).
+                let first = statuses.first().copied();
+                if statuses.iter().any(|s| Some(*s) != first) {
+                    error = Some(format!(
+                        "split decision: live robots disagree ({statuses:?})"
+                    ));
+                } else {
+                    algo.decision = first.and_then(|s| s.decision());
+                }
+            }
+        }
+        // "Delivered" for an algorithm session = terminated with a
+        // consistent decision (a rejection terminates but delivers no
+        // decision, mirroring undelivered payloads).
+        delivered = error.is_none() && algo.decision.is_some();
+        if !delivered {
+            steps_to_delivery = None;
+        }
+    }
+
+    let encoder = encoder.borrow();
+    let mut report = finish(
+        spec,
+        &engine,
+        &encoder,
+        delivered,
+        steps_to_delivery,
+        0,
+        corrupt,
+        error,
+    );
+    report.algo = Some(algo);
+    report
 }
 
 /// Uniform access to the pair protocols' send queue.
@@ -878,6 +1294,7 @@ mod tests {
     fn seed_zero_reproduces_historical_frame_seeds() {
         let spec = SessionSpec {
             protocol: ProtocolKind::Sync2,
+            algorithm: None,
             schedule: ScheduleSpec::Synchronous,
             plan: FaultSpec::Benign,
             seed: 0,
@@ -912,6 +1329,7 @@ mod tests {
     fn single_session_is_reproducible() {
         let spec = SessionSpec {
             protocol: ProtocolKind::SyncSwarmLex,
+            algorithm: None,
             schedule: ScheduleSpec::Bursty {
                 seed: 0x0AD5_CEDD,
                 burst_len: 3,
@@ -939,6 +1357,7 @@ mod tests {
     fn batch_report_aggregates_all_sessions() {
         let spec = BatchSpec {
             protocols: vec![ProtocolKind::Sync2, ProtocolKind::SyncSwarmLex],
+            algorithms: vec![],
             schedules: vec![ScheduleSpec::WorstCaseFair { max_gap: 6 }],
             plans: vec![FaultSpec::Benign],
             seeds: vec![0, 1, 2],
@@ -1015,6 +1434,7 @@ mod tests {
         // must turn the panic into a failed report, not an unwind.
         let spec = SessionSpec {
             protocol: ProtocolKind::SyncSwarmSec,
+            algorithm: None,
             schedule: ScheduleSpec::Synchronous,
             plan: FaultSpec::Benign,
             seed: 0,
@@ -1050,6 +1470,7 @@ mod tests {
     fn hardened_sessions_deliver_and_count_retransmissions() {
         let spec = SessionSpec {
             protocol: ProtocolKind::Hardened,
+            algorithm: None,
             schedule: ScheduleSpec::Synchronous, // unused by hardened
             plan: FaultSpec::Benign,
             seed: 3,
@@ -1063,5 +1484,117 @@ mod tests {
         assert!(report.error.is_none());
         assert_eq!(report.corrupt, 0);
         assert_eq!(run_session(&spec), report, "hardened runs replay too");
+    }
+
+    fn algo_spec(algorithm: AlgorithmSpec, plan: FaultSpec) -> SessionSpec {
+        SessionSpec {
+            protocol: ProtocolKind::AsyncSwarm,
+            algorithm: Some(algorithm),
+            schedule: ScheduleSpec::WorstCaseFair { max_gap: 6 },
+            plan,
+            seed: 1,
+            cohort: 3,
+            payload: b"adv".to_vec(),
+            budget_cap: None,
+            keep_trace: false,
+        }
+    }
+
+    #[test]
+    fn algorithm_matrix_expands_algorithm_sessions() {
+        let spec = BatchSpec::algorithm_matrix(vec![0, 1]);
+        let sessions = spec.sessions();
+        assert_eq!(sessions.len(), 3 * 2 * 2 * 2);
+        assert!(sessions
+            .iter()
+            .all(|s| s.protocol == ProtocolKind::AsyncSwarm && s.algorithm.is_some()));
+        // Algorithm-major order, same inner order as protocol blocks.
+        assert!(sessions[..8]
+            .iter()
+            .all(|s| matches!(s.algorithm, Some(AlgorithmSpec::Flood { initiator: 0 }))));
+    }
+
+    #[test]
+    fn algorithm_budgets_are_exempt_from_the_crash_cap() {
+        let crash = FaultSpec::Crash {
+            robot: 1,
+            time: 35,
+            delta: 0.5,
+            prob: 0.25,
+        };
+        let spec = algo_spec(AlgorithmSpec::Election, crash);
+        assert_eq!(spec.budget(), 900_000, "crash cap must not strangle algos");
+        assert_eq!(
+            algo_spec(AlgorithmSpec::Flood { initiator: 0 }, FaultSpec::Benign).budget(),
+            600_000
+        );
+        assert_eq!(
+            algo_spec(AlgorithmSpec::Agreement { inputs: 0 }, FaultSpec::Benign).budget(),
+            1_200_000
+        );
+    }
+
+    #[test]
+    fn flood_session_covers_the_cohort_and_reproduces() {
+        let spec = algo_spec(AlgorithmSpec::Flood { initiator: 0 }, FaultSpec::Benign);
+        let report = run_session(&spec);
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert!(report.delivered);
+        let algo = report.algo.as_ref().expect("algo outcome populated");
+        assert_eq!(algo.decision, Some(3), "full coverage of a 3-cohort");
+        assert!(!algo.rejected);
+        assert!(algo.bits > 0);
+        assert!(algo.activations_to_decision.is_some());
+        assert_eq!(
+            run_session(&spec),
+            report,
+            "algo runs replay byte-identically"
+        );
+    }
+
+    #[test]
+    fn election_session_elects_one_leader() {
+        let spec = algo_spec(
+            AlgorithmSpec::Election,
+            FaultSpec::NonRigid {
+                delta: 0.35,
+                prob: 0.5,
+            },
+        );
+        let report = run_session(&spec);
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert!(report.delivered);
+        let algo = report.algo.as_ref().expect("algo outcome populated");
+        assert!(
+            algo.decision.is_some(),
+            "ring cohort has distinct signatures"
+        );
+        assert!(!algo.rejected);
+    }
+
+    #[test]
+    fn agreement_decides_among_survivors_of_a_crash() {
+        let crash = FaultSpec::Crash {
+            robot: 1,
+            time: 35,
+            delta: 0.5,
+            prob: 0.25,
+        };
+        let spec = SessionSpec {
+            schedule: ScheduleSpec::CrashFiltered {
+                inner: Box::new(ScheduleSpec::WorstCaseFair { max_gap: 6 }),
+            },
+            ..algo_spec(AlgorithmSpec::Agreement { inputs: 0b101 }, crash)
+        };
+        let report = run_session(&spec);
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert!(report.delivered);
+        let algo = report.algo.as_ref().expect("algo outcome populated");
+        // Robot 1 (input 0) crash-stops before its first vote frame can
+        // complete, so the AND fold over the survivors (inputs 1, 1)
+        // decides `true`.
+        assert_eq!(algo.decision, Some(1));
+        assert!(algo.rounds >= 1);
+        assert_eq!(run_session(&spec), report);
     }
 }

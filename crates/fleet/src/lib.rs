@@ -39,9 +39,9 @@ pub mod pool;
 pub mod trace_codec;
 
 pub use batch::{
-    ring, run_batch, run_batch_with, run_session, run_session_contained, BatchInterrupted,
-    BatchReport, BatchSpec, Progress, ProtocolKind, RunReport, SessionSpec, CONFORMANCE,
-    DEFAULT_PAYLOAD,
+    ring, run_batch, run_batch_with, run_session, run_session_contained, AlgoOutcome,
+    BatchInterrupted, BatchReport, BatchSpec, Progress, ProtocolKind, RunReport, SessionSpec,
+    CONFORMANCE, DEFAULT_PAYLOAD,
 };
 pub use metrics::{FleetMetrics, Histogram, HistogramSnapshot, MetricsSnapshot, SessionOutcome};
 pub use pool::{run_indexed, run_indexed_observed, CancelToken, Interrupted, StealScheduler};

@@ -163,10 +163,14 @@ pub struct FleetMetrics {
     faults: AtomicU64,
     retransmissions: AtomicU64,
     corrupt: AtomicU64,
+    algo_rounds: AtomicU64,
+    algo_bits: AtomicU64,
+    algo_decided: AtomicU64,
     steps_to_delivery: Histogram,
     activations_per_session: Histogram,
     faults_per_session: Histogram,
     retransmissions_per_session: Histogram,
+    activations_to_decision: Histogram,
 }
 
 impl Default for FleetMetrics {
@@ -188,10 +192,14 @@ impl FleetMetrics {
             faults: AtomicU64::new(0),
             retransmissions: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            algo_rounds: AtomicU64::new(0),
+            algo_bits: AtomicU64::new(0),
+            algo_decided: AtomicU64::new(0),
             steps_to_delivery: Histogram::new(&STEP_BOUNDS),
             activations_per_session: Histogram::new(&ACTIVATION_BOUNDS),
             faults_per_session: Histogram::new(&COUNT_BOUNDS),
             retransmissions_per_session: Histogram::new(&COUNT_BOUNDS),
+            activations_to_decision: Histogram::new(&ACTIVATION_BOUNDS),
         }
     }
 
@@ -211,6 +219,15 @@ impl FleetMetrics {
         self.retransmissions
             .fetch_add(outcome.retransmissions, Ordering::Relaxed);
         self.corrupt.fetch_add(outcome.corrupt, Ordering::Relaxed);
+        self.algo_rounds
+            .fetch_add(outcome.algo_rounds, Ordering::Relaxed);
+        self.algo_bits
+            .fetch_add(outcome.algo_bits, Ordering::Relaxed);
+        if outcome.algo_decided {
+            self.algo_decided.fetch_add(1, Ordering::Relaxed);
+            self.activations_to_decision
+                .record(outcome.activations_to_decision);
+        }
         self.activations_per_session.record(outcome.activations);
         self.faults_per_session.record(outcome.faults);
         self.retransmissions_per_session
@@ -229,10 +246,14 @@ impl FleetMetrics {
             faults: self.faults.load(Ordering::Relaxed),
             retransmissions: self.retransmissions.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            algo_rounds: self.algo_rounds.load(Ordering::Relaxed),
+            algo_bits: self.algo_bits.load(Ordering::Relaxed),
+            algo_decided: self.algo_decided.load(Ordering::Relaxed),
             steps_to_delivery: self.steps_to_delivery.snapshot(),
             activations_per_session: self.activations_per_session.snapshot(),
             faults_per_session: self.faults_per_session.snapshot(),
             retransmissions_per_session: self.retransmissions_per_session.snapshot(),
+            activations_to_decision: self.activations_to_decision.snapshot(),
         }
     }
 }
@@ -254,6 +275,17 @@ pub struct SessionOutcome {
     pub retransmissions: u64,
     /// Corrupted payloads surfaced to an inbox (must stay 0).
     pub corrupt: u64,
+    /// Algorithm rounds executed (algorithm sessions; max over robots).
+    pub algo_rounds: u64,
+    /// Algorithm traffic in channel bits (16-bit header + 8 per byte,
+    /// summed over every frame any robot enqueued).
+    pub algo_bits: u64,
+    /// Whether every live robot's algorithm stack reached a terminal
+    /// status within budget (algorithm sessions only).
+    pub algo_decided: bool,
+    /// Engine activations consumed when the last live robot reached its
+    /// decision (recorded only when `algo_decided`).
+    pub activations_to_decision: u64,
 }
 
 /// Plain-data image of a [`FleetMetrics`] sink.
@@ -275,6 +307,12 @@ pub struct MetricsSnapshot {
     pub retransmissions: u64,
     /// Total corrupted deliveries (must stay 0).
     pub corrupt: u64,
+    /// Total algorithm rounds across algorithm sessions.
+    pub algo_rounds: u64,
+    /// Total algorithm traffic in channel bits.
+    pub algo_bits: u64,
+    /// Algorithm sessions whose every live robot reached a decision.
+    pub algo_decided: u64,
     /// Histogram of steps-to-delivery over delivered sessions.
     pub steps_to_delivery: HistogramSnapshot,
     /// Histogram of activations per session.
@@ -283,6 +321,9 @@ pub struct MetricsSnapshot {
     pub faults_per_session: HistogramSnapshot,
     /// Histogram of retransmissions per session.
     pub retransmissions_per_session: HistogramSnapshot,
+    /// Histogram of activations-to-decision over decided algorithm
+    /// sessions.
+    pub activations_to_decision: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -312,12 +353,17 @@ impl MetricsSnapshot {
         self.faults += other.faults;
         self.retransmissions += other.retransmissions;
         self.corrupt += other.corrupt;
+        self.algo_rounds += other.algo_rounds;
+        self.algo_bits += other.algo_bits;
+        self.algo_decided += other.algo_decided;
         self.steps_to_delivery.merge(&other.steps_to_delivery);
         self.activations_per_session
             .merge(&other.activations_per_session);
         self.faults_per_session.merge(&other.faults_per_session);
         self.retransmissions_per_session
             .merge(&other.retransmissions_per_session);
+        self.activations_to_decision
+            .merge(&other.activations_to_decision);
     }
 
     /// Folds any number of snapshots into one, in iteration order —
@@ -349,8 +395,10 @@ impl MetricsSnapshot {
                 "{{\"sessions\":{},\"delivered\":{},\"timed_out\":{},",
                 "\"steps\":{},\"activations\":{},\"faults\":{},",
                 "\"retransmissions\":{},\"corrupt\":{},",
+                "\"algo_rounds\":{},\"algo_bits\":{},\"algo_decided\":{},",
                 "\"steps_to_delivery\":{},\"activations_per_session\":{},",
-                "\"faults_per_session\":{},\"retransmissions_per_session\":{}}}"
+                "\"faults_per_session\":{},\"retransmissions_per_session\":{},",
+                "\"activations_to_decision\":{}}}"
             ),
             self.sessions,
             self.delivered,
@@ -360,10 +408,14 @@ impl MetricsSnapshot {
             self.faults,
             self.retransmissions,
             self.corrupt,
+            self.algo_rounds,
+            self.algo_bits,
+            self.algo_decided,
             self.steps_to_delivery.to_json(),
             self.activations_per_session.to_json(),
             self.faults_per_session.to_json(),
             self.retransmissions_per_session.to_json(),
+            self.activations_to_decision.to_json(),
         )
     }
 }
@@ -429,6 +481,10 @@ mod tests {
             faults: i % 7,
             retransmissions: i % 4,
             corrupt: 0,
+            algo_rounds: i % 3,
+            algo_bits: i * 11 % 500,
+            algo_decided: i.is_multiple_of(4),
+            activations_to_decision: i * 13 % 1_000,
         }
     }
 
@@ -466,6 +522,13 @@ mod tests {
         assert_eq!(s.activations_per_session.sum, s.activations);
         assert_eq!(s.faults_per_session.sum, s.faults);
         assert_eq!(s.retransmissions_per_session.sum, s.retransmissions);
+        assert_eq!(s.activations_to_decision.count, s.algo_decided);
+        assert_eq!(s.algo_rounds, (0..50).map(|i| i % 3).sum::<u64>());
+        assert_eq!(s.algo_bits, (0..50).map(|i| i * 11 % 500).sum::<u64>());
+        assert_eq!(
+            s.algo_decided,
+            (0..50).filter(|i| i % 4 == 0).count() as u64
+        );
     }
 
     #[test]
@@ -479,12 +542,18 @@ mod tests {
             faults: 2,
             retransmissions: 1,
             corrupt: 0,
+            algo_rounds: 3,
+            algo_bits: 112,
+            algo_decided: true,
+            activations_to_decision: 64,
         });
         let json = m.snapshot().to_json();
         assert_eq!(json, m.snapshot().to_json(), "stable across calls");
         assert!(json.starts_with("{\"sessions\":1,\"delivered\":1,"));
         assert!(json.contains("\"activations\":80"));
         assert!(json.contains("\"bounds\":[64,256,"));
+        assert!(json.contains("\"algo_rounds\":3,\"algo_bits\":112,\"algo_decided\":1,"));
+        assert!(json.contains("\"activations_to_decision\":{\"bounds\":[256,"));
     }
 
     #[test]

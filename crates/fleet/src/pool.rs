@@ -203,11 +203,27 @@ impl StealScheduler {
 
     /// Finds work for a dry worker: scans victims round-robin starting
     /// at the right neighbour, installs a stolen range into `me`'s own
-    /// shard (which must be empty), and returns the first stolen index
-    /// to run. Two consecutive empty scans mean the pool is drained (or
-    /// all residual work is claimed and in flight): returns `None`.
+    /// shard (which **must be empty** — drain it with [`Self::pop_local`]
+    /// first, as the pool's `pop_local(me).or_else(|| steal_for(me))`
+    /// loop does), and returns the first stolen index to run. Two
+    /// consecutive empty scans mean the pool is drained (or all residual
+    /// work is claimed and in flight): returns `None`.
+    ///
+    /// The empty-own-shard precondition is what makes the remainder
+    /// install a plain store: nobody can CAS an empty shard, and only
+    /// `me` installs into it. A steal-first caller would overwrite — and
+    /// silently lose — whatever its shard still held, so debug builds
+    /// assert the precondition.
     #[must_use]
     pub fn steal_for(&self, me: usize) -> Option<usize> {
+        debug_assert!(
+            {
+                let (head, tail) = unpack(self.shards[me].range.load(Ordering::Acquire));
+                head >= tail
+            },
+            "steal_for contract: worker {me}'s own shard must be drained before stealing — \
+             installing a stolen range would overwrite and lose it"
+        );
         let w = self.shards.len();
         for round in 0..2 {
             for offset in 1..w {

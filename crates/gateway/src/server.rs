@@ -107,8 +107,8 @@ pub fn validate_request(req: &JobRequest, config: &GatewayConfig) -> Result<(), 
         ));
     }
     let spec = &req.spec;
-    if spec.protocols.is_empty() {
-        return Err("spec has no protocols".into());
+    if spec.protocols.is_empty() && spec.algorithms.is_empty() {
+        return Err("spec has no protocols or algorithms".into());
     }
     if spec.schedules.is_empty() {
         return Err("spec has no schedules".into());
@@ -137,18 +137,47 @@ pub fn validate_request(req: &JobRequest, config: &GatewayConfig) -> Result<(), 
     let sessions = spec
         .protocols
         .len()
-        .checked_mul(spec.schedules.len())
+        .checked_add(spec.algorithms.len())
+        .and_then(|n| n.checked_mul(spec.schedules.len()))
         .and_then(|n| n.checked_mul(spec.plans.len()))
         .and_then(|n| n.checked_mul(spec.seeds.len()))
         .ok_or("session count overflows")?;
     if sessions > MAX_SESSIONS {
         return Err(format!("{sessions} sessions exceed the {MAX_SESSIONS} cap"));
     }
+    for algorithm in &spec.algorithms {
+        validate_algorithm(algorithm, spec.cohort)?;
+    }
     for schedule in &spec.schedules {
         validate_schedule(schedule, spec.cohort)?;
     }
     for plan in &spec.plans {
         validate_plan(plan)?;
+    }
+    Ok(())
+}
+
+fn validate_algorithm(
+    spec: &stigmergy_scheduler::AlgorithmSpec,
+    cohort: usize,
+) -> Result<(), String> {
+    use stigmergy_scheduler::AlgorithmSpec as A;
+    match spec {
+        A::Flood { initiator } => {
+            if *initiator >= cohort {
+                return Err(format!(
+                    "flood initiator {initiator} outside cohort {cohort}"
+                ));
+            }
+        }
+        A::Election => {}
+        A::Agreement { inputs } => {
+            if cohort < 64 && inputs >> cohort != 0 {
+                return Err(format!(
+                    "agreement inputs {inputs:#x} has bits beyond cohort {cohort}"
+                ));
+            }
+        }
     }
     Ok(())
 }
@@ -188,6 +217,7 @@ fn validate_schedule(
                 return Err("worst-case-fair max_gap must be positive".into());
             }
         }
+        S::CrashFiltered { inner } => validate_schedule(inner, cohort)?,
         S::Scripted { script } => {
             if script.is_empty() {
                 return Err("scripted schedule has no steps".into());

@@ -24,12 +24,16 @@
 use stigmergy_coding::checksum;
 use stigmergy_fleet::{BatchSpec, ProtocolKind};
 use stigmergy_scheduler::wire::{put_bytes, put_u32, put_u64, put_u8, Reader, WireError};
-use stigmergy_scheduler::{FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec};
 
 use crate::GatewayError;
 
 /// Protocol version carried in the handshake.
-pub const WIRE_VERSION: u16 = 1;
+///
+/// Version 2 added the `algorithms` sequence to the [`BatchSpec`]
+/// encoding; a v1 peer cannot parse a v2 spec frame, so the handshake
+/// rejects the mismatch up front.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Hard ceiling on one frame's length field (16 MiB): a corrupt or
 /// hostile length must fail fast, not allocate.
@@ -429,6 +433,10 @@ pub fn put_batch_spec(out: &mut Vec<u8>, spec: &BatchSpec) {
     for p in &spec.protocols {
         put_u8(out, p.wire_code());
     }
+    put_u32(out, len32(spec.algorithms.len()));
+    for a in &spec.algorithms {
+        a.encode_wire(out);
+    }
     put_u32(out, len32(spec.schedules.len()));
     for s in &spec.schedules {
         s.encode_wire(out);
@@ -467,6 +475,11 @@ pub fn get_batch_spec(r: &mut Reader<'_>) -> Result<BatchSpec, WireError> {
             what: "protocol kind",
             tag: code,
         })?);
+    }
+    let n = r.seq_len("algorithms")?;
+    let mut algorithms = Vec::with_capacity(n);
+    for _ in 0..n {
+        algorithms.push(AlgorithmSpec::decode_wire(r)?);
     }
     let n = r.seq_len("schedules")?;
     let mut schedules = Vec::with_capacity(n);
@@ -509,6 +522,7 @@ pub fn get_batch_spec(r: &mut Reader<'_>) -> Result<BatchSpec, WireError> {
     };
     Ok(BatchSpec {
         protocols,
+        algorithms,
         schedules,
         plans,
         seeds,

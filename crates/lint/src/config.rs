@@ -12,7 +12,8 @@ use crate::rules::wire_complete::Pairing;
 
 /// Crates whose entire `src/` tree is trace-affecting and therefore in
 /// determinism scope.
-pub const DETERMINISTIC_CRATES: &[&str] = &["core", "geometry", "robots", "scheduler", "coding"];
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["core", "geometry", "robots", "scheduler", "coding", "algo"];
 
 /// `fleet` files on the batch path (worker pool internals excluded —
 /// the pool is concurrency plumbing whose nondeterminism is erased by
@@ -61,6 +62,10 @@ pub const WIRE_INFERENCE_FILES: &[&str] = &[
 #[must_use]
 pub fn wire_pairings() -> Vec<Pairing<'static>> {
     const SPEC_FNS: &[&str] = &["encode_wire", "decode_wire"];
+    // `ScheduleSpec::decode_wire` is a thin shim over the depth-tracked
+    // `decode_nested` (recursion guard for `CrashFiltered`); the match
+    // arms — what completeness is about — live in the helper.
+    const SCHED_FNS: &[&str] = &["encode_wire", "decode_nested"];
     const MSG_FNS: &[&str] = &["kind", "encode", "decode"];
     const SUB_FNS: &[&str] = &["encode", "decode"];
     const PROTO_FNS: &[&str] = &["wire_code", "from_wire_code"];
@@ -70,6 +75,13 @@ pub fn wire_pairings() -> Vec<Pairing<'static>> {
             enum_name: "ScheduleSpec",
             codec_file: "crates/scheduler/src/wire.rs",
             impl_name: "ScheduleSpec",
+            fns: SCHED_FNS,
+        },
+        Pairing {
+            enum_file: "crates/scheduler/src/factory.rs",
+            enum_name: "AlgorithmSpec",
+            codec_file: "crates/scheduler/src/wire.rs",
+            impl_name: "AlgorithmSpec",
             fns: SPEC_FNS,
         },
         Pairing {

@@ -129,6 +129,38 @@ fn fixture_wire_missing_is_caught() {
 }
 
 #[test]
+fn fixture_wire_missing_algorithm_arm_is_caught() {
+    // The workspace pairing for `AlgorithmSpec` is cross-file
+    // (factory.rs ↔ wire.rs); this fixture seeds the same omission —
+    // `decode_wire` wildcarding away `Agreement` — where same-file
+    // inference can catch it, proving the pass sees the algorithm spec
+    // shape and not just the schedule/fault ones.
+    let v = lint_fixture("wire_missing_algo.rs");
+    assert_eq!(count_rule(&v, "wire-completeness"), 1, "{v:?}");
+    assert!(
+        v.iter()
+            .any(|x| x.message.contains("AlgorithmSpec::Agreement")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn the_algorithm_wire_pairing_is_configured() {
+    // If the scheduler↔wire table drops the `AlgorithmSpec` row (or the
+    // `algo` crate leaves determinism scope), a new algorithm variant
+    // could ship without codec arms and no lint would object.
+    let pairings = lint::config::wire_pairings();
+    assert!(
+        pairings
+            .iter()
+            .any(|p| p.enum_name == "AlgorithmSpec"
+                && p.codec_file == "crates/scheduler/src/wire.rs"),
+        "AlgorithmSpec missing from the wire-completeness table"
+    );
+    assert!(lint::config::DETERMINISTIC_CRATES.contains(&"algo"));
+}
+
+#[test]
 fn fixture_locks_io_is_caught() {
     let v = lint_fixture("locks_io.rs");
     assert_eq!(count_rule(&v, "lock-discipline"), 2, "{v:?}");

@@ -10,7 +10,7 @@
 //! the property the fleet runtime's determinism guarantee rests on.
 
 use crate::activation::ActivationSet;
-use crate::adversary::{Bursty, FaultPlan, LaggingRobot, WorstCaseFair};
+use crate::adversary::{Bursty, CrashFiltered, FaultPlan, LaggingRobot, WorstCaseFair};
 use crate::schedules::{FairAsync, RoundRobin, Scripted, SingleActive, Synchronous};
 use crate::Schedule;
 
@@ -72,12 +72,38 @@ pub enum ScheduleSpec {
         /// The activation cycle; every step must be non-empty.
         script: Vec<Vec<usize>>,
     },
+    /// The inner schedule with crash-stopped robots filtered out of every
+    /// activation set ([`CrashFiltered`]).
+    ///
+    /// The fault plan is not part of the spec — it is supplied at build
+    /// time via [`ScheduleSpec::build_faulted`], so one spec fans out
+    /// across a seed range exactly like [`FaultSpec`] does. Plain
+    /// [`ScheduleSpec::build`] arms an empty plan (the wrapper becomes a
+    /// transparent pass-through), keeping `build` a pure function of
+    /// `(spec, n)`.
+    CrashFiltered {
+        /// The schedule whose activations get filtered.
+        inner: Box<ScheduleSpec>,
+    },
 }
 
 impl ScheduleSpec {
     /// Builds the described schedule for a cohort of `n` robots.
+    ///
+    /// [`ScheduleSpec::CrashFiltered`] builds with an **empty** fault
+    /// plan; use [`ScheduleSpec::build_faulted`] to arm the real one.
     #[must_use]
     pub fn build(&self, n: usize) -> Box<dyn Schedule + Send> {
+        self.build_faulted(n, &FaultPlan::new(0))
+    }
+
+    /// Builds the described schedule, arming `plan` in any
+    /// [`ScheduleSpec::CrashFiltered`] layer.
+    ///
+    /// Every other variant ignores the plan entirely, so for them this is
+    /// byte-for-byte identical to [`ScheduleSpec::build`].
+    #[must_use]
+    pub fn build_faulted(&self, n: usize, plan: &FaultPlan) -> Box<dyn Schedule + Send> {
         match *self {
             ScheduleSpec::Synchronous => Box::new(Synchronous),
             ScheduleSpec::RoundRobin => Box::new(RoundRobin),
@@ -100,6 +126,10 @@ impl ScheduleSpec {
             } => Box::new(Bursty::new(seed, burst_len, lull_len)),
             ScheduleSpec::WorstCaseFair { max_gap } => Box::new(WorstCaseFair::new(max_gap)),
             ScheduleSpec::Scripted { ref script } => Box::new(Scripted::new(script.clone())),
+            ScheduleSpec::CrashFiltered { ref inner } => Box::new(CrashFiltered::new(
+                inner.build_faulted(n, plan),
+                plan.clone(),
+            )),
         }
     }
 
@@ -115,6 +145,7 @@ impl ScheduleSpec {
             ScheduleSpec::Bursty { .. } => "bursty",
             ScheduleSpec::WorstCaseFair { .. } => "worst-case-fair",
             ScheduleSpec::Scripted { .. } => "scripted",
+            ScheduleSpec::CrashFiltered { .. } => "crash-filtered",
         }
     }
 }
@@ -190,11 +221,55 @@ impl FaultSpec {
     }
 }
 
+/// A buildable, thread-safe description of a distributed algorithm to run
+/// over the movement-signal channel (see `crates/algo`).
+///
+/// Like [`ScheduleSpec`] and [`FaultSpec`], this is plain data: the fleet
+/// runtime ships it to worker threads, which instantiate the live
+/// algorithm sessions deterministically from `(spec, seed)`. The
+/// scheduler crate owns the type (rather than `crates/algo`) so the wire
+/// codec lives next to the other spec codecs and stiglint's
+/// wire-completeness pass covers all three enums from one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmSpec {
+    /// Flooding broadcast with convergecast ack aggregation
+    /// (RoboCast-style): the initiator floods a payload, every peer acks,
+    /// and the initiator decides once the live cohort is covered.
+    Flood {
+        /// Engine index of the robot initiating the flood.
+        initiator: usize,
+    },
+    /// Leader election over similarity-invariant position signatures
+    /// (`stigmergy::election_signature`): unique minimum wins; a
+    /// symmetric (degenerate all-on-SEC) configuration is deterministically
+    /// rejected.
+    Election,
+    /// Event-driven binary agreement (FloodSet with a perfect failure
+    /// detector): bit `i` of `inputs` is robot `i`'s proposal.
+    Agreement {
+        /// Input bits, one per robot (robots beyond bit 63 propose 0).
+        inputs: u64,
+    },
+}
+
+impl AlgorithmSpec {
+    /// A short name for reports and bench suites.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Flood { .. } => "flood",
+            AlgorithmSpec::Election => "election",
+            AlgorithmSpec::Agreement { .. } => "agreement",
+        }
+    }
+}
+
 /// Compile-time guarantee that specs can cross threads.
 fn _assert_send_sync() {
     fn assert_send_sync<T: Send + Sync + Clone>() {}
     assert_send_sync::<ScheduleSpec>();
     assert_send_sync::<FaultSpec>();
+    assert_send_sync::<AlgorithmSpec>();
 }
 
 /// The activation sequence of a built schedule, for tests.
@@ -234,6 +309,9 @@ mod tests {
             ScheduleSpec::WorstCaseFair { max_gap: 6 },
             ScheduleSpec::Scripted {
                 script: vec![vec![0], vec![1, 2]],
+            },
+            ScheduleSpec::CrashFiltered {
+                inner: Box::new(ScheduleSpec::WorstCaseFair { max_gap: 4 }),
             },
         ]
     }
@@ -275,6 +353,48 @@ mod tests {
                 "{spec:?} not reproducible from its spec"
             );
         }
+    }
+
+    #[test]
+    fn crash_filtered_build_is_transparent_until_faulted() {
+        let spec = ScheduleSpec::CrashFiltered {
+            inner: Box::new(ScheduleSpec::Synchronous),
+        };
+        // Plain build arms an empty plan: pure pass-through.
+        let mut plain = spec.build(3);
+        assert_eq!(plain.activations(10, 3).len(), 3);
+        // build_faulted filters the crashed robot from the crash instant on.
+        let plan = FaultPlan::new(7).crash_stop(1, 5);
+        let mut armed = spec.build_faulted(3, &plan);
+        assert_eq!(armed.activations(4, 3).len(), 3);
+        let after = armed.activations(5, 3);
+        assert_eq!(after.len(), 2);
+        assert!(!after.contains(1));
+        // Non-wrapping specs ignore the plan entirely.
+        let mut sync = ScheduleSpec::Synchronous.build_faulted(3, &plan);
+        assert_eq!(sync.activations(5, 3).len(), 3);
+    }
+
+    #[test]
+    fn nested_crash_filtered_builds() {
+        let spec = ScheduleSpec::CrashFiltered {
+            inner: Box::new(ScheduleSpec::CrashFiltered {
+                inner: Box::new(ScheduleSpec::RoundRobin),
+            }),
+        };
+        assert_eq!(spec.name(), "crash-filtered");
+        let mut s = spec.build(2);
+        assert_eq!(s.activations(0, 2).len(), 1);
+    }
+
+    #[test]
+    fn algorithm_spec_names() {
+        assert_eq!(AlgorithmSpec::Flood { initiator: 0 }.name(), "flood");
+        assert_eq!(AlgorithmSpec::Election.name(), "election");
+        assert_eq!(
+            AlgorithmSpec::Agreement { inputs: 0b101 }.name(),
+            "agreement"
+        );
     }
 
     #[test]

@@ -278,6 +278,94 @@ fn fault_matrix_via_fleet() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Algorithm axis of the conformance matrix: the three distributed
+// algorithms (flooding broadcast, leader election, binary agreement)
+// over the §4 anonymous-swarm channel, each under the worst-case-fair
+// schedule with and without the crash-filtering wrapper, under a
+// motion-fault plan and a crash-stop plan. The obligations are stronger
+// than the transport matrix's: algorithms must *terminate with a
+// decision* even past a crash (the perfect-failure-detector regime —
+// survivors suspect the crashed robot and exclude it), not merely time
+// out cleanly.
+
+#[test]
+fn algorithm_matrix_via_fleet() {
+    let spec = BatchSpec::algorithm_matrix(vec![0]);
+    let report = run_batch(&spec, 2);
+    // 3 algorithms × 2 schedules × 2 plans.
+    assert_eq!(report.runs.len(), 12, "algorithm matrix shape");
+    for run in &report.runs {
+        let algorithm = run.algorithm.expect("algorithm sessions only");
+        let cell = format!("{algorithm}/{}/{}", run.schedule, run.plan);
+        // The transport invariants carry over unchanged.
+        assert!(run.error.is_none(), "{cell}: {:?}", run.error);
+        assert!(
+            run.min_distance >= DEFAULT_COLLISION_EPS,
+            "collision invariant violated in {cell}"
+        );
+        assert_eq!(run.corrupt, 0, "unroutable frame surfaced in {cell}");
+        // The algorithm obligations: terminate in budget, decide, and
+        // agree — crash plans included.
+        let algo = run.algo.expect("algorithm counters recorded");
+        assert!(
+            algo.activations_to_decision.is_some(),
+            "{cell}: timed out instead of terminating"
+        );
+        assert!(!algo.rejected, "{cell}: rejected a decidable configuration");
+        assert!(
+            algo.decision.is_some(),
+            "{cell}: terminated without deciding"
+        );
+        assert!(algo.bits > 0, "{cell}: decided without using the channel");
+        assert!(algo.rounds >= 1, "{cell}: decided in zero rounds");
+        assert!(run.delivered, "{cell}: decision not counted as delivery");
+    }
+    // Every algorithm appears, and the crash cells really decide among
+    // the survivors: flooding covers only the two live robots, and
+    // agreement (inputs 0b101, robot 1's `0` crashed away) decides 1.
+    for algorithm in ["flood", "election", "agreement"] {
+        assert!(report.runs.iter().any(|r| r.algorithm == Some(algorithm)));
+    }
+    for run in &report.runs {
+        if run.plan != "crash" {
+            continue;
+        }
+        match run.algorithm {
+            Some("flood") => assert_eq!(run.algo.unwrap().decision, Some(2)),
+            Some("agreement") => assert_eq!(run.algo.unwrap().decision, Some(1)),
+            _ => {}
+        }
+    }
+    assert_eq!(report.metrics.sessions, 12);
+    assert_eq!(report.metrics.algo_decided, 12);
+}
+
+/// The workers-don't-matter guarantee, extended to the algorithm axis:
+/// the full algorithm matrix at `workers = 1` and `workers = 4` yields
+/// byte-identical per-session reports (trace fingerprints included) and
+/// byte-identical merged metrics JSON.
+#[test]
+fn algorithm_matrix_is_worker_count_invariant() {
+    let spec = BatchSpec::algorithm_matrix(vec![0]);
+    let serial = run_batch(&spec, 1);
+    let pooled = run_batch(&spec, 4);
+    assert_eq!(serial.runs.len(), pooled.runs.len());
+    for (a, b) in serial.runs.iter().zip(&pooled.runs) {
+        assert_eq!(
+            a.trace_hash,
+            b.trace_hash,
+            "trace fingerprint diverged across worker counts in {}/{}/{}",
+            a.algorithm.unwrap_or(a.protocol),
+            a.schedule,
+            a.plan
+        );
+        assert_eq!(a, b, "run report diverged across worker counts");
+    }
+    assert_eq!(serial.metrics, pooled.metrics);
+    assert_eq!(serial.metrics.to_json(), pooled.metrics.to_json());
+}
+
 /// The acceptance criterion of the fault subsystem: the same `FaultPlan`
 /// seed yields a bit-identical `Trace` (positions, activations, *and*
 /// fault events), and a different seed yields a different one.

@@ -105,15 +105,18 @@ fn seeded_hostile_distributions_preserve_order_and_count() {
 }
 
 #[test]
-fn pure_stealers_claim_every_index_exactly_once() {
-    // The nastiest schedule the public runner can't quite force: three
-    // thieves prefer stealing over their own shards, so nearly every
-    // claim they make is a steal — including steals of ranges another
-    // thief just installed — interleaved with the owner's local pops.
-    // (Thieves still drain their own shard when no steal is available:
-    // a worker that exits with a self-installed range unclaimed breaks
-    // the pool's worker contract, not the scheduler.) The union of
-    // claims must be exactly {0, …, n-1}.
+fn steal_heavy_thieves_claim_every_index_exactly_once() {
+    // Four workers hammer the raw scheduler with the pool's canonical
+    // pop-then-steal claim loop, the thieves yielding after every claim
+    // so their shards — including ranges another thief just installed —
+    // are stolen from under them mid-drain. The pop-first order is not
+    // an optimization but the scheduler's contract: `steal_for`
+    // installs the stolen remainder into the caller's shard with a
+    // plain store, which is only safe while that shard is empty. (A
+    // steal-first loop overwrites — and silently loses — the range it
+    // installed one claim earlier; `steal_for` now debug-asserts the
+    // precondition so that misuse fails loudly instead of dropping
+    // jobs.) The union of claims must be exactly {0, …, n-1}.
     let n = 10_000usize;
     let thieves = 3usize;
     let scheduler = StealScheduler::new(n, 1 + thieves);
@@ -123,13 +126,15 @@ fn pure_stealers_claim_every_index_exactly_once() {
             let tx = tx.clone();
             let scheduler = &scheduler;
             scope.spawn(move || loop {
-                let claim = if me == 0 {
-                    scheduler.pop_local(0).or_else(|| scheduler.steal_for(0))
-                } else {
-                    scheduler.steal_for(me).or_else(|| scheduler.pop_local(me))
-                };
-                match claim {
-                    Some(index) => tx.send(index).expect("collector outlives workers"),
+                match scheduler.pop_local(me).or_else(|| scheduler.steal_for(me)) {
+                    Some(index) => {
+                        tx.send(index).expect("collector outlives workers");
+                        if me != 0 {
+                            // Linger between claims: a slow thief's
+                            // half-drained shard is the juiciest victim.
+                            thread::yield_now();
+                        }
+                    }
                     None => return,
                 }
             });
@@ -155,6 +160,7 @@ fn poisoned_session_fails_its_report_without_wedging_the_pool() {
     // must be byte-identical to a pool that never saw a panic.
     let spec = BatchSpec {
         protocols: vec![ProtocolKind::Sync2, ProtocolKind::SyncSwarmSec],
+        algorithms: vec![],
         schedules: vec![ScheduleSpec::Synchronous],
         plans: vec![FaultSpec::Benign],
         seeds: vec![0, 1, 2, 3],

@@ -75,6 +75,46 @@ fn served_job_matches_direct_run_batch_at_any_worker_count() {
 }
 
 #[test]
+fn served_algorithm_jobs_replay_the_direct_run_exactly() {
+    // The algorithm matrix end to end over the wire: the gateway's
+    // answer for a distributed-algorithm sweep must carry the same
+    // trace fingerprints and byte-identical metrics JSON (algorithm
+    // counters included) as an in-process `run_batch`, at any worker
+    // count. This closes the loop the v2 wire bump opened: an
+    // `AlgorithmSpec` survives encode → admission → pool dispatch →
+    // result framing unchanged.
+    let spec = BatchSpec::algorithm_matrix(vec![0]);
+    let direct = run_batch(&spec, 1);
+    let fingerprints: Vec<u64> = direct.runs.iter().map(|r| r.trace_hash).collect();
+    assert!(
+        direct.metrics.algo_decided == direct.metrics.sessions,
+        "reference sweep must decide everywhere"
+    );
+
+    let (gateway, addr) = loopback(GatewayConfig::default());
+    for workers in [1u64, 4] {
+        let mut client = Client::connect(addr).expect("connect");
+        let result = client
+            .submit_and_wait(
+                &JobRequest {
+                    spec: spec.clone(),
+                    workers,
+                    deadline_ms: 0,
+                },
+                |_, _| {},
+            )
+            .expect("algorithm job completes");
+        assert_eq!(result.fingerprints, fingerprints, "workers={workers}");
+        assert_eq!(
+            result.metrics_json,
+            direct.metrics.to_json(),
+            "workers={workers}"
+        );
+    }
+    gateway.shutdown_and_join();
+}
+
+#[test]
 // Bare threads on purpose: the clients must be truly concurrent peers,
 // not pool workers sharing the server's own scheduling.
 #[allow(clippy::disallowed_methods)]

@@ -15,7 +15,19 @@
 use std::path::PathBuf;
 
 use stigmergy_fleet::{fnv1a64, run_session, to_hex, ProtocolKind, SessionSpec, CONFORMANCE};
-use stigmergy_scheduler::{FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec};
+
+/// One golden scenario per distributed algorithm, over the §4 swarm
+/// channel under the worst-case-fair schedule with non-rigid motion.
+/// The budget cap keeps the pinned prefix a few hundred instants — far
+/// short of a decision, which is fine: the golden guards *trace* drift
+/// (activation order, excursion geometry, fault events); decision
+/// values are pinned by the adversarial matrix and the bench suite.
+const GOLDEN_ALGORITHMS: [AlgorithmSpec; 3] = [
+    AlgorithmSpec::Flood { initiator: 0 },
+    AlgorithmSpec::Election,
+    AlgorithmSpec::Agreement { inputs: 0b101 },
+];
 
 /// The pinned scenario: bursty activations with non-rigid motion, one
 /// seed per protocol, a budget small enough that the hex files stay a
@@ -23,6 +35,7 @@ use stigmergy_scheduler::{FaultSpec, ScheduleSpec};
 fn golden_spec(protocol: ProtocolKind) -> SessionSpec {
     SessionSpec {
         protocol,
+        algorithm: None,
         schedule: ScheduleSpec::Bursty {
             seed: 0x0AD5_CEDD,
             burst_len: 3,
@@ -40,30 +53,71 @@ fn golden_spec(protocol: ProtocolKind) -> SessionSpec {
     }
 }
 
-fn golden_path(protocol: ProtocolKind) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("golden")
-        .join(format!("{}.hex", protocol.name()))
+fn golden_algo_spec(algorithm: AlgorithmSpec) -> SessionSpec {
+    SessionSpec {
+        protocol: ProtocolKind::AsyncSwarm,
+        algorithm: Some(algorithm),
+        schedule: ScheduleSpec::WorstCaseFair { max_gap: 6 },
+        plan: FaultSpec::NonRigid {
+            delta: 0.35,
+            prob: 0.5,
+        },
+        seed: 1,
+        cohort: 3,
+        payload: b"adv".to_vec(),
+        budget_cap: Some(256),
+        keep_trace: true,
+    }
 }
 
-fn golden_bytes(protocol: ProtocolKind) -> Vec<u8> {
-    let report = run_session(&golden_spec(protocol));
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{name}.hex"))
+}
+
+fn trace_of(spec: &SessionSpec, name: &str) -> Vec<u8> {
+    let report = run_session(spec);
     assert!(
         report.error.is_none(),
-        "{}: golden run failed: {:?}",
-        protocol.name(),
+        "{name}: golden run failed: {:?}",
         report.error
     );
     report.trace.expect("keep_trace retains bytes")
+}
+
+fn golden_bytes(protocol: ProtocolKind) -> Vec<u8> {
+    trace_of(&golden_spec(protocol), protocol.name())
+}
+
+fn golden_algo_bytes(algorithm: AlgorithmSpec) -> Vec<u8> {
+    trace_of(
+        &golden_algo_spec(algorithm),
+        &format!("algo-{}", algorithm.name()),
+    )
+}
+
+/// Every pinned scenario as `(file stem, trace bytes)`.
+fn all_golden() -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = CONFORMANCE
+        .iter()
+        .map(|&p| (p.name().to_string(), golden_bytes(p)))
+        .collect();
+    out.extend(
+        GOLDEN_ALGORITHMS
+            .iter()
+            .map(|&a| (format!("algo-{}", a.name()), golden_algo_bytes(a))),
+    );
+    out
 }
 
 #[test]
 fn golden_traces_have_not_drifted() {
     let update = std::env::var_os("UPDATE_GOLDEN").is_some();
     let mut drifted = Vec::new();
-    for protocol in CONFORMANCE {
-        let actual = to_hex(&golden_bytes(protocol));
-        let path = golden_path(protocol);
+    for (name, bytes) in all_golden() {
+        let actual = to_hex(&bytes);
+        let path = golden_path(&name);
         if update {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
             std::fs::write(&path, &actual).unwrap();
@@ -71,8 +125,7 @@ fn golden_traces_have_not_drifted() {
         }
         let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             panic!(
-                "{}: cannot read golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
-                protocol.name(),
+                "{name}: cannot read golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
                 path.display()
             )
         });
@@ -82,7 +135,7 @@ fn golden_traces_have_not_drifted() {
                 .zip(expected.lines())
                 .position(|(a, b)| a != b)
                 .map_or_else(|| "length".to_string(), |i| format!("line {}", i + 1));
-            drifted.push(format!("{} (first diff: {line})", protocol.name()));
+            drifted.push(format!("{name} (first diff: {line})"));
         }
     }
     assert!(
@@ -98,14 +151,25 @@ fn golden_runs_are_reproducible_in_process() {
     // The drift test is only meaningful if the pinned scenario replays
     // exactly; a flaky golden run would blame the codec for engine
     // nondeterminism.
-    for protocol in CONFORMANCE {
-        let a = golden_bytes(protocol);
-        let b = golden_bytes(protocol);
+    for (name, a) in all_golden() {
+        let b = match name.strip_prefix("algo-") {
+            Some(algo) => golden_algo_bytes(
+                *GOLDEN_ALGORITHMS
+                    .iter()
+                    .find(|g| g.name() == algo)
+                    .expect("stems come from the same table"),
+            ),
+            None => golden_bytes(
+                CONFORMANCE
+                    .into_iter()
+                    .find(|p| p.name() == name)
+                    .expect("stems come from the same table"),
+            ),
+        };
         assert_eq!(
             fnv1a64(&a),
             fnv1a64(&b),
-            "{}: golden scenario not reproducible",
-            protocol.name()
+            "{name}: golden scenario not reproducible"
         );
         assert_eq!(a, b);
     }
@@ -113,13 +177,13 @@ fn golden_runs_are_reproducible_in_process() {
 
 #[test]
 fn golden_scenarios_differ_across_protocols() {
-    // Six distinct protocols must pin six distinct traces — identical
-    // files would mean the spec ignores its protocol field.
-    let mut hashes: Vec<u64> = CONFORMANCE
-        .iter()
-        .map(|&p| fnv1a64(&golden_bytes(p)))
-        .collect();
+    // Six distinct protocols and three algorithms must pin nine
+    // distinct traces — identical files would mean the spec ignores its
+    // protocol (or algorithm) field.
+    let golden = all_golden();
+    let expected = golden.len();
+    let mut hashes: Vec<u64> = golden.into_iter().map(|(_, b)| fnv1a64(&b)).collect();
     hashes.sort_unstable();
     hashes.dedup();
-    assert_eq!(hashes.len(), CONFORMANCE.len());
+    assert_eq!(hashes.len(), expected);
 }

@@ -42,6 +42,7 @@ fn outcome() -> impl Strategy<Value = SessionOutcome> {
         0u64..100,
         0u64..50,
         0u64..3,
+        (0u64..20, 0u64..2_000, any::<bool>(), 0u64..20_000),
     )
         .prop_map(
             |(
@@ -52,6 +53,7 @@ fn outcome() -> impl Strategy<Value = SessionOutcome> {
                 faults,
                 retransmissions,
                 corrupt,
+                (algo_rounds, algo_bits, algo_decided, activations_to_decision),
             )| {
                 SessionOutcome {
                     delivered,
@@ -61,6 +63,10 @@ fn outcome() -> impl Strategy<Value = SessionOutcome> {
                     faults,
                     retransmissions,
                     corrupt,
+                    algo_rounds,
+                    algo_bits,
+                    algo_decided,
+                    activations_to_decision,
                 }
             },
         )

@@ -8,14 +8,14 @@ use proptest::prelude::*;
 use stigmergy_fleet::{BatchSpec, ProtocolKind};
 use stigmergy_gateway::{JobRequest, Message};
 use stigmergy_scheduler::wire::Reader;
-use stigmergy_scheduler::{FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec};
 
 /// A strategy over every `ScheduleSpec` variant. The shim has no
 /// `prop_oneof`, so one tuple of parameters is drawn and a variant
 /// index selects which constructor consumes them.
 fn schedule_spec() -> impl Strategy<Value = ScheduleSpec> {
     (
-        0usize..9,
+        0usize..10,
         any::<u64>(),
         0.01f64..1.0,
         1u64..100,
@@ -37,9 +37,21 @@ fn schedule_spec() -> impl Strategy<Value = ScheduleSpec> {
                     lull_len,
                 },
                 7 => ScheduleSpec::WorstCaseFair { max_gap },
+                8 => ScheduleSpec::CrashFiltered {
+                    inner: Box::new(ScheduleSpec::WorstCaseFair { max_gap }),
+                },
                 _ => ScheduleSpec::Scripted { script },
             },
         )
+}
+
+/// A strategy over every `AlgorithmSpec` variant.
+fn algorithm_spec() -> impl Strategy<Value = AlgorithmSpec> {
+    (0usize..3, 0usize..64, any::<u64>()).prop_map(|(variant, initiator, inputs)| match variant {
+        0 => AlgorithmSpec::Flood { initiator },
+        1 => AlgorithmSpec::Election,
+        _ => AlgorithmSpec::Agreement { inputs },
+    })
 }
 
 /// A strategy over every `FaultSpec` variant.
@@ -82,7 +94,15 @@ proptest! {
     }
 
     #[test]
+    fn algorithm_specs_round_trip(spec in algorithm_spec()) {
+        let back = AlgorithmSpec::from_wire(&spec.to_wire())
+            .expect("own encoding must decode");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
     fn batch_specs_round_trip_through_the_gateway_frame(
+        algorithms in prop::collection::vec(algorithm_spec(), 0..4),
         schedules in prop::collection::vec(schedule_spec(), 1..4),
         plans in prop::collection::vec(fault_spec(), 1..4),
         seeds in prop::collection::vec(any::<u64>(), 1..6),
@@ -99,6 +119,7 @@ proptest! {
                 ProtocolKind::AsyncSwarm,
                 ProtocolKind::Hardened,
             ],
+            algorithms,
             schedules,
             plans,
             seeds,
@@ -143,6 +164,9 @@ fn every_variant_pair_round_trips() {
             lull_len: 7,
         },
         ScheduleSpec::WorstCaseFair { max_gap: 2 },
+        ScheduleSpec::CrashFiltered {
+            inner: Box::new(ScheduleSpec::WorstCaseFair { max_gap: 2 }),
+        },
         ScheduleSpec::Scripted {
             script: vec![vec![0, 1], vec![2]],
         },
@@ -161,15 +185,24 @@ fn every_variant_pair_round_trips() {
             prob: 0.2,
         },
     ];
+    let algorithms = [
+        AlgorithmSpec::Flood { initiator: 1 },
+        AlgorithmSpec::Election,
+        AlgorithmSpec::Agreement { inputs: 0b101 },
+    ];
     for schedule in &schedules {
         for plan in &plans {
-            let mut buf = Vec::new();
-            schedule.encode_wire(&mut buf);
-            plan.encode_wire(&mut buf);
-            let mut r = Reader::new(&buf);
-            assert_eq!(&ScheduleSpec::decode_wire(&mut r).unwrap(), schedule);
-            assert_eq!(&FaultSpec::decode_wire(&mut r).unwrap(), plan);
-            r.finish().unwrap();
+            for algorithm in &algorithms {
+                let mut buf = Vec::new();
+                schedule.encode_wire(&mut buf);
+                plan.encode_wire(&mut buf);
+                algorithm.encode_wire(&mut buf);
+                let mut r = Reader::new(&buf);
+                assert_eq!(&ScheduleSpec::decode_wire(&mut r).unwrap(), schedule);
+                assert_eq!(&FaultSpec::decode_wire(&mut r).unwrap(), plan);
+                assert_eq!(&AlgorithmSpec::decode_wire(&mut r).unwrap(), algorithm);
+                r.finish().unwrap();
+            }
         }
     }
 }
