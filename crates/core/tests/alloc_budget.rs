@@ -29,15 +29,21 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded unchanged to `System.alloc`; the caller
+        // upholds `GlobalAlloc`'s layout contract for us.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from a matching `alloc` on the
+        // same `System` allocator, per the `GlobalAlloc` contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded unchanged to `System.realloc`; `ptr` was
+        // allocated by this allocator with `layout`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -31,7 +31,7 @@ use stigmergy_algo::{
     agreement, election, flood, AgreementSession, ElectionSession, FloodSession, NodeStack,
     Outgoing, Status,
 };
-use stigmergy_geometry::Point;
+use stigmergy_geometry::{Point, Vec2};
 use stigmergy_robots::engine::DEFAULT_COLLISION_EPS;
 use stigmergy_robots::{Capabilities, Engine, MovementProtocol};
 use stigmergy_scheduler::rng::SplitMix64;
@@ -154,7 +154,8 @@ pub fn ring(n: usize, radius: f64) -> Vec<Point> {
         .map(|k| {
             let theta = std::f64::consts::TAU * (k as f64) / (n as f64);
             let r = radius * (1.0 + 0.03 * (k as f64 + 1.0) / (n as f64));
-            Point::new(r * theta.sin(), r * theta.cos())
+            let dir = Vec2::from_bearing(theta);
+            Point::new(r * dir.x, r * dir.y)
         })
         .collect()
 }

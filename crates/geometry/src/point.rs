@@ -82,6 +82,20 @@ impl Vec2 {
         Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
     }
 
+    /// The unit vector at compass bearing `radians` — measured
+    /// clockwise from +y ("North"), so `from_bearing(0.0)` is `(0, 1)`
+    /// and `from_bearing(π/2)` is `(1, 0)`.
+    ///
+    /// This is the vetted trig entry point for callers laying points
+    /// out on circles: keeping the single `sin_cos` call here keeps
+    /// every libm evaluation inside this crate, where the golden
+    /// traces pin its platform behavior.
+    #[must_use]
+    pub fn from_bearing(radians: f64) -> Vec2 {
+        let (s, c) = radians.sin_cos();
+        Vec2::new(s, c)
+    }
+
     /// The vector rotated 90° counter-clockwise.
     #[must_use]
     pub fn perp_ccw(self) -> Vec2 {

@@ -1,0 +1,9 @@
+//! Seeded violations: libm transcendentals in both call forms —
+//! method (`x.sin()`), path (`f64::cos(x)`), and the fused/exponent
+//! family (`mul_add`, `powf`).
+
+pub fn spread(x: f64) -> f64 {
+    let a = x.sin();
+    let b = f64::cos(x);
+    a.mul_add(b, x.powf(2.0))
+}

@@ -1,0 +1,16 @@
+//! Seeded violation: a `format!` allocation one call below the
+//! engine's activation root — the hot-alloc pass must find it through
+//! the subgraph walk, not just lexically in `step_inner` itself.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn step_inner(&mut self) {
+        emit_label(3);
+    }
+}
+
+fn emit_label(k: usize) {
+    let label = format!("robot-{k}");
+    let _ = label;
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: a panic site two calls from the accept loop,
+//! with the intermediate hop in another file (reach_helper.rs). The
+//! panic-reach pass must walk `listener -> stage_frame ->
+//! decode_header` across the file boundary.
+
+pub struct Shared;
+
+impl Shared {
+    pub fn listener(&self) {
+        loop {
+            stage_frame();
+            break;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Adversarial clean control: the same shape as reach_entry.rs, but
+//! the panicking chain sits inside `catch_unwind`, which reachability
+//! must not cross.
+
+pub struct Shared;
+
+impl Shared {
+    pub fn listener(&self) {
+        std::panic::catch_unwind(|| guarded_decode()).ok();
+    }
+}
+
+fn guarded_decode() {
+    let lens: Vec<usize> = Vec::new();
+    let _ = lens[0];
+}

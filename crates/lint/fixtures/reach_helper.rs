@@ -1,0 +1,11 @@
+//! The cross-file half of reach_entry.rs: the panic site lives at the
+//! bottom of a two-call chain from the staged accept loop.
+
+pub fn stage_frame() {
+    decode_header();
+}
+
+fn decode_header() {
+    let lens: Vec<usize> = Vec::new();
+    let _ = lens[0];
+}

@@ -1,0 +1,16 @@
+//! Seeded violations: an `unsafe` block with no `// SAFETY:` comment,
+//! an `unsafe impl` with none, and a `// SAFETY:` whose justification
+//! is empty.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn read_raw_empty_reason(p: *const u8) -> u8 {
+    // SAFETY:
+    unsafe { *p }
+}
+
+pub struct Token(pub *const u8);
+
+unsafe impl Send for Token {}

@@ -1,29 +1,39 @@
 //! `stiglint` — a zero-dependency static analyzer for this workspace.
 //!
-//! Five rule passes over a hand-rolled token stream (no rustc, no
-//! syn): `determinism`, `panic-safety`, `wire-completeness`,
-//! `lock-discipline`, and `lock-free`. See DESIGN.md §11 for the rule
-//! catalogue, suppression grammar, and false-positive policy.
+//! Nine rule passes (no rustc, no syn). Five walk single files'
+//! token streams: `determinism`, `panic-safety`, `wire-completeness`,
+//! `lock-discipline`, `lock-free`, `float-determinism` (six, counting
+//! the float pass). Three reason over the whole workspace through a
+//! [`WorkspaceIndex`] — a symbol table ([`symbols`]) plus a
+//! conservative call graph ([`callgraph`]): `panic-reach`,
+//! `unsafe-audit`, and `hot-alloc`; wire-completeness also uses the
+//! index to pair enums with codecs across files. See DESIGN.md §11
+//! for the rule catalogue, resolution rules, suppression grammar, and
+//! false-positive policy.
 //!
 //! Two entry points:
 //!
 //! - [`run_workspace`] — the CI mode: applies the policy in
-//!   [`config`] (which files are in which pass's scope, panic
-//!   budgets, the wire pairing table) to a workspace root.
+//!   [`config`] (scopes, budgets, roots, the wire pairing table) to a
+//!   workspace root.
 //! - [`run_paths`] — the fixture/spot-check mode: every pass over the
-//!   given files, panic budget 0, same-file wire inference on.
+//!   given files with panic budget 0 and no per-symbol budgets.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
+use callgraph::CallGraph;
 use scan::FileTokens;
+use symbols::SymbolTable;
 
 /// One finding. `rule` is the pass's stable name (used in suppression
 /// comments and JSON).
@@ -39,6 +49,48 @@ pub struct Violation {
     pub message: String,
 }
 
+/// The lexed workspace plus its symbol table and call graph — the
+/// input the semantic passes share. Building it once and handing it
+/// to every pass keeps the whole nine-pass run at one read and one
+/// lex per file.
+#[derive(Debug)]
+pub struct WorkspaceIndex {
+    /// Lexed files; `files[i].path` is the report path.
+    pub files: Vec<FileTokens>,
+    /// The symbol index over `files`.
+    pub table: SymbolTable,
+    /// The call graph over `table`.
+    pub graph: CallGraph,
+}
+
+impl WorkspaceIndex {
+    /// Builds the index from already-lexed files.
+    #[must_use]
+    pub fn new(files: Vec<FileTokens>) -> Self {
+        let paths: Vec<String> = files.iter().map(|f| f.path.clone()).collect();
+        let table = SymbolTable::build(&paths, &files);
+        let graph = CallGraph::build(&table, &files);
+        Self {
+            files,
+            table,
+            graph,
+        }
+    }
+
+    /// Builds the index straight from `(path, source)` pairs — the
+    /// form every unit test uses.
+    #[must_use]
+    pub fn from_sources(srcs: &[(&str, &str)]) -> Self {
+        Self::new(srcs.iter().map(|(p, s)| FileTokens::new(p, s)).collect())
+    }
+
+    /// The index of the file reported as `path`.
+    #[must_use]
+    pub fn file_idx(&self, path: &str) -> Option<usize> {
+        self.files.iter().position(|f| f.path == path)
+    }
+}
+
 fn load(root: &Path, rel: &str) -> io::Result<FileTokens> {
     let src = fs::read_to_string(root.join(rel))?;
     Ok(FileTokens::new(rel, &src))
@@ -48,32 +100,44 @@ fn load(root: &Path, rel: &str) -> io::Result<FileTokens> {
 /// holding the workspace `Cargo.toml`). Returns finalized (sorted,
 /// deduplicated) violations.
 pub fn run_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let idx = build_workspace_index(root)?;
     let mut out = Vec::new();
+
+    // Malformed suppressions anywhere in the index are violations.
+    for ft in &idx.files {
+        out.extend(ft.scan_violations.iter().cloned());
+    }
 
     // Pass 1: determinism over the deterministic scope.
     for rel in config::deterministic_files(root)? {
-        let ft = load(root, &rel)?;
-        out.extend(ft.scan_violations.iter().cloned());
-        out.extend(rules::determinism::check(&ft));
+        if let Some(fi) = idx.file_idx(&rel) {
+            out.extend(rules::determinism::check(&idx.files[fi]));
+        }
     }
 
     // Pass 2: panic-safety over the gateway, with per-file budgets.
     for rel in config::panic_files(root)? {
-        let ft = load(root, &rel)?;
-        out.extend(ft.scan_violations.iter().cloned());
-        out.extend(rules::panics::check(&ft, config::panic_budget(&rel)));
+        if let Some(fi) = idx.file_idx(&rel) {
+            out.extend(rules::panics::check(
+                &idx.files[fi],
+                config::panic_budget(&rel),
+            ));
+        }
     }
 
-    // Pass 3: wire-completeness — explicit table + same-file inference
-    // on the wire files.
+    // Pass 3: wire-completeness — the explicit table, then symbol-
+    // graph inference for every other enum with a codec impl, wherever
+    // the impl lives.
     for pairing in config::wire_pairings() {
         match (
-            load(root, pairing.enum_file),
-            load(root, pairing.codec_file),
+            idx.file_idx(pairing.enum_file),
+            idx.file_idx(pairing.codec_file),
         ) {
-            (Ok(eft), Ok(cft)) => {
-                out.extend(rules::wire_complete::check_pairing(&pairing, &eft, &cft))
-            }
+            (Some(ei), Some(ci)) => out.extend(rules::wire_complete::check_pairing(
+                &pairing,
+                &idx.files[ei],
+                &idx.files[ci],
+            )),
             _ => out.push(Violation {
                 file: pairing.enum_file.to_string(),
                 line: 1,
@@ -85,49 +149,109 @@ pub fn run_workspace(root: &Path) -> io::Result<Vec<Violation>> {
             }),
         }
     }
-    for rel in config::WIRE_INFERENCE_FILES {
-        if root.join(rel).is_file() {
-            let ft = load(root, rel)?;
-            out.extend(rules::wire_complete::check_inferred(&ft));
-        }
-    }
+    out.extend(rules::wire_complete::check_inferred_workspace(
+        &idx,
+        &config::wire_pairings(),
+    ));
 
     // Pass 4: lock-discipline over the gateway connections.
     for rel in config::LOCK_FILES {
-        if root.join(rel).is_file() {
-            let ft = load(root, rel)?;
-            out.extend(ft.scan_violations.iter().cloned());
-            out.extend(rules::locks::check(&ft));
+        if let Some(fi) = idx.file_idx(rel) {
+            out.extend(rules::locks::check(&idx.files[fi]));
         }
     }
 
     // Pass 5: lock-free over the steal scheduler — no blocking
     // synchronization primitives at all.
     for rel in config::LOCK_FREE_FILES {
-        if root.join(rel).is_file() {
-            let ft = load(root, rel)?;
-            out.extend(ft.scan_violations.iter().cloned());
-            out.extend(rules::locks::check_lockfree(&ft));
+        if let Some(fi) = idx.file_idx(rel) {
+            out.extend(rules::locks::check_lockfree(&idx.files[fi]));
         }
     }
+
+    // Pass 6: float-determinism over the deterministic scope minus the
+    // vetted wrapper crate.
+    for rel in config::float_files(root)? {
+        if let Some(fi) = idx.file_idx(&rel) {
+            out.extend(rules::float_det::check(&idx.files[fi]));
+        }
+    }
+
+    // Pass 7: unsafe-audit over everything indexed.
+    out.extend(rules::unsafe_audit::check(&idx));
+
+    // Pass 8: panic-reachability from the entry loops.
+    out.extend(rules::panic_reach::check(
+        &idx,
+        &rules::panic_reach::ReachPolicy {
+            roots: config::PANIC_REACH_ROOTS,
+            budget: config::PANIC_REACH_BUDGET,
+            require_roots: true,
+        },
+    ));
+
+    // Pass 9: hot-path-alloc over the activation/steal subgraphs.
+    out.extend(rules::hot_alloc::check(
+        &idx,
+        &rules::hot_alloc::AllocPolicy {
+            roots: config::HOT_ALLOC_ROOTS,
+            crates: Some(config::HOT_ALLOC_CRATES),
+            require_roots: true,
+        },
+    ));
 
     report::finalize(&mut out);
     Ok(out)
 }
 
-/// Runs every pass over explicit files: panic budget 0, same-file wire
-/// inference, lock discipline — the mode fixtures and spot checks use.
+/// Builds the [`WorkspaceIndex`] for the workspace at `root` — every
+/// crate's `src/` and `tests/` tree, loaded and lexed once.
+pub fn build_workspace_index(root: &Path) -> io::Result<WorkspaceIndex> {
+    let mut files = Vec::new();
+    for rel in config::workspace_files(root)? {
+        files.push(load(root, &rel)?);
+    }
+    Ok(WorkspaceIndex::new(files))
+}
+
+/// Runs every pass over explicit files: panic budget 0, no per-symbol
+/// budgets, inference-driven wire pairing, lock discipline, and the
+/// graph passes rooted at the same configured root suffixes (so a
+/// fixture tree can stage a `Shared::listener` of its own) — the mode
+/// fixtures and spot checks use.
 pub fn run_paths(paths: &[String]) -> io::Result<Vec<Violation>> {
-    let mut out = Vec::new();
+    let mut files = Vec::new();
     for p in paths {
         let src = fs::read_to_string(p)?;
-        let ft = FileTokens::new(p, &src);
-        out.extend(ft.scan_violations.iter().cloned());
-        out.extend(rules::determinism::check(&ft));
-        out.extend(rules::panics::check(&ft, 0));
-        out.extend(rules::wire_complete::check_inferred(&ft));
-        out.extend(rules::locks::check(&ft));
+        files.push(FileTokens::new(p, &src));
     }
+    let idx = WorkspaceIndex::new(files);
+    let mut out = Vec::new();
+    for ft in &idx.files {
+        out.extend(ft.scan_violations.iter().cloned());
+        out.extend(rules::determinism::check(ft));
+        out.extend(rules::panics::check(ft, 0));
+        out.extend(rules::locks::check(ft));
+        out.extend(rules::float_det::check(ft));
+    }
+    out.extend(rules::wire_complete::check_inferred_workspace(&idx, &[]));
+    out.extend(rules::unsafe_audit::check(&idx));
+    out.extend(rules::panic_reach::check(
+        &idx,
+        &rules::panic_reach::ReachPolicy {
+            roots: config::PANIC_REACH_ROOTS,
+            budget: &[],
+            require_roots: false,
+        },
+    ));
+    out.extend(rules::hot_alloc::check(
+        &idx,
+        &rules::hot_alloc::AllocPolicy {
+            roots: config::HOT_ALLOC_ROOTS,
+            crates: None,
+            require_roots: false,
+        },
+    ));
     report::finalize(&mut out);
     Ok(out)
 }

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! stiglint --workspace [--root DIR] [--json] [--deny]
+//! stiglint --graph-stats [--root DIR]
 //! stiglint [--json] [--deny] FILE...
 //! ```
 //!
 //! `--workspace` applies the configured policy; the file form runs
 //! every pass on the given files with panic budget 0 (fixture mode).
+//! `--graph-stats` prints call-graph resolution counters as JSON and
+//! exits 1 if the union-edge fraction exceeds the committed ceiling.
 //! `--deny` exits 1 when violations exist (CI wants this); without it
 //! the report prints but the exit code stays 0. Usage errors exit 2.
 
@@ -18,6 +21,7 @@ struct Args {
     root: Option<PathBuf>,
     json: bool,
     deny: bool,
+    graph_stats: bool,
     files: Vec<String>,
 }
 
@@ -27,6 +31,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         root: None,
         json: false,
         deny: false,
+        graph_stats: false,
         files: Vec::new(),
     };
     let mut i = 0usize;
@@ -35,6 +40,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--workspace" => a.workspace = true,
             "--json" => a.json = true,
             "--deny" => a.deny = true,
+            "--graph-stats" => a.graph_stats = true,
             "--root" => {
                 i += 1;
                 let dir = argv.get(i).ok_or("--root requires a directory")?;
@@ -49,16 +55,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if a.workspace && !a.files.is_empty() {
         return Err("--workspace and explicit files are mutually exclusive".to_string());
     }
-    if !a.workspace && a.files.is_empty() {
+    if !a.workspace && a.files.is_empty() && !a.graph_stats {
         return Err("nothing to lint: pass --workspace or one or more files".to_string());
     }
-    if a.root.is_some() && !a.workspace {
-        return Err("--root only applies with --workspace".to_string());
+    if a.root.is_some() && !a.workspace && !a.graph_stats {
+        return Err("--root only applies with --workspace or --graph-stats".to_string());
+    }
+    if a.graph_stats && !a.files.is_empty() {
+        return Err("--graph-stats reads the workspace, not explicit files".to_string());
     }
     Ok(a)
 }
 
-const USAGE: &str = "usage: stiglint --workspace [--root DIR] [--json] [--deny]\n       stiglint [--json] [--deny] FILE...";
+const USAGE: &str = "usage: stiglint --workspace [--root DIR] [--json] [--deny]\n       stiglint --graph-stats [--root DIR]\n       stiglint [--json] [--deny] FILE...";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -74,17 +83,13 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.graph_stats {
+        return run_graph_stats(args.root);
+    }
+
     let result = if args.workspace {
-        let root = match args.root.or_else(|| {
-            std::env::current_dir()
-                .ok()
-                .and_then(|d| lint::find_workspace_root(&d))
-        }) {
-            Some(r) => r,
-            None => {
-                eprintln!("stiglint: no workspace root found (no Cargo.toml with [workspace] above cwd; use --root)");
-                return ExitCode::from(2);
-            }
+        let Some(root) = resolve_root(args.root) else {
+            return ExitCode::from(2);
         };
         lint::run_workspace(&root)
     } else {
@@ -105,6 +110,51 @@ fn main() -> ExitCode {
         print!("{}", lint::report::human(&violations));
     }
     if args.deny && !violations.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn resolve_root(root: Option<PathBuf>) -> Option<PathBuf> {
+    let found = root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| lint::find_workspace_root(&d))
+    });
+    if found.is_none() {
+        eprintln!(
+            "stiglint: no workspace root found (no Cargo.toml with [workspace] above cwd; use --root)"
+        );
+    }
+    found
+}
+
+/// `--graph-stats`: print resolution-quality counters as JSON and fail
+/// (exit 1) if the union-edge fraction regresses above the committed
+/// ceiling — call-graph precision is ratcheted like any other budget.
+fn run_graph_stats(root: Option<PathBuf>) -> ExitCode {
+    let Some(root) = resolve_root(root) else {
+        return ExitCode::from(2);
+    };
+    let idx = match lint::build_workspace_index(&root) {
+        Ok(idx) => idx,
+        Err(e) => {
+            eprintln!("stiglint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stats = idx.graph.stats;
+    print!(
+        "{}",
+        lint::report::graph_stats_json(&stats, lint::config::MAX_UNION_FRACTION)
+    );
+    if stats.union_fraction() > lint::config::MAX_UNION_FRACTION {
+        eprintln!(
+            "stiglint: union-edge fraction {:.4} exceeds the committed ceiling {:.4}; \
+             improve receiver inference or justify raising MAX_UNION_FRACTION",
+            stats.union_fraction(),
+            lint::config::MAX_UNION_FRACTION
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -143,5 +193,13 @@ mod tests {
         assert!(args(&[]).is_err());
         assert!(args(&["--workspace", "a.rs"]).is_err());
         assert!(args(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn graph_stats_parses_alone_but_not_with_files() {
+        let a = args(&["--graph-stats"]).unwrap();
+        assert!(a.graph_stats);
+        assert!(args(&["--graph-stats", "--root", "x"]).is_ok());
+        assert!(args(&["--graph-stats", "a.rs"]).is_err());
     }
 }

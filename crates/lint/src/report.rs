@@ -69,6 +69,23 @@ pub fn json(violations: &[Violation]) -> String {
     s
 }
 
+/// Renders the `--graph-stats` JSON: resolution counters, the union
+/// fraction at fixed precision (stable across platforms), and the
+/// configured ceiling. One object, keys in fixed order, diffable.
+#[must_use]
+pub fn graph_stats_json(stats: &crate::callgraph::GraphStats, max_union_fraction: f64) -> String {
+    format!(
+        "{{\"fns\":{},\"resolved\":{},\"union\":{},\"extern\":{},\
+         \"union_fraction\":{:.4},\"max_union_fraction\":{:.4}}}\n",
+        stats.fns,
+        stats.resolved,
+        stats.union_edges,
+        stats.extern_edges,
+        stats.union_fraction(),
+        max_union_fraction,
+    )
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');

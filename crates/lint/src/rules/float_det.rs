@@ -1,0 +1,150 @@
+//! Float-determinism pass: ban non-portable float intrinsics outside
+//! the vetted wrappers in `crates/geometry`.
+//!
+//! The byte-identical-trace guarantee requires every float operation
+//! to produce the same bits on every platform. IEEE 754 specifies
+//! `+ - * / sqrt` (and exact ops like `floor`/`ceil`/`round`/`trunc`/
+//! `powi`/`abs`/`to_bits`) exactly — those are fine anywhere. The
+//! transcendentals (`sin`, `cos`, `atan2`, `powf`, …) and fused
+//! `mul_add` go through libm, whose results differ across platforms
+//! and libc versions; one call in trace-affecting code silently forks
+//! the golden corpus between machines.
+//!
+//! `crates/geometry` is the one place allowed to call them: its
+//! wrappers are the audited chokepoint (and the natural place to swap
+//! in a software implementation if cross-platform drift is ever
+//! observed). Everything else in determinism scope must route through
+//! geometry or use the exact subset.
+
+use crate::lexer::TokKind;
+use crate::scan::FileTokens;
+use crate::Violation;
+
+pub const RULE: &str = "float-determinism";
+
+/// libm-backed, platform-varying float methods.
+const BANNED: &[&str] = &[
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sin_cos",
+    "hypot",
+    "powf",
+    "mul_add",
+    "exp",
+    "exp2",
+    "exp_m1",
+    "ln",
+    "ln_1p",
+    "log",
+    "log2",
+    "log10",
+    "sinh",
+    "cosh",
+    "tanh",
+    "asinh",
+    "acosh",
+    "atanh",
+    "cbrt",
+    "to_degrees",
+    "to_radians",
+];
+
+/// Runs the pass over one in-scope file. Call sites only: a method
+/// call `.sin(` or a path call `f64::sin(`; a local named `cos` or a
+/// field access `a.sin` never match.
+#[must_use]
+pub fn check(ft: &FileTokens) -> Vec<Violation> {
+    let code = ft.code_indices();
+    let mut out = Vec::new();
+    for (c, &i) in code.iter().enumerate() {
+        let t = &ft.toks[i];
+        if t.kind != TokKind::Ident || !BANNED.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !code.get(c + 1).is_some_and(|&j| ft.toks[j].is_punct('(')) {
+            continue;
+        }
+        let method_call = c > 0 && ft.toks[code[c - 1]].is_punct('.');
+        let path_call =
+            c > 1 && ft.toks[code[c - 1]].is_punct(':') && ft.toks[code[c - 2]].is_punct(':');
+        if !(method_call || path_call) {
+            continue;
+        }
+        if ft.is_suppressed(RULE, t.line) {
+            continue;
+        }
+        out.push(Violation {
+            file: ft.path.clone(),
+            line: t.line,
+            rule: RULE,
+            message: format!(
+                "non-portable float intrinsic `{}()`: libm results vary across \
+                 platforms and fork the golden traces; route through the vetted \
+                 wrappers in crates/geometry",
+                t.text
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check(&FileTokens::new("f.rs", src))
+    }
+
+    #[test]
+    fn transcendental_method_calls_are_flagged() {
+        let v = run("let y = theta.sin() + r.powf(2.0);");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("`sin()`"));
+    }
+
+    #[test]
+    fn path_form_is_flagged() {
+        assert_eq!(run("let y = f64::atan2(a, b);").len(), 1);
+    }
+
+    #[test]
+    fn exact_ops_are_clean() {
+        assert!(run("let y = x.sqrt() + x.abs().floor() * x.powi(2) - x.trunc();").is_empty());
+    }
+
+    #[test]
+    fn plain_idents_and_fields_do_not_match() {
+        assert!(run("let sin = 1.0; let z = table.sin; sin_lookup(sin);").is_empty());
+    }
+
+    #[test]
+    fn free_fn_named_like_intrinsic_is_not_a_method() {
+        // Only `.sin(` / `::sin(` call forms match; a local helper
+        // `sin(x)` is someone's own (auditable) fn.
+        assert!(run("let y = sin(x);").is_empty());
+    }
+
+    #[test]
+    fn mul_add_is_banned_fma_contraction_differs() {
+        assert_eq!(run("let y = a.mul_add(b, c);").len(), 1);
+    }
+
+    #[test]
+    fn suppression_with_reason_is_honored() {
+        assert!(run(
+            "let y = theta.sin(); // stiglint: allow(float-determinism) -- display-only, not trace-affecting"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_code_is_invisible() {
+        assert!(run("#[test]\nfn t() { let y = x.sin(); }").is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Unsafe-audit pass: every `unsafe` block and `unsafe impl` must
+//! carry a `// SAFETY:` comment with a non-empty justification.
+//!
+//! `unsafe fn` *signatures* are exempt — declaring a fn unsafe states
+//! a contract for callers, it asserts nothing — but the `unsafe { … }`
+//! blocks that discharge such contracts (including inside `unsafe fn`
+//! bodies) are exactly where the justification belongs, matching
+//! clippy's `undocumented_unsafe_blocks` rationale.
+//!
+//! The comment is searched on the `unsafe` token's own line first,
+//! then upward line by line: comment-only lines continue the search,
+//! the first line containing code stops it. Findings name the
+//! enclosing symbol path from the workspace index so `cargo stiglint`
+//! output is navigable without opening the file.
+
+use crate::Violation;
+use crate::WorkspaceIndex;
+
+pub const RULE: &str = "unsafe-audit";
+
+/// Runs the audit over every indexed file.
+#[must_use]
+pub fn check(idx: &WorkspaceIndex) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (file_idx, ft) in idx.files.iter().enumerate() {
+        let code = ft.code_indices();
+        // Per-line facts: does the line hold any code token; does it
+        // hold a SAFETY comment, and is that comment's payload empty?
+        let mut line_has_code = std::collections::BTreeSet::new();
+        for &i in &code {
+            line_has_code.insert(ft.toks[i].line);
+        }
+        let mut safety_lines = std::collections::BTreeMap::new();
+        for t in &ft.toks {
+            if t.is_comment() {
+                if let Some(at) = t.text.find("SAFETY:") {
+                    let payload = t.text[at + "SAFETY:".len()..]
+                        .trim()
+                        .trim_end_matches("*/")
+                        .trim();
+                    safety_lines.insert(t.line, !payload.is_empty());
+                }
+            }
+        }
+        for (c, &i) in code.iter().enumerate() {
+            let t = &ft.toks[i];
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let next = code.get(c + 1).map(|&j| &ft.toks[j]);
+            let is_block = next.is_some_and(|n| n.is_punct('{'));
+            let is_impl = next.is_some_and(|n| n.is_ident("impl"));
+            if !is_block && !is_impl {
+                continue; // `unsafe fn` / `unsafe extern` — a contract
+            }
+            if ft.is_suppressed(RULE, t.line) {
+                continue;
+            }
+            let what = if is_impl {
+                "unsafe impl"
+            } else {
+                "unsafe block"
+            };
+            match find_safety(&safety_lines, &line_has_code, t.line) {
+                Some(true) => {}
+                Some(false) => out.push(violation(
+                    idx,
+                    file_idx,
+                    i,
+                    t.line,
+                    &format!("`{what}` has a `// SAFETY:` comment with an empty justification"),
+                )),
+                None => out.push(violation(
+                    idx,
+                    file_idx,
+                    i,
+                    t.line,
+                    &format!(
+                        "`{what}` without a `// SAFETY:` comment; state the invariant that \
+                         makes it sound on the line above"
+                    ),
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// Looks for a SAFETY comment covering an `unsafe` at `line`: the line
+/// itself, then upward while lines stay free of code. Returns whether
+/// the justification is non-empty, or `None` if no comment was found.
+fn find_safety(
+    safety_lines: &std::collections::BTreeMap<u32, bool>,
+    line_has_code: &std::collections::BTreeSet<u32>,
+    line: u32,
+) -> Option<bool> {
+    if let Some(&ok) = safety_lines.get(&line) {
+        return Some(ok);
+    }
+    let mut l = line.checked_sub(1)?;
+    loop {
+        if let Some(&ok) = safety_lines.get(&l) {
+            return Some(ok);
+        }
+        if line_has_code.contains(&l) {
+            return None;
+        }
+        l = l.checked_sub(1)?;
+        if line - l > 32 {
+            return None; // bound the walk; nobody writes 32 blank lines
+        }
+    }
+}
+
+fn violation(
+    idx: &WorkspaceIndex,
+    file_idx: usize,
+    tok_idx: usize,
+    line: u32,
+    message: &str,
+) -> Violation {
+    let ft = &idx.files[file_idx];
+    let place = idx.table.enclosing_fn(file_idx, tok_idx).map_or_else(
+        || idx.table.file_modules[file_idx].clone(),
+        |id| idx.table.fns[id].path(),
+    );
+    Violation {
+        file: ft.path.clone(),
+        line,
+        rule: RULE,
+        message: format!("{message} (in `{place}`)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkspaceIndex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check(&WorkspaceIndex::from_sources(&[(
+            "crates/a/src/lib.rs",
+            src,
+        )]))
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged_with_symbol_path() {
+        let v = run("pub fn init() { unsafe { poke() } }");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("without a `// SAFETY:`"));
+        assert!(v[0].message.contains("`a::init`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn safety_comment_above_satisfies() {
+        assert!(run(
+            "pub fn init() {\n    // SAFETY: the pointer was created by Box::into_raw above\n    unsafe { poke() }\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn safety_comment_same_line_satisfies() {
+        assert!(
+            run("pub fn init() { unsafe { poke() } // SAFETY: static init, single thread\n}")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn empty_justification_is_flagged() {
+        let v = run("pub fn init() {\n    // SAFETY:\n    unsafe { poke() }\n}");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("empty justification"));
+    }
+
+    #[test]
+    fn code_line_stops_the_upward_walk() {
+        let v = run(
+            "pub fn init() {\n    // SAFETY: this justifies the other block\n    let x = 1;\n    unsafe { poke() }\n}",
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_signature_is_exempt_but_inner_blocks_are_not() {
+        let v = run("pub unsafe fn raw(p: *mut u8) { unsafe { *p = 0 } }");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`a::raw`"));
+    }
+
+    #[test]
+    fn unsafe_impl_requires_safety() {
+        let v = run("pub struct X;\nunsafe impl Send for X {}");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unsafe impl"));
+        assert!(run(
+            "pub struct X;\n// SAFETY: X holds no thread-affine state\nunsafe impl Send for X {}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_a_block() {
+        assert!(run(
+            "pub fn init() {\n    // stiglint: allow(unsafe-audit) -- audited in DESIGN.md section 7\n    unsafe { poke() }\n}"
+        )
+        .is_empty());
+    }
+}

@@ -16,12 +16,13 @@
 //!
 //! Pairing comes from two sources:
 //!
-//! - An explicit cross-file table in [`crate::config`], for enums
-//!   defined in one file and encoded in another (spec enums live in
-//!   `scheduler::factory`, their codecs in `scheduler::wire`).
-//! - Same-file inference: an inherent `impl E { … }` in the same file
-//!   as `enum E` whose fns include any of [`CODEC_FNS`] is checked
-//!   automatically.
+//! - Symbol-graph inference: every workspace `enum E` is paired with
+//!   every inherent `impl E` holding fns named in [`CODEC_FNS`],
+//!   across file and crate boundaries ([`check_inferred_workspace`]).
+//! - An explicit table in [`crate::config`] for the cases inference
+//!   would get wrong — codecs whose arms live in a helper fn, and
+//!   sub-enums encoded by a parent's codec. A table row *replaces*
+//!   inference for its enum.
 
 use crate::scan::{enum_variants, find_enums, find_fn_bodies, FileTokens};
 use crate::Violation;
@@ -126,30 +127,73 @@ pub fn check_pairing(
     out
 }
 
-/// Same-file inference: pair every `enum E` with an inherent
-/// `impl E` in the same file whose fns include a codec name.
+/// Symbol-graph inference: pair every workspace `enum E` with the
+/// inherent `impl E` blocks holding codec-named fns, wherever those
+/// impls live. An enum declared in `scheduler::factory` with its
+/// codec in `scheduler::wire` is checked with no table entry. Enums
+/// the explicit table covers are skipped entirely — a table row is a
+/// reviewed statement of *which* fns carry the arms (e.g.
+/// `ScheduleSpec` decodes through the `decode_nested` helper, and
+/// inferring on its `decode_wire` shim would be a false positive).
 #[must_use]
-pub fn check_inferred(ft: &FileTokens) -> Vec<Violation> {
+pub fn check_inferred_workspace(
+    idx: &crate::WorkspaceIndex,
+    explicit: &[Pairing],
+) -> Vec<Violation> {
     let mut out = Vec::new();
-    for (ename, _) in find_enums(ft) {
-        let fns: Vec<String> = find_impls_named(ft, &ename)
-            .iter()
-            .flat_map(|span| find_fn_bodies(ft, *span))
-            .map(|(n, _, _)| n)
-            .filter(|n| CODEC_FNS.contains(&n.as_str()))
-            .collect();
-        if fns.is_empty() {
+    for e in &idx.table.enums {
+        if e.is_test {
             continue;
         }
-        let fn_refs: Vec<&str> = fns.iter().map(String::as_str).collect();
-        let pairing = Pairing {
-            enum_file: &ft.path,
-            enum_name: &ename,
-            codec_file: &ft.path,
-            impl_name: &ename,
-            fns: &fn_refs,
-        };
-        out.extend(check_pairing(&pairing, ft, ft));
+        let covered = explicit
+            .iter()
+            .any(|p| p.enum_name == e.name && p.enum_file == idx.files[e.file_idx].path);
+        if covered {
+            continue;
+        }
+        let enum_ft = &idx.files[e.file_idx];
+        let variants = enum_variants(enum_ft, e.span);
+        for imp in &idx.table.impls {
+            if imp.trait_name.is_some() || imp.type_name != e.name {
+                continue;
+            }
+            for &fn_id in &imp.fn_ids {
+                let f = &idx.table.fns[fn_id];
+                if f.is_test || !CODEC_FNS.contains(&f.name.as_str()) {
+                    continue;
+                }
+                let Some((open, close)) = f.body else {
+                    continue;
+                };
+                let codec_ft = &idx.files[f.file_idx];
+                if codec_ft.is_suppressed(RULE, codec_ft.toks[open].line) {
+                    continue;
+                }
+                let mut named = std::collections::BTreeSet::new();
+                for i in codec_ft.all_code_indices() {
+                    if i > open
+                        && i < close
+                        && codec_ft.toks[i].kind == crate::lexer::TokKind::Ident
+                    {
+                        named.insert(codec_ft.toks[i].text.as_str());
+                    }
+                }
+                for v in &variants {
+                    if !named.contains(v.as_str()) {
+                        out.push(Violation {
+                            file: codec_ft.path.clone(),
+                            line: codec_ft.toks[open].line,
+                            rule: RULE,
+                            message: format!(
+                                "`{}::{}` has no arm naming `{}::{v}`; \
+                                 a wildcard arm would hide it on the wire",
+                                e.name, f.name, e.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
     }
     out
 }
@@ -179,17 +223,63 @@ mod tests {
             pub fn decode(b: u8) -> Frame { match b { 0 => Frame::Ping, _ => Frame::Pong } }\n\
         }";
 
+    fn infer(srcs: &[(&str, &str)]) -> Vec<Violation> {
+        check_inferred_workspace(&crate::WorkspaceIndex::from_sources(srcs), &[])
+    }
+
     #[test]
     fn complete_codec_is_clean() {
-        assert!(check_inferred(&FileTokens::new("f.rs", COMPLETE)).is_empty());
+        assert!(infer(&[("f.rs", COMPLETE)]).is_empty());
     }
 
     #[test]
     fn missing_decode_arm_is_flagged() {
-        let v = check_inferred(&FileTokens::new("f.rs", MISSING));
+        let v = infer(&[("f.rs", MISSING)]);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("`Frame::decode`"));
         assert!(v[0].message.contains("`Frame::Data`"));
+    }
+
+    #[test]
+    fn cross_file_enum_and_codec_pair_with_no_table_entry() {
+        let v = infer(&[
+            (
+                "crates/scheduler/src/factory.rs",
+                "pub enum Spec { A, B, C }",
+            ),
+            (
+                "crates/scheduler/src/wire.rs",
+                "use crate::factory::Spec;\nimpl Spec {\n    pub fn encode_wire(&self) -> u8 { match self { Spec::A => 0, Spec::B => 1, Spec::C => 2 } }\n    pub fn decode_wire(b: u8) -> Spec { match b { 0 => Spec::A, _ => Spec::B } }\n}",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].file, "crates/scheduler/src/wire.rs");
+        assert!(v[0].message.contains("`Spec::decode_wire`"));
+        assert!(v[0].message.contains("`Spec::C`"));
+    }
+
+    #[test]
+    fn explicit_table_rows_override_inference_per_enum() {
+        // The decode arms live in a helper the table knows about; naive
+        // inference on the `decode_wire` shim must not fire.
+        let srcs: &[(&str, &str)] = &[
+            ("crates/s/src/factory.rs", "pub enum Spec { A, B }"),
+            (
+                "crates/s/src/wire.rs",
+                "impl Spec {\n    pub fn encode_wire(&self) -> u8 { match self { Spec::A => 0, Spec::B => 1 } }\n    pub fn decode_wire(b: u8) -> Spec { Spec::decode_nested(b, 0) }\n    fn decode_nested(b: u8, _d: u8) -> Spec { match b { 0 => Spec::A, _ => Spec::B } }\n}",
+            ),
+        ];
+        let idx = crate::WorkspaceIndex::from_sources(srcs);
+        // Without the row, the shim names neither variant: 2 findings.
+        assert_eq!(check_inferred_workspace(&idx, &[]).len(), 2);
+        let row = Pairing {
+            enum_file: "crates/s/src/factory.rs",
+            enum_name: "Spec",
+            codec_file: "crates/s/src/wire.rs",
+            impl_name: "Spec",
+            fns: &["encode_wire", "decode_nested"],
+        };
+        assert!(check_inferred_workspace(&idx, &[row]).is_empty());
     }
 
     #[test]
@@ -254,6 +344,6 @@ mod tests {
     #[test]
     fn non_codec_impls_are_not_inferred() {
         let src = "pub enum E { A, B }\nimpl E { pub fn helper(&self) {} }";
-        assert!(check_inferred(&FileTokens::new("f.rs", src)).is_empty());
+        assert!(infer(&[("f.rs", src)]).is_empty());
     }
 }

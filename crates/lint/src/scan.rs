@@ -13,14 +13,14 @@
 //! ```
 //!
 //! on the flagged line or the line directly above it. A comment that
-//! says `stiglint:` but fails to parse — wrong shape, unknown syntax,
-//! or a missing/empty reason — is itself a violation, so a suppression
-//! can never silently rot into a no-op.
+//! addresses the linter but fails to parse — wrong shape, unknown
+//! syntax, or a missing/empty reason — is itself a violation, so a
+//! suppression can never silently rot into a no-op.
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::Violation;
 
-/// One parsed `stiglint: allow(...)` comment.
+/// One parsed `allow(...)` suppression comment.
 #[derive(Debug, Clone)]
 pub struct Suppression {
     /// The rule being allowed (e.g. `determinism`).

@@ -196,6 +196,7 @@ impl<P: MovementProtocol> Engine<P> {
             if has_dropouts {
                 for j in 0..n {
                     if self.faults.drops_observation(i, j, time) {
+                        // stiglint: allow(hot-alloc) -- `dropped` is the engine's reused scratch (mem::take above); capacity persists across activations after the first
                         dropped.push(j);
                     }
                 }

@@ -65,6 +65,7 @@ impl View {
     /// the snapshot's index order so [`View::seal_others`] reproduces
     /// exactly what [`View::new`] would build).
     pub(crate) fn push_other(&mut self, observed: Observed) {
+        // stiglint: allow(hot-alloc) -- `others` is cleared (not shrunk) by `reset`; capacity reached on the first step is reused for the rest of the run
         self.others.push(observed);
     }
 

@@ -19,6 +19,7 @@ impl ActivationSet {
     #[must_use]
     pub fn empty(n: usize) -> Self {
         Self {
+            // stiglint: allow(hot-alloc) -- the set's backing words are sized exactly once here, at construction; every mutation reuses them
             bits: vec![0; n.div_ceil(64)],
             n,
         }
