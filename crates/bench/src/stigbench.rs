@@ -31,7 +31,7 @@ use stigmergy_fleet::{
     fnv1a64_update, run_batch, run_session, BatchSpec, ProtocolKind, SessionSpec, CONFORMANCE,
     DEFAULT_PAYLOAD,
 };
-use stigmergy_scheduler::{FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{CodingSpec, FaultSpec, ScheduleSpec};
 
 use crate::table::Table;
 use crate::workloads;
@@ -129,6 +129,11 @@ pub fn batch_workload(name: String, spec: &BatchSpec, workers: usize) -> Workloa
             ("faults", m.faults),
             ("retransmissions", m.retransmissions),
             ("corrupt", m.corrupt),
+            ("delivered_bits", m.delivered_bits),
+            ("fec_corrected", m.fec_corrected),
+            ("fec_rejected", m.fec_rejected),
+            ("delivered_rate_ppm", m.delivered_rate_ppm()),
+            ("steps_per_delivered_bit", m.steps_per_delivered_bit()),
             ("trace_fingerprint", fingerprint),
         ],
         wall_seconds: wall,
@@ -228,6 +233,12 @@ pub fn micro_workload(kind: ProtocolKind) -> WorkloadResult {
         payload: DEFAULT_PAYLOAD.to_vec(),
         budget_cap: None,
         keep_trace: false,
+        // The same coding the conformance sweep runs, so each micro row
+        // exercises the exact per-cell hot path.
+        coding: CodingSpec::Fec {
+            levels: 8,
+            dwell: 10,
+        },
     };
     let t0 = Instant::now();
     let report = run_session(&spec);
@@ -246,6 +257,9 @@ pub fn micro_workload(kind: ProtocolKind) -> WorkloadResult {
             ("moves", report.moves),
             ("faults", report.faults),
             ("delivered", u64::from(report.delivered)),
+            ("delivered_bits", report.delivered_bits),
+            ("fec_corrected", report.fec_corrected),
+            ("fec_rejected", report.fec_rejected),
             ("trace_len", report.trace_len as u64),
             ("trace_hash", report.trace_hash),
         ],
@@ -358,6 +372,12 @@ impl CheckOutcome {
 /// exactly equal counters (and vice versa — a vanished workload is
 /// drift too). `steps_per_sec` may degrade by at most `tolerance`
 /// (relative): `current >= baseline * (1 - tolerance)`.
+///
+/// The `delivered` counter additionally acts as a **ratchet**: falling
+/// below the baseline is reported as its own hard failure, separately
+/// from plain drift, so a change that costs delivered sessions can never
+/// be waved through as "just refresh the baseline" without the loss
+/// being named in the gate output.
 #[must_use]
 pub fn check(baseline: &str, current: &[WorkloadResult], tolerance: f64) -> CheckOutcome {
     let mut outcome = CheckOutcome::default();
@@ -371,9 +391,17 @@ pub fn check(baseline: &str, current: &[WorkloadResult], tolerance: f64) -> Chec
         for &(key, value) in &w.counters {
             match extract_u64(block, key) {
                 Some(expected) if expected == value => {}
-                Some(expected) => outcome
-                    .counter_drift
-                    .push(format!("{}: {key} = {value}, baseline {expected}", w.name)),
+                Some(expected) => {
+                    if key == "delivered" && value < expected {
+                        outcome.counter_drift.push(format!(
+                            "{}: delivered ratchet violated: {value} < baseline {expected}",
+                            w.name
+                        ));
+                    }
+                    outcome
+                        .counter_drift
+                        .push(format!("{}: {key} = {value}, baseline {expected}", w.name));
+                }
                 None => outcome
                     .counter_drift
                     .push(format!("{}: {key} missing from baseline", w.name)),
@@ -516,6 +544,27 @@ mod tests {
             .counter_drift
             .iter()
             .any(|d| d.contains("beta: in baseline but not produced")));
+    }
+
+    #[test]
+    fn delivered_ratchet_names_the_loss() {
+        let with_delivered = |n: u64| {
+            let mut w = fake("sweep-864", 100, 1.0);
+            w.counters.push(("delivered", n));
+            w
+        };
+        let baseline = to_json(&[with_delivered(200)]);
+        let dropped = check(&baseline, &[with_delivered(150)], 0.25);
+        assert!(!dropped.counters_ok());
+        assert!(dropped
+            .counter_drift
+            .iter()
+            .any(|d| d.contains("delivered ratchet violated: 150 < baseline 200")));
+        // An improvement is still exact-match drift (refresh the
+        // baseline), but it is not a ratchet violation.
+        let improved = check(&baseline, &[with_delivered(250)], 0.25);
+        assert!(!improved.counters_ok());
+        assert!(!improved.counter_drift.iter().any(|d| d.contains("ratchet")));
     }
 
     #[test]

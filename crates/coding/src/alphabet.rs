@@ -160,6 +160,125 @@ impl LevelAlphabet {
     }
 }
 
+/// A magnitude-only alphabet for the *paced* multi-symbol discipline.
+///
+/// Unlike [`LevelAlphabet`], which spends the move's *side* on one data
+/// bit, the paced protocols use the side purely for pacing (it alternates
+/// with the symbol index so the receiver can delimit symbols) and carry
+/// all `log2(levels)` data bits in the magnitude. Keeping side out of the
+/// data path is what lets a receiver that missed a whole symbol *detect*
+/// the miss from the side-parity skew and turn it into an erasure for
+/// [`fec`](crate::fec) instead of a silent bit slip.
+///
+/// Quantization is deterministic: fractions are snapped by rounding
+/// `fraction · levels` to the nearest integer, and anything below half
+/// the lowest level ([`MagnitudeAlphabet::silence_threshold`]) is
+/// *silence*, never a symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MagnitudeAlphabet {
+    levels: usize,
+}
+
+impl MagnitudeAlphabet {
+    /// Creates an alphabet of `levels` magnitudes (one symbol per level).
+    ///
+    /// `levels` must be a power of two so symbols carry a whole number of
+    /// bits and FEC blocks pack exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::AlphabetTooSmall`] unless `levels` is a
+    /// power of two and at least 2.
+    pub fn new(levels: usize) -> Result<Self, CodingError> {
+        if levels < 2 || !levels.is_power_of_two() {
+            return Err(CodingError::AlphabetTooSmall { got: levels });
+        }
+        Ok(Self { levels })
+    }
+
+    /// Number of distinct symbols (= magnitude levels).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.levels
+    }
+
+    /// Bits carried per symbol: `log2(levels)`, always exact.
+    #[must_use]
+    pub fn bits_per_symbol(&self) -> usize {
+        self.levels.trailing_zeros() as usize
+    }
+
+    /// The displacement fraction of `level`, uniform in `(0, 1]`:
+    /// `(level+1)/levels`, so even level 0 is a visible move.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::SymbolOutOfRange`] for `level ≥ levels`.
+    pub fn fraction(&self, level: usize) -> Result<f64, CodingError> {
+        if level >= self.levels {
+            return Err(CodingError::SymbolOutOfRange {
+                symbol: level,
+                alphabet: self.levels,
+            });
+        }
+        Ok((level + 1) as f64 / self.levels as f64)
+    }
+
+    /// Below this fraction an observation is *silence*, not a symbol:
+    /// half the lowest level, `0.5 / levels`.
+    #[must_use]
+    pub fn silence_threshold(&self) -> f64 {
+        0.5 / self.levels as f64
+    }
+
+    /// Deterministically quantizes an observed fraction: `None` for
+    /// silence (below [`MagnitudeAlphabet::silence_threshold`], NaN, or
+    /// negative), otherwise the nearest level, clamped.
+    #[must_use]
+    pub fn classify(&self, fraction: f64) -> Option<usize> {
+        if fraction.is_nan() || fraction < self.silence_threshold() {
+            return None;
+        }
+        let level = (fraction * self.levels as f64)
+            .round()
+            .clamp(1.0, self.levels as f64) as usize
+            - 1;
+        Some(level)
+    }
+
+    /// Packs a bit string into `bits_per_symbol`-wide words, MSB-first,
+    /// zero-padding the tail — the symbol stream handed to
+    /// [`fec`](crate::fec).
+    #[must_use]
+    pub fn pack(&self, bits: &BitString) -> Vec<u16> {
+        let w = self.bits_per_symbol();
+        bits.as_slice()
+            .chunks(w)
+            .map(|chunk| {
+                let mut v = 0u16;
+                for b in chunk {
+                    v = (v << 1) | u16::from(b.as_bool());
+                }
+                v << (w - chunk.len())
+            })
+            .collect()
+    }
+
+    /// Unpacks words back into a bit string, truncated to `count` bits to
+    /// strip [`MagnitudeAlphabet::pack`]'s padding.
+    #[must_use]
+    pub fn unpack(&self, symbols: &[u16], count: usize) -> BitString {
+        let w = self.bits_per_symbol();
+        let mut bits = BitString::new();
+        for &s in symbols {
+            for i in (0..w).rev() {
+                bits.push(Bit::from_bool(s & (1 << i) != 0));
+            }
+        }
+        bits.prefix(count)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +385,58 @@ mod tests {
         assert_eq!(LevelAlphabet::binary().moves_for(bits), 800);
         assert_eq!(LevelAlphabet::new(128).unwrap().moves_for(bits), 100);
         assert!(LevelAlphabet::new(8).unwrap().moves_for(bits) < 800 / 3);
+    }
+
+    #[test]
+    fn magnitude_construction_requires_power_of_two() {
+        for bad in [0usize, 1, 3, 6, 12] {
+            assert_eq!(
+                MagnitudeAlphabet::new(bad),
+                Err(CodingError::AlphabetTooSmall { got: bad })
+            );
+        }
+        for (levels, bits) in [(2usize, 1usize), (4, 2), (8, 3), (16, 4)] {
+            let a = MagnitudeAlphabet::new(levels).unwrap();
+            assert_eq!(a.size(), levels);
+            assert_eq!(a.bits_per_symbol(), bits);
+        }
+    }
+
+    #[test]
+    fn magnitude_fraction_classify_roundtrip() {
+        for levels in [2usize, 4, 8, 16] {
+            let a = MagnitudeAlphabet::new(levels).unwrap();
+            for level in 0..levels {
+                let f = a.fraction(level).unwrap();
+                assert!(f > 0.0 && f <= 1.0);
+                assert_eq!(a.classify(f), Some(level), "levels={levels} l={level}");
+                // Quantization tolerates noise just under half a level.
+                let noise = 0.4 / levels as f64;
+                assert_eq!(a.classify(f - noise), Some(level));
+                assert_eq!(a.classify((f + noise).min(1.0 + noise)), Some(level));
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_silence_is_never_a_symbol() {
+        let a = MagnitudeAlphabet::new(8).unwrap();
+        assert_eq!(a.classify(0.0), None);
+        assert_eq!(a.classify(-0.3), None);
+        assert_eq!(a.classify(f64::NAN), None);
+        assert_eq!(a.classify(a.silence_threshold() * 0.99), None);
+        assert_eq!(a.classify(a.silence_threshold()), Some(0));
+        assert!(a.fraction(8).is_err());
+    }
+
+    #[test]
+    fn magnitude_pack_unpack_roundtrip() {
+        let a = MagnitudeAlphabet::new(8).unwrap(); // 3 bits per word
+        let bits = BitString::parse("1011001110001").unwrap(); // 13 bits
+        let words = a.pack(&bits);
+        assert_eq!(words.len(), 5);
+        assert!(words.iter().all(|&w| usize::from(w) < a.size()));
+        assert_eq!(a.unpack(&words, bits.len()), bits);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`addressing`] — base-`k` encodings of robot indices (§5), used when a
 //!   granular cannot be sliced into `2n` distinguishable directions;
 //! * [`checksum`] — CRC-8 and parity, used by the fault-tolerant backup
-//!   channel demo to detect wireless corruption and fail over to movement.
+//!   channel demo to detect wireless corruption and fail over to movement;
+//! * [`fec`] — systematic Hamming(7,4) forward error correction over the
+//!   symbol stream, repairing single-symbol errors and erasures in place
+//!   instead of paying CRC-8's reject-and-retransmit round trip.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod addressing;
 pub mod alphabet;
 pub mod bits;
 pub mod checksum;
+pub mod fec;
 pub mod framing;
 
 pub use bits::{Bit, BitQueue, BitString};
@@ -77,6 +81,11 @@ pub enum CodingError {
     },
     /// A checksum did not match: the payload is corrupt.
     ChecksumMismatch,
+    /// A FEC block had more errors or erasures than the code corrects.
+    Uncorrectable {
+        /// Index of the offending block in the symbol stream.
+        block: usize,
+    },
 }
 
 impl fmt::Display for CodingError {
@@ -100,6 +109,9 @@ impl fmt::Display for CodingError {
                 "value {value} does not fit in {digits} base-{radix} digits"
             ),
             CodingError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            CodingError::Uncorrectable { block } => {
+                write!(f, "FEC block {block} is beyond the correction radius")
+            }
         }
     }
 }
@@ -128,6 +140,7 @@ mod tests {
                 digits: 3,
             },
             CodingError::ChecksumMismatch,
+            CodingError::Uncorrectable { block: 3 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -186,6 +186,145 @@ impl RetransmitPolicy {
     }
 }
 
+/// How many correction events saturate an [`AdaptiveBudget`].
+///
+/// Six pressure points halve the movement budgets six times (a 64×
+/// reduction), which is already "effectively immediate failover" for
+/// every policy in the workspace; deeper shifts would only lose the
+/// ability to recover quickly once the channel cleans up.
+pub const MAX_PRESSURE: u32 = 6;
+
+/// A [`RetransmitPolicy`] that adapts to forward-error-correction
+/// feedback from the secondary channel.
+///
+/// The hardened session spends movement instants before degrading to
+/// wireless. When the wireless FEC reports that it has been *correcting*
+/// recent frames, the secondary path is evidently both needed and
+/// working, so burning full movement budgets first is wasted time: each
+/// correction event raises a pressure level that **halves** every
+/// movement budget. An *uncorrectable* block is worse — the noise
+/// exceeds the correction radius — so it escalates pressure straight to
+/// [`MAX_PRESSURE`], collapsing the schedule to a single minimal
+/// movement attempt before failover. Clean (uncorrected) deliveries
+/// decay pressure one point at a time, restoring the configured budgets
+/// once the channel behaves again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveBudget {
+    policy: RetransmitPolicy,
+    pressure: u32,
+}
+
+impl AdaptiveBudget {
+    /// Wraps `policy` with zero initial pressure (budgets unchanged).
+    #[must_use]
+    pub fn new(policy: RetransmitPolicy) -> Self {
+        Self {
+            policy,
+            pressure: 0,
+        }
+    }
+
+    /// The underlying static policy.
+    #[must_use]
+    pub fn policy(&self) -> RetransmitPolicy {
+        self.policy
+    }
+
+    /// Current pressure level in `0..=MAX_PRESSURE`.
+    #[must_use]
+    pub fn pressure(&self) -> u32 {
+        self.pressure
+    }
+
+    /// Records a delivery the FEC had to repair (`symbols` > 0 symbol
+    /// corrections): one pressure point per event.
+    pub fn record_corrected(&mut self, symbols: u64) {
+        if symbols > 0 {
+            self.pressure = (self.pressure + 1).min(MAX_PRESSURE);
+        }
+    }
+
+    /// Records a block beyond the correction radius: pressure jumps to
+    /// [`MAX_PRESSURE`], so the next send escalates to wireless failover
+    /// after a single minimal movement attempt.
+    pub fn record_uncorrectable(&mut self) {
+        self.pressure = MAX_PRESSURE;
+    }
+
+    /// Records a clean delivery (no corrections needed): pressure decays
+    /// one point.
+    pub fn record_clean(&mut self) {
+        self.pressure = self.pressure.saturating_sub(1);
+    }
+
+    /// The adapted step budget of attempt `attempt` (0-based): the
+    /// policy's budget halved once per pressure point, never below 1.
+    #[must_use]
+    pub fn budget_for(&self, attempt: u32) -> u64 {
+        (self.policy.budget_for(attempt) >> self.pressure).max(1)
+    }
+
+    /// The adapted attempt count: the policy's, collapsing to a single
+    /// attempt at full pressure (escalation).
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        if self.pressure >= MAX_PRESSURE {
+            1
+        } else {
+            self.policy.max_attempts()
+        }
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    #[test]
+    fn zero_pressure_matches_the_policy() {
+        let a = AdaptiveBudget::new(RetransmitPolicy::new(3, 2_000, 2));
+        assert_eq!(a.pressure(), 0);
+        assert_eq!(a.budget_for(0), 2_000);
+        assert_eq!(a.budget_for(2), 8_000);
+        assert_eq!(a.max_attempts(), 3);
+    }
+
+    #[test]
+    fn corrections_halve_budgets_and_decay_restores_them() {
+        let mut a = AdaptiveBudget::new(RetransmitPolicy::new(3, 2_000, 2));
+        a.record_corrected(1);
+        a.record_corrected(5);
+        assert_eq!(a.pressure(), 2);
+        assert_eq!(a.budget_for(0), 500);
+        assert_eq!(a.max_attempts(), 3, "still below escalation");
+        a.record_clean();
+        assert_eq!(a.pressure(), 1);
+        assert_eq!(a.budget_for(0), 1_000);
+        a.record_clean();
+        a.record_clean();
+        assert_eq!(a.pressure(), 0, "decay saturates at zero");
+    }
+
+    #[test]
+    fn clean_deliveries_do_not_raise_pressure() {
+        let mut a = AdaptiveBudget::new(RetransmitPolicy::default());
+        a.record_corrected(0);
+        assert_eq!(a.pressure(), 0, "zero corrections is a clean event");
+    }
+
+    #[test]
+    fn uncorrectable_escalates_to_single_minimal_attempt() {
+        let mut a = AdaptiveBudget::new(RetransmitPolicy::new(3, 64, 2));
+        a.record_uncorrectable();
+        assert_eq!(a.pressure(), MAX_PRESSURE);
+        assert_eq!(a.max_attempts(), 1);
+        assert_eq!(a.budget_for(0), 1, "64 >> 6 floors at 1");
+        // Saturating: more corrections cannot push past the cap.
+        a.record_corrected(1);
+        assert_eq!(a.pressure(), MAX_PRESSURE);
+    }
+}
+
 #[cfg(test)]
 mod policy_tests {
     use super::*;

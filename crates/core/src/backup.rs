@@ -40,6 +40,7 @@ pub struct Wireless {
     rng: SplitMix64,
     loss_rate: f64,
     corruption_rate: f64,
+    burst: usize,
     fail_after: Option<u64>,
     transmissions: u64,
 }
@@ -53,22 +54,45 @@ impl Wireless {
 
     /// A device with the given per-transmission loss and corruption
     /// probabilities, optionally dying permanently after `fail_after`
-    /// transmissions (every later transmission is lost).
+    /// transmissions (every later transmission is lost). Corruption
+    /// events flip one bit in one byte.
     ///
     /// # Panics
     ///
     /// Panics if a rate is outside `[0, 1]`.
     #[must_use]
     pub fn new(seed: u64, loss_rate: f64, corruption_rate: f64, fail_after: Option<u64>) -> Self {
+        Self::noisy(seed, loss_rate, corruption_rate, 1, fail_after)
+    }
+
+    /// As [`Wireless::new`], but each corruption event flips one bit in
+    /// each of `burst` **distinct** bytes of the frame (clamped to the
+    /// frame length). A burst wider than a FEC interleaving block defeats
+    /// single-symbol correction, which is what the hardened session's
+    /// escalation path is tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate is outside `[0, 1]` or `burst` is zero.
+    #[must_use]
+    pub fn noisy(
+        seed: u64,
+        loss_rate: f64,
+        corruption_rate: f64,
+        burst: usize,
+        fail_after: Option<u64>,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&loss_rate), "loss rate in [0,1]");
         assert!(
             (0.0..=1.0).contains(&corruption_rate),
             "corruption rate in [0,1]"
         );
+        assert!(burst > 0, "burst must corrupt at least one byte");
         Self {
             rng: SplitMix64::new(seed),
             loss_rate,
             corruption_rate,
+            burst,
             fail_after,
             transmissions: 0,
         }
@@ -96,9 +120,16 @@ impl Channel for Wireless {
         }
         let mut data = frame.to_vec();
         if !data.is_empty() && self.rng.chance(self.corruption_rate) {
-            let byte = self.rng.below(data.len());
-            let bit = self.rng.below(8);
-            data[byte] ^= 1 << bit;
+            // Partial Fisher–Yates: the first `burst` entries of `order`
+            // are distinct byte indices, so a burst never cancels itself
+            // by flipping the same bit twice.
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            for k in 0..self.burst.min(data.len()) {
+                let j = k + self.rng.below(order.len() - k);
+                order.swap(k, j);
+                let bit = self.rng.below(8);
+                data[order[k]] ^= 1 << bit;
+            }
         }
         Delivery::Arrived(data)
     }

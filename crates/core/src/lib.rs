@@ -22,6 +22,9 @@
 //!
 //! plus the §5 extensions: broadcast, `k`-segment addressing, byte-level
 //! coding, flocking composition, and the wireless-failover backup channel.
+//! The [`paced`] module adds multi-symbol signalling with forward error
+//! correction — the byte optimisation re-derived so it survives
+//! adversarial fair schedulers and lossy movement.
 //!
 //! Most applications use the [`session`] façade, which wires protocols,
 //! frames, and schedulers together and exposes a message-passing API:
@@ -50,6 +53,7 @@ pub mod decode;
 pub mod flocking;
 pub mod kslice;
 pub mod naming;
+pub mod paced;
 pub mod preprocess;
 pub mod session;
 pub mod stabilize;

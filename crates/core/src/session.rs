@@ -23,7 +23,7 @@
 //! # Ok::<(), stigmergy::CoreError>(())
 //! ```
 
-use crate::ack::RetransmitPolicy;
+use crate::ack::{AdaptiveBudget, RetransmitPolicy};
 use crate::async2::{Async2, DriftPolicy};
 use crate::async_n::AsyncSwarm;
 use crate::backup::{Channel, Delivery, Wireless};
@@ -32,7 +32,7 @@ use crate::naming::{label_by_id, label_by_lex, label_by_sec};
 use crate::preprocess::{NamingScheme, SwarmGeometry};
 use crate::sync_swarm::SyncSwarm;
 use crate::CoreError;
-use stigmergy_coding::checksum::{protect, verify};
+use stigmergy_coding::fec::{protect_bytes, recover_bytes};
 use stigmergy_geometry::Point;
 use stigmergy_robots::{Capabilities, Engine, MovementProtocol};
 use stigmergy_scheduler::{FairAsync, FaultPlan, Schedule, Synchronous, WakeAllFirst};
@@ -599,6 +599,10 @@ pub struct SessionStats {
     pub secondary_ok: u64,
     /// Engine instants spent on movement delivery.
     pub movement_steps: u64,
+    /// Symbol corrections the secondary channel's FEC performed.
+    pub fec_corrected: u64,
+    /// Secondary frames rejected as beyond the correction radius.
+    pub fec_rejected: u64,
 }
 
 /// A fault-tolerant session: movement signals first, with per-message
@@ -611,12 +615,23 @@ pub struct SessionStats {
 /// paper's subject — carries the traffic, and the wireless device is the
 /// contingency for faults movement cannot survive (a crash-stopped
 /// robot cannot wiggle out a frame). Payloads crossing the secondary
-/// channel are CRC-8 protected, so a corrupted recovery is rejected and
-/// retried rather than silently accepted.
+/// channel are protected by the symbol-level forward error correction of
+/// [`stigmergy_coding::fec`]: a single corrupted byte per block is
+/// repaired in place instead of paying CRC-8's reject-and-retransmit
+/// round trip, and only noise beyond the correction radius forces a
+/// retry.
+///
+/// The retransmission schedule is *adaptive* ([`AdaptiveBudget`]): FEC
+/// corrections on the secondary path back off the movement budgets
+/// (the secondary is evidently needed and working), and an
+/// uncorrectable block escalates — subsequent sends spend a single
+/// minimal movement attempt before failing over, because one wireless
+/// retry costs a transmission while one movement attempt costs
+/// thousands of instants.
 #[derive(Debug)]
 pub struct HardenedSession {
     net: SyncNetwork,
-    policy: RetransmitPolicy,
+    adaptive: AdaptiveBudget,
     secondary: Wireless,
     secondary_inbox: Vec<(usize, usize, Vec<u8>)>,
     stats: SessionStats,
@@ -638,7 +653,7 @@ impl HardenedSession {
     ) -> Result<Self, CoreError> {
         Ok(Self {
             net: SyncNetwork::anonymous_with_direction(positions, seed)?,
-            policy,
+            adaptive: AdaptiveBudget::new(policy),
             secondary,
             secondary_inbox: Vec::new(),
             stats: SessionStats::default(),
@@ -695,7 +710,7 @@ impl HardenedSession {
         self.sends += 1;
         let baseline = self.delivered_copies(from, to, payload);
         let mut total_steps = 0u64;
-        for attempt in 0..self.policy.max_attempts() {
+        for attempt in 0..self.adaptive.max_attempts() {
             if let Some(robot) = self.crashed_endpoint(from, to) {
                 self.stats.degraded_crash += 1;
                 return self.send_secondary(
@@ -709,7 +724,7 @@ impl HardenedSession {
             if attempt > 0 {
                 self.stats.retransmissions += 1;
             }
-            let budget = self.policy.budget_for(attempt);
+            let budget = self.adaptive.budget_for(attempt);
             let mut crashed = None;
             for step in 0..budget {
                 self.net.run(1)?;
@@ -755,21 +770,36 @@ impl HardenedSession {
         payload: &[u8],
         reason: DegradeReason,
     ) -> Result<SessionRoute, CoreError> {
-        let framed = protect(payload);
-        for attempt in 1..=self.policy.max_attempts() {
+        let framed = protect_bytes(payload)
+            .map_err(|_| CoreError::PayloadTooLarge { len: payload.len() })?;
+        for attempt in 1..=self.adaptive.policy().max_attempts() {
             if let Delivery::Arrived(data) = self.secondary.transmit(from, to, &framed) {
-                if verify(&data).is_ok_and(|p| p == payload) {
-                    self.secondary_inbox.push((from, to, payload.to_vec()));
-                    self.stats.secondary_ok += 1;
-                    return Ok(SessionRoute::Secondary {
-                        reason,
-                        attempts: attempt,
-                    });
+                match recover_bytes(&data) {
+                    Ok((recovered, corrected)) if recovered == payload => {
+                        self.stats.fec_corrected += corrected;
+                        if corrected > 0 {
+                            self.adaptive.record_corrected(corrected);
+                        } else {
+                            self.adaptive.record_clean();
+                        }
+                        self.secondary_inbox.push((from, to, payload.to_vec()));
+                        self.stats.secondary_ok += 1;
+                        return Ok(SessionRoute::Secondary {
+                            reason,
+                            attempts: attempt,
+                        });
+                    }
+                    // Uncorrectable, or miscorrected into a frame that
+                    // is not ours — both mean noise beyond the radius.
+                    _ => {
+                        self.stats.fec_rejected += 1;
+                        self.adaptive.record_uncorrectable();
+                    }
                 }
             }
         }
         Err(CoreError::Timeout {
-            steps: self.policy.total_budget(),
+            steps: self.adaptive.policy().total_budget(),
         })
     }
 
@@ -829,10 +859,18 @@ impl HardenedSession {
         &self.net
     }
 
-    /// The retransmission policy.
+    /// The configured (pre-adaptation) retransmission policy.
     #[must_use]
     pub fn policy(&self) -> RetransmitPolicy {
-        self.policy
+        self.adaptive.policy()
+    }
+
+    /// The adaptive controller's current pressure level — 0 when the
+    /// secondary channel has been clean, up to
+    /// [`crate::ack::MAX_PRESSURE`] after uncorrectable noise.
+    #[must_use]
+    pub fn pressure(&self) -> u32 {
+        self.adaptive.pressure()
     }
 }
 
@@ -1124,6 +1162,83 @@ mod tests {
         let err = s.send(0, 2, b"doomed").unwrap_err();
         assert!(matches!(err, CoreError::Timeout { .. }), "got {err:?}");
         assert!(s.inbox(2).is_empty());
+    }
+
+    #[test]
+    fn hardened_secondary_heals_single_bit_corruption() {
+        // 100% corruption rate, single-bit bursts: every CRC-8 scheme
+        // would reject every frame, but the FEC repairs each one in
+        // place, so the first secondary attempt succeeds.
+        let mut s = HardenedSession::with_faults(
+            triangle(),
+            27,
+            RetransmitPolicy::default(),
+            Wireless::new(27, 0.0, 1.0, None),
+            FaultPlan::new(27).crash_stop(2, 0),
+        )
+        .unwrap();
+        let route = s.send(0, 2, b"healed").unwrap();
+        assert!(
+            matches!(route, SessionRoute::Secondary { attempts: 1, .. }),
+            "got {route:?}"
+        );
+        assert_eq!(s.inbox(2), vec![(0, b"healed".to_vec())]);
+        let stats = s.stats();
+        assert!(stats.fec_corrected >= 1, "the flip was corrected");
+        assert_eq!(stats.fec_rejected, 0);
+        assert_eq!(s.pressure(), 1, "one correction event");
+    }
+
+    #[test]
+    fn hardened_corrections_back_off_movement_budgets() {
+        // Budgets 4 + 8 instants cannot carry any frame, so each send
+        // times out of movement and recovers over the (always-corrupted,
+        // always-corrected) secondary. The correction raises pressure,
+        // halving the second send's movement budgets: 12 then 6 instants.
+        let mut s = HardenedSession::new(
+            triangle(),
+            28,
+            RetransmitPolicy::new(2, 4, 2),
+            Wireless::new(28, 0.0, 1.0, None),
+        )
+        .unwrap();
+        s.send(0, 1, b"first").unwrap();
+        assert_eq!(s.stats().movement_steps, 12);
+        assert_eq!(s.pressure(), 1);
+        s.send(0, 1, b"second").unwrap();
+        assert_eq!(s.stats().movement_steps, 12 + 6, "budgets halved");
+        assert_eq!(s.stats().secondary_ok, 2);
+        assert!(s.stats().fec_corrected >= 2);
+    }
+
+    #[test]
+    fn hardened_uncorrectable_bursts_escalate_to_failover() {
+        // An 8-byte burst in every frame puts at least one FEC block
+        // beyond the correction radius (a "healed" frame is 14 bytes in
+        // 2 blocks), so every secondary attempt is rejected and the send
+        // fails cleanly. The escalation collapses the next send's
+        // movement schedule to a single 1-instant attempt.
+        let mut s = HardenedSession::new(
+            triangle(),
+            29,
+            RetransmitPolicy::new(3, 4, 2),
+            Wireless::noisy(29, 0.0, 1.0, 8, None),
+        )
+        .unwrap();
+        let err = s.send(0, 1, b"jam").unwrap_err();
+        assert!(matches!(err, CoreError::Timeout { .. }), "got {err:?}");
+        assert_eq!(s.stats().movement_steps, 4 + 8 + 16);
+        assert_eq!(s.stats().fec_rejected, 3, "every retry was jammed");
+        assert_eq!(s.pressure(), crate::ack::MAX_PRESSURE);
+        let err = s.send(0, 1, b"jam").unwrap_err();
+        assert!(matches!(err, CoreError::Timeout { .. }), "got {err:?}");
+        assert_eq!(
+            s.stats().movement_steps,
+            28 + 1,
+            "escalated: one minimal movement attempt before failover"
+        );
+        assert_eq!(s.stats().fec_rejected, 6);
+        assert!(s.inbox(1).is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use stigmergy::ack::RetransmitPolicy;
 use stigmergy::async2::{Async2, DriftPolicy};
 use stigmergy::async_n::AsyncSwarm;
 use stigmergy::backup::Wireless;
+use stigmergy::paced::{Paced2, PacedConfig, PacedSwarm};
 use stigmergy::session::HardenedSession;
 use stigmergy::sync2::Sync2;
 use stigmergy::sync_swarm::SyncSwarm;
@@ -35,7 +36,7 @@ use stigmergy_geometry::{Point, Vec2};
 use stigmergy_robots::engine::DEFAULT_COLLISION_EPS;
 use stigmergy_robots::{Capabilities, Engine, MovementProtocol};
 use stigmergy_scheduler::rng::SplitMix64;
-use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec, WakeAllFirst};
+use stigmergy_scheduler::{AlgorithmSpec, CodingSpec, FaultSpec, ScheduleSpec, WakeAllFirst};
 
 /// Payload every batch session sends, unless overridden.
 pub const DEFAULT_PAYLOAD: &[u8] = b"adv";
@@ -184,6 +185,12 @@ pub struct BatchSpec {
     pub cohort: usize,
     /// Payload to send.
     pub payload: Vec<u8>,
+    /// The channel coding every synchronous session runs under.
+    /// [`CodingSpec::Binary`] reproduces the historical one-bit-per-
+    /// excursion protocols byte for byte; multi-level and FEC codings
+    /// instantiate the paced protocols instead. Asynchronous protocols
+    /// ignore this knob — their zone-entry decoding carries no magnitude.
+    pub coding: CodingSpec,
     /// Optional ceiling on every session's step budget — determinism
     /// tests run the full matrix at a small cap so whole traces fit in
     /// memory.
@@ -230,6 +237,14 @@ impl BatchSpec {
             seeds,
             cohort: 3,
             payload: DEFAULT_PAYLOAD.to_vec(),
+            // The paced multi-symbol channel with FEC: the synchronous
+            // protocols survive the adversarial schedules and fault plans
+            // the binary channel loses every cell of (the delivered-rate
+            // ratchet in CI pins the gain).
+            coding: CodingSpec::Fec {
+                levels: 8,
+                dwell: 10,
+            },
             budget_cap: None,
             keep_traces: false,
         }
@@ -274,6 +289,9 @@ impl BatchSpec {
             seeds,
             cohort: 3,
             payload: DEFAULT_PAYLOAD.to_vec(),
+            // Algorithms ride the asynchronous transport, which has no
+            // magnitude channel; binary keeps their traces pinned.
+            coding: CodingSpec::Binary,
             budget_cap: None,
             keep_traces: false,
         }
@@ -302,6 +320,11 @@ impl BatchSpec {
                             seed,
                             cohort: self.cohort,
                             payload: self.payload.clone(),
+                            coding: if algorithm.is_some() {
+                                CodingSpec::Binary
+                            } else {
+                                self.coding
+                            },
                             budget_cap: self.budget_cap,
                             keep_trace: self.keep_traces,
                         });
@@ -340,6 +363,9 @@ pub struct SessionSpec {
     pub cohort: usize,
     /// Payload to send.
     pub payload: Vec<u8>,
+    /// The channel coding (synchronous protocols only — see
+    /// [`BatchSpec::coding`]).
+    pub coding: CodingSpec,
     /// Optional budget ceiling.
     pub budget_cap: Option<u64>,
     /// Whether to retain the encoded trace in the report.
@@ -434,6 +460,13 @@ pub struct RunReport {
     /// Inbox entries that did not match the sent payload (must be 0:
     /// detect-or-reject end to end).
     pub corrupt: u64,
+    /// Payload bits delivered end to end (0 when undelivered, and for
+    /// algorithm sessions, whose traffic `algo.bits` counts).
+    pub delivered_bits: u64,
+    /// FEC symbol corrections (paced protocols; hardened secondary).
+    pub fec_corrected: u64,
+    /// FEC blocks rejected as beyond the correction radius.
+    pub fec_rejected: u64,
     /// Smallest pairwise distance over the recorded trace.
     pub min_distance: f64,
     /// Encoded trace length in bytes.
@@ -493,6 +526,9 @@ impl RunReport {
             faults: 0,
             retransmissions: 0,
             corrupt: 0,
+            delivered_bits: 0,
+            fec_corrected: 0,
+            fec_rejected: 0,
             min_distance: f64::INFINITY,
             trace_len: 0,
             trace_hash: fnv1a64(&[]),
@@ -511,6 +547,9 @@ impl RunReport {
             faults: self.faults,
             retransmissions: self.retransmissions,
             corrupt: self.corrupt,
+            delivered_bits: self.delivered_bits,
+            fec_corrected: self.fec_corrected,
+            fec_rejected: self.fec_rejected,
             algo_rounds: self.algo.map_or(0, |a| a.rounds),
             algo_bits: self.algo.map_or(0, |a| a.bits),
             algo_decided: self
@@ -674,35 +713,77 @@ pub fn run_session(spec: &SessionSpec) -> RunReport {
     if let Some(algorithm) = spec.algorithm {
         return run_algo_session(spec, algorithm);
     }
-    match spec.protocol {
-        ProtocolKind::Sync2 => run_pair(spec, Sync2::new, Sync2::inbox),
-        ProtocolKind::Async2 => run_pair(spec, || Async2::new(DriftPolicy::Diverge), Async2::inbox),
-        ProtocolKind::SyncSwarmRouted => run_swarm(
+    let paced = paced_config(spec.coding);
+    match (spec.protocol, paced) {
+        (ProtocolKind::Sync2, Some(cfg)) => run_pair(spec, move || Paced2::new(cfg), Paced2::inbox),
+        (ProtocolKind::Sync2, None) => run_pair(spec, Sync2::new, Sync2::inbox),
+        (ProtocolKind::Async2, _) => {
+            run_pair(spec, || Async2::new(DriftPolicy::Diverge), Async2::inbox)
+        }
+        (ProtocolKind::SyncSwarmRouted, Some(cfg)) => run_swarm(
+            spec,
+            move || PacedSwarm::routed(cfg),
+            Capabilities::identified_with_direction(),
+            |e, to| label_by_id(e.ids().unwrap()).unwrap().label_of(to),
+        ),
+        (ProtocolKind::SyncSwarmRouted, None) => run_swarm(
             spec,
             SyncSwarm::routed,
             Capabilities::identified_with_direction(),
             |e, to| label_by_id(e.ids().unwrap()).unwrap().label_of(to),
         ),
-        ProtocolKind::SyncSwarmLex => run_swarm(
+        (ProtocolKind::SyncSwarmLex, Some(cfg)) => run_swarm(
+            spec,
+            move || PacedSwarm::anonymous_with_direction(cfg),
+            Capabilities::anonymous_with_direction(),
+            |e, to| label_by_lex(e.trace().initial()).unwrap().label_of(to),
+        ),
+        (ProtocolKind::SyncSwarmLex, None) => run_swarm(
             spec,
             SyncSwarm::anonymous_with_direction,
             Capabilities::anonymous_with_direction(),
             |e, to| label_by_lex(e.trace().initial()).unwrap().label_of(to),
         ),
-        ProtocolKind::SyncSwarmSec => run_swarm(
+        (ProtocolKind::SyncSwarmSec, Some(cfg)) => run_swarm(
+            spec,
+            move || PacedSwarm::anonymous(cfg),
+            Capabilities::anonymous(),
+            |e, to| label_by_sec(e.trace().initial(), 0).unwrap().label_of(to),
+        ),
+        (ProtocolKind::SyncSwarmSec, None) => run_swarm(
             spec,
             SyncSwarm::anonymous,
             Capabilities::anonymous(),
             |e, to| label_by_sec(e.trace().initial(), 0).unwrap().label_of(to),
         ),
-        ProtocolKind::AsyncSwarm => run_swarm(
+        (ProtocolKind::AsyncSwarm, _) => run_swarm(
             spec,
             AsyncSwarm::anonymous,
             Capabilities::anonymous(),
             |e, to| label_by_sec(e.trace().initial(), 0).unwrap().label_of(to),
         ),
-        ProtocolKind::Hardened => run_hardened(spec),
+        (ProtocolKind::Hardened, _) => run_hardened(spec),
     }
+}
+
+/// Translates a [`CodingSpec`] into the paced channel's config — `None`
+/// for binary, which keeps the historical protocols (and their traces)
+/// untouched.
+///
+/// # Panics
+///
+/// Panics on an invalid spec (non-power-of-two levels, zero dwell);
+/// `run_session_contained` turns that into a poisoned report.
+fn paced_config(coding: CodingSpec) -> Option<PacedConfig> {
+    let (levels, dwell, fec) = match coding {
+        CodingSpec::Binary => return None,
+        CodingSpec::MultiLevel { levels, dwell } => (levels, dwell, false),
+        CodingSpec::Fec { levels, dwell } => (levels, dwell, true),
+    };
+    Some(
+        PacedConfig::new(usize::from(levels), u32::from(dwell), fec)
+            .expect("coding spec with valid levels and dwell"),
+    )
 }
 
 /// Shared engine-driving shape, mirroring the adversarial suite: one
@@ -718,18 +799,20 @@ pub fn run_session(spec: &SessionSpec) -> RunReport {
 /// bit-identical to the legacy record-then-encode path — the golden-trace
 /// suite compares these bytes against goldens generated before the
 /// rewrite.
-fn drive<P, Q, D, C>(
+fn drive<P, Q, D, C, FE>(
     spec: &SessionSpec,
     mut engine: Engine<P>,
     queue: Q,
     delivered: D,
     corrupt_of: C,
+    fec_of: FE,
 ) -> RunReport
 where
     P: MovementProtocol + 'static,
     Q: FnOnce(&mut Engine<P>),
     D: Fn(&Engine<P>) -> bool,
     C: Fn(&Engine<P>) -> u64,
+    FE: Fn(&Engine<P>) -> (u64, u64),
 {
     let encoder = Rc::new(RefCell::new(TraceEncoder::new(engine.positions())));
     let sink = Rc::clone(&encoder);
@@ -753,6 +836,7 @@ where
         }
     }
     let corrupt = corrupt_of(&engine);
+    let fec = fec_of(&engine);
     let encoder = encoder.borrow();
     finish(
         spec,
@@ -762,6 +846,7 @@ where
         steps_to_delivery,
         0,
         corrupt,
+        fec,
         error,
     )
 }
@@ -777,6 +862,7 @@ fn finish<P: MovementProtocol>(
     steps_to_delivery: Option<u64>,
     retransmissions: u64,
     corrupt: u64,
+    fec: (u64, u64),
     mut error: Option<String>,
 ) -> RunReport {
     let stats = engine.stats();
@@ -800,12 +886,25 @@ fn finish<P: MovementProtocol>(
         faults: stats.faults_injected,
         retransmissions,
         corrupt,
+        delivered_bits: delivered_payload_bits(spec, delivered),
+        fec_corrected: fec.0,
+        fec_rejected: fec.1,
         min_distance,
         trace_len: encoder.encoded_len(),
         trace_hash: encoder.fingerprint(),
         trace: spec.keep_trace.then(|| encoder.to_bytes()),
         algo: None,
         error,
+    }
+}
+
+/// The payload bits a delivered session moved end to end. Algorithm
+/// sessions report 0 here — their traffic is metered in `algo.bits`.
+fn delivered_payload_bits(spec: &SessionSpec, delivered: bool) -> u64 {
+    if delivered && spec.algorithm.is_none() {
+        8 * spec.payload.len() as u64
+    } else {
+        0
     }
 }
 
@@ -842,6 +941,10 @@ where
                 .iter()
                 .filter(|m| *m != &spec.payload)
                 .count() as u64
+        },
+        |e| {
+            let (a, b) = (e.protocol(0).fec_stats(), e.protocol(1).fec_stats());
+            (a.0 + b.0, a.1 + b.1)
         },
     )
 }
@@ -891,6 +994,12 @@ where
                 .filter(|p| *p != &spec.payload)
                 .count() as u64
         },
+        |e| {
+            (0..n).fold((0, 0), |(c, r), i| {
+                let (ci, ri) = e.protocol(i).fec_stats();
+                (c + ci, r + ri)
+            })
+        },
     )
 }
 
@@ -935,6 +1044,9 @@ fn run_hardened(spec: &SessionSpec) -> RunReport {
         faults: report.faults_injected,
         retransmissions: stats.retransmissions,
         corrupt,
+        delivered_bits: delivered_payload_bits(spec, delivered),
+        fec_corrected: stats.fec_corrected,
+        fec_rejected: stats.fec_rejected,
         min_distance,
         trace_len: bytes.len(),
         trace_hash: fnv1a64(&bytes),
@@ -1217,6 +1329,7 @@ fn run_algo_session(spec: &SessionSpec, algorithm: AlgorithmSpec) -> RunReport {
         steps_to_delivery,
         0,
         corrupt,
+        (0, 0),
         error,
     );
     report.algo = Some(algo);
@@ -1226,6 +1339,11 @@ fn run_algo_session(spec: &SessionSpec, algorithm: AlgorithmSpec) -> RunReport {
 /// Uniform access to the pair protocols' send queue.
 trait PairProto {
     fn send_payload(&mut self, payload: &[u8]);
+    /// `(corrected, rejected)` FEC counters; protocols without a coded
+    /// channel report zeros.
+    fn fec_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl PairProto for Sync2 {
@@ -1240,10 +1358,25 @@ impl PairProto for Async2 {
     }
 }
 
+impl PairProto for Paced2 {
+    fn send_payload(&mut self, payload: &[u8]) {
+        self.send(payload);
+    }
+
+    fn fec_stats(&self) -> (u64, u64) {
+        (self.fec_corrected(), self.fec_rejected())
+    }
+}
+
 /// Uniform access to the swarm protocols' queues and inboxes.
 trait SwarmProto {
     fn send_to(&mut self, label: usize, payload: &[u8]);
     fn payloads(&self) -> Vec<Vec<u8>>;
+    /// `(corrected, rejected)` FEC counters; protocols without a coded
+    /// channel report zeros.
+    fn fec_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl SwarmProto for SyncSwarm {
@@ -1263,6 +1396,20 @@ impl SwarmProto for AsyncSwarm {
 
     fn payloads(&self) -> Vec<Vec<u8>> {
         self.inbox().iter().map(|m| m.payload.clone()).collect()
+    }
+}
+
+impl SwarmProto for PacedSwarm {
+    fn send_to(&mut self, label: usize, payload: &[u8]) {
+        self.send_label(label, payload);
+    }
+
+    fn payloads(&self) -> Vec<Vec<u8>> {
+        self.inbox().iter().map(|m| m.payload.clone()).collect()
+    }
+
+    fn fec_stats(&self) -> (u64, u64) {
+        (self.fec_corrected(), self.fec_rejected())
     }
 }
 
@@ -1303,6 +1450,7 @@ mod tests {
             payload: DEFAULT_PAYLOAD.to_vec(),
             budget_cap: None,
             keep_trace: false,
+            coding: CodingSpec::Binary,
         };
         assert_eq!(spec.frame_seed(), 0xFA01);
         assert_eq!(spec.plan_seed(), 0xA1);
@@ -1345,6 +1493,7 @@ mod tests {
             payload: DEFAULT_PAYLOAD.to_vec(),
             budget_cap: Some(2_000),
             keep_trace: true,
+            coding: CodingSpec::Binary,
         };
         let a = run_session(&spec);
         let b = run_session(&spec);
@@ -1366,6 +1515,7 @@ mod tests {
             payload: DEFAULT_PAYLOAD.to_vec(),
             budget_cap: Some(3_000),
             keep_traces: false,
+            coding: CodingSpec::Binary,
         };
         let report = run_batch(&spec, 2);
         assert_eq!(report.runs.len(), 6);
@@ -1443,6 +1593,7 @@ mod tests {
             payload: DEFAULT_PAYLOAD.to_vec(),
             budget_cap: None,
             keep_trace: false,
+            coding: CodingSpec::Binary,
         };
         let report = run_session_contained(&spec);
         let error = report.error.as_deref().expect("poisoned report errors");
@@ -1479,12 +1630,107 @@ mod tests {
             payload: b"hardened".to_vec(),
             budget_cap: None,
             keep_trace: false,
+            coding: CodingSpec::Binary,
         };
         let report = run_session(&spec);
         assert!(report.delivered);
         assert!(report.error.is_none());
         assert_eq!(report.corrupt, 0);
         assert_eq!(run_session(&spec), report, "hardened runs replay too");
+    }
+
+    fn paced_spec(coding: CodingSpec) -> SessionSpec {
+        SessionSpec {
+            protocol: ProtocolKind::Sync2,
+            algorithm: None,
+            schedule: ScheduleSpec::LaggingReceiver { max_gap: 8 },
+            plan: FaultSpec::NonRigid {
+                delta: 0.35,
+                prob: 0.5,
+            },
+            seed: 0,
+            cohort: 3,
+            payload: b"adv".to_vec(),
+            budget_cap: None,
+            keep_trace: false,
+            coding,
+        }
+    }
+
+    #[test]
+    fn paced_sync_pair_delivers_where_legacy_times_out() {
+        // The adversarial cell that zeroes every legacy sync protocol:
+        // lagging receiver plus non-rigid movement. The paced coding
+        // layer's dwell/terminator framing survives it.
+        let legacy = run_session(&paced_spec(CodingSpec::Binary));
+        assert!(!legacy.delivered, "legacy sync2 should still time out");
+        let paced = run_session(&paced_spec(CodingSpec::Fec {
+            levels: 8,
+            dwell: 10,
+        }));
+        assert!(paced.delivered, "paced sync2 must get the payload through");
+        assert!(paced.error.is_none());
+        assert_eq!(paced.corrupt, 0, "detect-or-reject holds under coding");
+        assert_eq!(paced.delivered_bits, 24, "3 payload bytes delivered");
+    }
+
+    #[test]
+    fn paced_sessions_replay_byte_identically() {
+        let spec = SessionSpec {
+            keep_trace: true,
+            ..paced_spec(CodingSpec::MultiLevel {
+                levels: 4,
+                dwell: 10,
+            })
+        };
+        let a = run_session(&spec);
+        let b = run_session(&spec);
+        assert_eq!(a, b, "paced runs replay byte-identically");
+        assert!(a.trace.is_some());
+    }
+
+    #[test]
+    fn invalid_coding_spec_is_poisoned_not_fatal() {
+        // 3 levels is not a power of two: `PacedConfig::new` rejects it,
+        // and the containment wrapper turns the panic into a report.
+        let spec = paced_spec(CodingSpec::MultiLevel {
+            levels: 3,
+            dwell: 10,
+        });
+        let report = run_session_contained(&spec);
+        let error = report.error.as_deref().expect("poisoned report errors");
+        assert!(error.starts_with("session panicked:"), "{error}");
+        assert!(!report.delivered);
+    }
+
+    #[test]
+    fn worker_count_is_invisible_for_coded_batches() {
+        // A k>2 batch must fingerprint identically whether one worker or
+        // four drive it — the steal schedule cannot leak into coded runs.
+        let spec = BatchSpec {
+            protocols: vec![ProtocolKind::Sync2, ProtocolKind::SyncSwarmLex],
+            algorithms: vec![],
+            schedules: vec![ScheduleSpec::LaggingReceiver { max_gap: 8 }],
+            plans: vec![FaultSpec::Dropout { prob: 0.1 }],
+            seeds: vec![0, 1],
+            cohort: 3,
+            payload: b"adv".to_vec(),
+            budget_cap: Some(50_000),
+            keep_traces: false,
+            coding: CodingSpec::Fec {
+                levels: 8,
+                dwell: 10,
+            },
+        };
+        let serial = run_batch(&spec, 1);
+        let pooled = run_batch(&spec, 4);
+        assert_eq!(serial.runs, pooled.runs);
+        assert_eq!(serial.metrics, pooled.metrics);
+        assert!(serial
+            .runs
+            .iter()
+            .zip(pooled.runs.iter())
+            .all(|(a, b)| a.trace_hash == b.trace_hash));
     }
 
     fn algo_spec(algorithm: AlgorithmSpec, plan: FaultSpec) -> SessionSpec {
@@ -1498,6 +1744,7 @@ mod tests {
             payload: b"adv".to_vec(),
             budget_cap: None,
             keep_trace: false,
+            coding: CodingSpec::Binary,
         }
     }
 

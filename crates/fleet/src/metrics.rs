@@ -163,6 +163,9 @@ pub struct FleetMetrics {
     faults: AtomicU64,
     retransmissions: AtomicU64,
     corrupt: AtomicU64,
+    delivered_bits: AtomicU64,
+    fec_corrected: AtomicU64,
+    fec_rejected: AtomicU64,
     algo_rounds: AtomicU64,
     algo_bits: AtomicU64,
     algo_decided: AtomicU64,
@@ -192,6 +195,9 @@ impl FleetMetrics {
             faults: AtomicU64::new(0),
             retransmissions: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            delivered_bits: AtomicU64::new(0),
+            fec_corrected: AtomicU64::new(0),
+            fec_rejected: AtomicU64::new(0),
             algo_rounds: AtomicU64::new(0),
             algo_bits: AtomicU64::new(0),
             algo_decided: AtomicU64::new(0),
@@ -219,6 +225,12 @@ impl FleetMetrics {
         self.retransmissions
             .fetch_add(outcome.retransmissions, Ordering::Relaxed);
         self.corrupt.fetch_add(outcome.corrupt, Ordering::Relaxed);
+        self.delivered_bits
+            .fetch_add(outcome.delivered_bits, Ordering::Relaxed);
+        self.fec_corrected
+            .fetch_add(outcome.fec_corrected, Ordering::Relaxed);
+        self.fec_rejected
+            .fetch_add(outcome.fec_rejected, Ordering::Relaxed);
         self.algo_rounds
             .fetch_add(outcome.algo_rounds, Ordering::Relaxed);
         self.algo_bits
@@ -246,6 +258,9 @@ impl FleetMetrics {
             faults: self.faults.load(Ordering::Relaxed),
             retransmissions: self.retransmissions.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            delivered_bits: self.delivered_bits.load(Ordering::Relaxed),
+            fec_corrected: self.fec_corrected.load(Ordering::Relaxed),
+            fec_rejected: self.fec_rejected.load(Ordering::Relaxed),
             algo_rounds: self.algo_rounds.load(Ordering::Relaxed),
             algo_bits: self.algo_bits.load(Ordering::Relaxed),
             algo_decided: self.algo_decided.load(Ordering::Relaxed),
@@ -275,6 +290,15 @@ pub struct SessionOutcome {
     pub retransmissions: u64,
     /// Corrupted payloads surfaced to an inbox (must stay 0).
     pub corrupt: u64,
+    /// Payload bits delivered end to end (8 per payload byte when the
+    /// session delivered; 0 otherwise and for algorithm sessions, whose
+    /// traffic is already counted in `algo_bits`).
+    pub delivered_bits: u64,
+    /// Symbol corrections the session's FEC performed (paced protocols
+    /// and the hardened secondary channel; 0 elsewhere).
+    pub fec_corrected: u64,
+    /// FEC blocks rejected as beyond the correction radius.
+    pub fec_rejected: u64,
     /// Algorithm rounds executed (algorithm sessions; max over robots).
     pub algo_rounds: u64,
     /// Algorithm traffic in channel bits (16-bit header + 8 per byte,
@@ -307,6 +331,12 @@ pub struct MetricsSnapshot {
     pub retransmissions: u64,
     /// Total corrupted deliveries (must stay 0).
     pub corrupt: u64,
+    /// Total payload bits delivered end to end.
+    pub delivered_bits: u64,
+    /// Total FEC symbol corrections.
+    pub fec_corrected: u64,
+    /// Total FEC blocks rejected as uncorrectable.
+    pub fec_rejected: u64,
     /// Total algorithm rounds across algorithm sessions.
     pub algo_rounds: u64,
     /// Total algorithm traffic in channel bits.
@@ -353,6 +383,9 @@ impl MetricsSnapshot {
         self.faults += other.faults;
         self.retransmissions += other.retransmissions;
         self.corrupt += other.corrupt;
+        self.delivered_bits += other.delivered_bits;
+        self.fec_corrected += other.fec_corrected;
+        self.fec_rejected += other.fec_rejected;
         self.algo_rounds += other.algo_rounds;
         self.algo_bits += other.algo_bits;
         self.algo_decided += other.algo_decided;
@@ -385,6 +418,25 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Delivered sessions per million sessions — the fleet's delivery
+    /// rate as an exact integer (no float drift across platforms). Zero
+    /// before any session.
+    #[must_use]
+    pub fn delivered_rate_ppm(&self) -> u64 {
+        (self.delivered * 1_000_000)
+            .checked_div(self.sessions)
+            .unwrap_or(0)
+    }
+
+    /// Engine instants spent per payload bit delivered end to end —
+    /// the channel's inverse effective bitrate, rounded down. Zero when
+    /// nothing was delivered (so the ratio is monotone-comparable in
+    /// baselines: lower is better once bits flow).
+    #[must_use]
+    pub fn steps_per_delivered_bit(&self) -> u64 {
+        self.steps.checked_div(self.delivered_bits).unwrap_or(0)
+    }
+
     /// Serializes the snapshot as a JSON object with a stable key order,
     /// so equal snapshots produce byte-equal JSON (the property the CI
     /// smoke job diffs on).
@@ -395,6 +447,7 @@ impl MetricsSnapshot {
                 "{{\"sessions\":{},\"delivered\":{},\"timed_out\":{},",
                 "\"steps\":{},\"activations\":{},\"faults\":{},",
                 "\"retransmissions\":{},\"corrupt\":{},",
+                "\"delivered_bits\":{},\"fec_corrected\":{},\"fec_rejected\":{},",
                 "\"algo_rounds\":{},\"algo_bits\":{},\"algo_decided\":{},",
                 "\"steps_to_delivery\":{},\"activations_per_session\":{},",
                 "\"faults_per_session\":{},\"retransmissions_per_session\":{},",
@@ -408,6 +461,9 @@ impl MetricsSnapshot {
             self.faults,
             self.retransmissions,
             self.corrupt,
+            self.delivered_bits,
+            self.fec_corrected,
+            self.fec_rejected,
             self.algo_rounds,
             self.algo_bits,
             self.algo_decided,
@@ -481,6 +537,9 @@ mod tests {
             faults: i % 7,
             retransmissions: i % 4,
             corrupt: 0,
+            delivered_bits: if i.is_multiple_of(3) { 0 } else { 24 },
+            fec_corrected: i % 5,
+            fec_rejected: i % 2,
             algo_rounds: i % 3,
             algo_bits: i * 11 % 500,
             algo_decided: i.is_multiple_of(4),
@@ -529,6 +588,26 @@ mod tests {
             s.algo_decided,
             (0..50).filter(|i| i % 4 == 0).count() as u64
         );
+        assert_eq!(s.delivered_bits, s.delivered * 24);
+        assert_eq!(s.fec_corrected, (0..50).map(|i| i % 5).sum::<u64>());
+        assert_eq!(s.fec_rejected, (0..50).map(|i| i % 2).sum::<u64>());
+        assert_eq!(s.delivered_rate_ppm(), s.delivered * 1_000_000 / 50);
+        assert_eq!(s.steps_per_delivered_bit(), s.steps / s.delivered_bits);
+    }
+
+    #[test]
+    fn derived_rates_are_zero_before_any_delivery() {
+        let empty = MetricsSnapshot::empty();
+        assert_eq!(empty.delivered_rate_ppm(), 0);
+        assert_eq!(empty.steps_per_delivered_bit(), 0);
+        let m = FleetMetrics::new();
+        m.record_session(&SessionOutcome {
+            steps: 500,
+            ..SessionOutcome::default()
+        });
+        let s = m.snapshot();
+        assert_eq!(s.delivered_rate_ppm(), 0, "nothing delivered");
+        assert_eq!(s.steps_per_delivered_bit(), 0, "no bits, no ratio");
     }
 
     #[test]
@@ -542,6 +621,9 @@ mod tests {
             faults: 2,
             retransmissions: 1,
             corrupt: 0,
+            delivered_bits: 24,
+            fec_corrected: 2,
+            fec_rejected: 1,
             algo_rounds: 3,
             algo_bits: 112,
             algo_decided: true,
@@ -552,6 +634,9 @@ mod tests {
         assert!(json.starts_with("{\"sessions\":1,\"delivered\":1,"));
         assert!(json.contains("\"activations\":80"));
         assert!(json.contains("\"bounds\":[64,256,"));
+        assert!(json.contains(
+            "\"corrupt\":0,\"delivered_bits\":24,\"fec_corrected\":2,\"fec_rejected\":1,"
+        ));
         assert!(json.contains("\"algo_rounds\":3,\"algo_bits\":112,\"algo_decided\":1,"));
         assert!(json.contains("\"activations_to_decision\":{\"bounds\":[256,"));
     }

@@ -5,7 +5,7 @@
 //! `Mutex<VecDeque>` + `Condvar` queue (which serialized every job
 //! hand-off on one lock and topped out *below* 1× on the 864-session
 //! sweep), scheduling here is **lock-free**: each worker owns a
-//! [`Shard`] — a contiguous range of job indices packed into one
+//! `Shard` — a contiguous range of job indices packed into one
 //! `AtomicU64` — pops from its front, and when dry steals the back half
 //! of a victim's remaining range. Results flow back through a bounded
 //! `mpsc::sync_channel` tagged with their job index, and
@@ -106,7 +106,7 @@ fn unpack(packed: u64) -> (u32, u32) {
     ((packed >> 32) as u32, packed as u32)
 }
 
-/// The shared scheduler state: one [`Shard`] per worker over a fixed
+/// The shared scheduler state: one `Shard` per worker over a fixed
 /// set of `n` job indices, split contiguously at construction so
 /// results keep submission-order locality.
 #[derive(Debug)]

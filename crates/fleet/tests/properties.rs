@@ -25,13 +25,13 @@ fn outcome_strategy() -> impl Strategy<Value = SessionOutcome> {
             0u64..300,
             0u64..10,
         ),
-        0u64..2,
+        (0u64..2, 0u64..64, 0u64..8, 0u64..8),
         (0u64..20, 0u64..5_000, any::<bool>(), 0u64..4_000_000),
     )
         .prop_map(
             |(
                 (delivered, steps_to_delivery, steps, activations, faults, retransmissions),
-                corrupt,
+                (corrupt, delivered_bits, fec_corrected, fec_rejected),
                 (algo_rounds, algo_bits, algo_decided, activations_to_decision),
             )| {
                 SessionOutcome {
@@ -42,6 +42,9 @@ fn outcome_strategy() -> impl Strategy<Value = SessionOutcome> {
                     faults,
                     retransmissions,
                     corrupt,
+                    delivered_bits,
+                    fec_corrected,
+                    fec_rejected,
                     algo_rounds,
                     algo_bits,
                     algo_decided,

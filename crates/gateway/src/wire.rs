@@ -24,16 +24,17 @@
 use stigmergy_coding::checksum;
 use stigmergy_fleet::{BatchSpec, ProtocolKind};
 use stigmergy_scheduler::wire::{put_bytes, put_u32, put_u64, put_u8, Reader, WireError};
-use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{AlgorithmSpec, CodingSpec, FaultSpec, ScheduleSpec};
 
 use crate::GatewayError;
 
 /// Protocol version carried in the handshake.
 ///
 /// Version 2 added the `algorithms` sequence to the [`BatchSpec`]
-/// encoding; a v1 peer cannot parse a v2 spec frame, so the handshake
-/// rejects the mismatch up front.
-pub const WIRE_VERSION: u16 = 2;
+/// encoding; version 3 appended the `coding` spec (multi-symbol
+/// signalling and FEC knobs). An older peer cannot parse the newer spec
+/// frame, so the handshake rejects the mismatch up front.
+pub const WIRE_VERSION: u16 = 3;
 
 /// Hard ceiling on one frame's length field (16 MiB): a corrupt or
 /// hostile length must fail fast, not allocate.
@@ -459,6 +460,7 @@ pub fn put_batch_spec(out: &mut Vec<u8>, spec: &BatchSpec) {
         None => put_u8(out, 0),
     }
     put_u8(out, u8::from(spec.keep_traces));
+    spec.coding.encode_wire(out);
 }
 
 /// Decodes a [`BatchSpec`] (inverse of [`put_batch_spec`]).
@@ -520,6 +522,7 @@ pub fn get_batch_spec(r: &mut Reader<'_>) -> Result<BatchSpec, WireError> {
             })
         }
     };
+    let coding = CodingSpec::decode_wire(r)?;
     Ok(BatchSpec {
         protocols,
         algorithms,
@@ -530,6 +533,7 @@ pub fn get_batch_spec(r: &mut Reader<'_>) -> Result<BatchSpec, WireError> {
         payload,
         budget_cap,
         keep_traces,
+        coding,
     })
 }
 
@@ -776,17 +780,33 @@ mod tests {
 
     #[test]
     fn batch_spec_round_trips_exactly() {
-        let spec = BatchSpec {
-            keep_traces: true,
-            budget_cap: None,
-            ..sample_spec()
-        };
-        let mut buf = Vec::new();
-        put_batch_spec(&mut buf, &spec);
-        let mut r = Reader::new(&buf);
-        let back = get_batch_spec(&mut r).unwrap();
-        r.finish().unwrap();
-        assert_eq!(back, spec);
+        // Cover every coding arm: the conformance default (FEC), the
+        // uncoded legacy channel, and bare multi-level signalling.
+        let codings = [
+            CodingSpec::Fec {
+                levels: 8,
+                dwell: 10,
+            },
+            CodingSpec::Binary,
+            CodingSpec::MultiLevel {
+                levels: 4,
+                dwell: 7,
+            },
+        ];
+        for coding in codings {
+            let spec = BatchSpec {
+                keep_traces: true,
+                budget_cap: None,
+                coding,
+                ..sample_spec()
+            };
+            let mut buf = Vec::new();
+            put_batch_spec(&mut buf, &spec);
+            let mut r = Reader::new(&buf);
+            let back = get_batch_spec(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, spec);
+        }
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Seeded violation: the `coding::checksum::verify` / FEC decode error
+//! paths with a codec arm forgotten after adding a variant. `Uncorrectable`
+//! was added when the FEC layer landed, but `from_wire_code` still hides it
+//! behind a wildcard that aliases it to `ChecksumMismatch` — a decode-arm
+//! omission exactly like PR 7's, now on the error channel instead of the
+//! message channel. Expected: 1 × wire-completeness.
+
+pub enum VerifyError {
+    TrailerMissing,
+    ChecksumMismatch,
+    Uncorrectable,
+}
+
+impl VerifyError {
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            VerifyError::TrailerMissing => 0,
+            VerifyError::ChecksumMismatch => 1,
+            VerifyError::Uncorrectable => 2,
+        }
+    }
+
+    pub fn from_wire_code(code: u8) -> VerifyError {
+        match code {
+            0 => VerifyError::TrailerMissing,
+            _ => VerifyError::ChecksumMismatch,
+        }
+    }
+}

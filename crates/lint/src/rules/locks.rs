@@ -161,7 +161,7 @@ pub fn check(ft: &FileTokens) -> Vec<Violation> {
 /// is a violation — the whole point of the sharded-deque design is
 /// that claims are CAS-only, so a `Mutex` sneaking back in is an
 /// architecture regression, not a style problem. Bans the blocking
-/// sync type names ([`BLOCKING_SYNC_TYPES`]) and `.lock(` / `.wait*(`
+/// sync type names (`BLOCKING_SYNC_TYPES`) and `.lock(` / `.wait*(`
 /// method calls; `mpsc` channels and atomics stay legal (the result
 /// path is a channel, and `recv` blocking on the collector is the
 /// design).

@@ -264,12 +264,79 @@ impl AlgorithmSpec {
     }
 }
 
+/// A buildable, thread-safe description of the motion channel's symbol
+/// coding — how many bits each excursion carries and whether the symbol
+/// stream is protected by forward error correction.
+///
+/// Like the other specs this is plain data: the fleet runtime ships it to
+/// worker threads, which instantiate the paced multi-level protocols (or
+/// the historical binary ones) deterministically from the spec. The
+/// scheduler crate owns the type so the wire codec lives next to the other
+/// spec codecs and stiglint's wire-completeness pass covers the whole spec
+/// family from one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodingSpec {
+    /// The historical one-bit-per-excursion channel. Default; produces
+    /// byte-identical traces to every pre-coding release.
+    #[default]
+    Binary,
+    /// Multi-level magnitude coding: each excursion is one of `levels`
+    /// discrete lateral offsets (`log2(levels)` bits per excursion), held
+    /// for `dwell` sender activations so starved receivers still sample
+    /// every symbol. No redundancy: a corrupted symbol loses the frame.
+    MultiLevel {
+        /// Magnitude levels per excursion; a power of two in `2..=256`.
+        levels: u8,
+        /// Sender activations each symbol is held for.
+        dwell: u8,
+    },
+    /// Multi-level coding with systematic Hamming(7,4) forward error
+    /// correction over the symbol stream: any single symbol error or
+    /// erasure per 7-symbol block is corrected instead of rejected.
+    Fec {
+        /// Magnitude levels per excursion; a power of two in `2..=256`.
+        levels: u8,
+        /// Sender activations each symbol is held for.
+        dwell: u8,
+    },
+}
+
+impl CodingSpec {
+    /// A short name for reports and bench suites.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodingSpec::Binary => "binary",
+            CodingSpec::MultiLevel { .. } => "multi-level",
+            CodingSpec::Fec { .. } => "fec",
+        }
+    }
+
+    /// Bits carried per excursion (`log2(levels)`; 1 for binary).
+    #[must_use]
+    pub fn bits_per_symbol(&self) -> u32 {
+        match *self {
+            CodingSpec::Binary => 1,
+            CodingSpec::MultiLevel { levels, .. } | CodingSpec::Fec { levels, .. } => {
+                u32::from(levels).max(2).trailing_zeros()
+            }
+        }
+    }
+
+    /// Whether the symbol stream carries FEC parity.
+    #[must_use]
+    pub fn has_fec(&self) -> bool {
+        matches!(self, CodingSpec::Fec { .. })
+    }
+}
+
 /// Compile-time guarantee that specs can cross threads.
 fn _assert_send_sync() {
     fn assert_send_sync<T: Send + Sync + Clone>() {}
     assert_send_sync::<ScheduleSpec>();
     assert_send_sync::<FaultSpec>();
     assert_send_sync::<AlgorithmSpec>();
+    assert_send_sync::<CodingSpec>();
 }
 
 /// The activation sequence of a built schedule, for tests.
@@ -395,6 +462,28 @@ mod tests {
             AlgorithmSpec::Agreement { inputs: 0b101 }.name(),
             "agreement"
         );
+    }
+
+    #[test]
+    fn coding_spec_names_and_widths() {
+        assert_eq!(CodingSpec::Binary.name(), "binary");
+        assert_eq!(CodingSpec::default(), CodingSpec::Binary);
+        assert_eq!(CodingSpec::Binary.bits_per_symbol(), 1);
+        assert!(!CodingSpec::Binary.has_fec());
+        let ml = CodingSpec::MultiLevel {
+            levels: 8,
+            dwell: 10,
+        };
+        assert_eq!(ml.name(), "multi-level");
+        assert_eq!(ml.bits_per_symbol(), 3);
+        assert!(!ml.has_fec());
+        let fec = CodingSpec::Fec {
+            levels: 16,
+            dwell: 10,
+        };
+        assert_eq!(fec.name(), "fec");
+        assert_eq!(fec.bits_per_symbol(), 4);
+        assert!(fec.has_fec());
     }
 
     #[test]

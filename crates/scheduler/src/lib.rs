@@ -40,7 +40,7 @@ pub mod wire;
 
 pub use activation::ActivationSet;
 pub use adversary::{Bursty, CrashFiltered, FaultPlan, LaggingRobot, WorstCaseFair};
-pub use factory::{AlgorithmSpec, FaultSpec, ScheduleSpec};
+pub use factory::{AlgorithmSpec, CodingSpec, FaultSpec, ScheduleSpec};
 pub use fairness::{audit_fairness, FairnessReport};
 pub use schedules::{FairAsync, RoundRobin, Scripted, SingleActive, Synchronous, WakeAllFirst};
 

@@ -15,7 +15,7 @@
 //! validates structure (tags, lengths, finiteness) and reports a typed
 //! [`WireError`] instead of panicking on malformed input.
 
-use crate::factory::{AlgorithmSpec, FaultSpec, ScheduleSpec};
+use crate::factory::{AlgorithmSpec, CodingSpec, FaultSpec, ScheduleSpec};
 
 /// Upper bound on any length prefix accepted by [`Reader::bytes`] and the
 /// sequence decoders — a corrupt length must fail, not allocate.
@@ -512,6 +512,71 @@ impl AlgorithmSpec {
     }
 }
 
+impl CodingSpec {
+    /// Appends the canonical encoding of `self`.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        match *self {
+            CodingSpec::Binary => put_u8(out, 0),
+            CodingSpec::MultiLevel { levels, dwell } => {
+                put_u8(out, 1);
+                put_u8(out, levels);
+                put_u8(out, dwell);
+            }
+            CodingSpec::Fec { levels, dwell } => {
+                put_u8(out, 2);
+                put_u8(out, levels);
+                put_u8(out, dwell);
+            }
+        }
+    }
+
+    /// Decodes one spec from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed input.
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => CodingSpec::Binary,
+            1 => CodingSpec::MultiLevel {
+                levels: r.u8()?,
+                dwell: r.u8()?,
+            },
+            2 => CodingSpec::Fec {
+                levels: r.u8()?,
+                dwell: r.u8()?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "coding spec",
+                    tag,
+                })
+            }
+        })
+    }
+
+    /// The canonical encoding as a fresh buffer.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_wire(&mut out);
+        out
+    }
+
+    /// Decodes a spec that must span the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including [`WireError::Trailing`] on excess
+    /// bytes.
+    pub fn from_wire(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let spec = Self::decode_wire(&mut r)?;
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
 /// Decodes a robot/step index stored as `u64` back into `usize`.
 fn decode_index(r: &mut Reader<'_>) -> Result<usize, WireError> {
     usize::try_from(r.u64()?).map_err(|_| WireError::BadValue {
@@ -571,6 +636,20 @@ mod tests {
         ]
     }
 
+    fn coding_corpus() -> Vec<CodingSpec> {
+        vec![
+            CodingSpec::Binary,
+            CodingSpec::MultiLevel {
+                levels: 4,
+                dwell: 6,
+            },
+            CodingSpec::Fec {
+                levels: 8,
+                dwell: 10,
+            },
+        ]
+    }
+
     fn fault_corpus() -> Vec<FaultSpec> {
         vec![
             FaultSpec::Benign,
@@ -599,6 +678,9 @@ mod tests {
         for spec in algorithm_corpus() {
             assert_eq!(AlgorithmSpec::from_wire(&spec.to_wire()).unwrap(), spec);
         }
+        for spec in coding_corpus() {
+            assert_eq!(CodingSpec::from_wire(&spec.to_wire()).unwrap(), spec);
+        }
     }
 
     #[test]
@@ -613,6 +695,9 @@ mod tests {
         for spec in algorithm_corpus() {
             spec.encode_wire(&mut buf);
         }
+        for spec in coding_corpus() {
+            spec.encode_wire(&mut buf);
+        }
         let mut r = Reader::new(&buf);
         for want in schedule_corpus() {
             assert_eq!(ScheduleSpec::decode_wire(&mut r).unwrap(), want);
@@ -622,6 +707,9 @@ mod tests {
         }
         for want in algorithm_corpus() {
             assert_eq!(AlgorithmSpec::decode_wire(&mut r).unwrap(), want);
+        }
+        for want in coding_corpus() {
+            assert_eq!(CodingSpec::decode_wire(&mut r).unwrap(), want);
         }
         r.finish().unwrap();
     }
@@ -647,6 +735,13 @@ mod tests {
             Err(WireError::BadTag {
                 what: "algorithm spec",
                 tag: 0x63
+            })
+        );
+        assert_eq!(
+            CodingSpec::from_wire(&[0x44]),
+            Err(WireError::BadTag {
+                what: "coding spec",
+                tag: 0x44
             })
         );
     }

@@ -16,7 +16,7 @@ use std::thread;
 use stigmergy_fleet::{
     run_batch, run_indexed, BatchSpec, ProtocolKind, StealScheduler, DEFAULT_PAYLOAD,
 };
-use stigmergy_scheduler::{FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{CodingSpec, FaultSpec, ScheduleSpec};
 
 /// SplitMix64: the seeded PRNG behind the hostile distributions — tiny,
 /// deterministic, and independent of `std`'s unstable hasher.
@@ -168,6 +168,7 @@ fn poisoned_session_fails_its_report_without_wedging_the_pool() {
         payload: DEFAULT_PAYLOAD.to_vec(),
         budget_cap: Some(2_000),
         keep_traces: false,
+        coding: CodingSpec::Binary,
     };
     let reference = run_batch(&spec, 1);
     assert_eq!(reference.runs.len(), 8);

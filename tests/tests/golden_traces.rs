@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 
 use stigmergy_fleet::{fnv1a64, run_session, to_hex, ProtocolKind, SessionSpec, CONFORMANCE};
-use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{AlgorithmSpec, CodingSpec, FaultSpec, ScheduleSpec};
 
 /// One golden scenario per distributed algorithm, over the §4 swarm
 /// channel under the worst-case-fair schedule with non-rigid motion.
@@ -32,6 +32,13 @@ const GOLDEN_ALGORITHMS: [AlgorithmSpec; 3] = [
 /// The pinned scenario: bursty activations with non-rigid motion, one
 /// seed per protocol, a budget small enough that the hex files stay a
 /// few KB but large enough for faults to fire and frames to decode.
+///
+/// Sync protocols run the conformance matrix's coding (8-level paced
+/// signalling with FEC); async and hardened sessions ignore the coding
+/// field, so their pinned traces are untouched by it. The separate
+/// `sync2-binary` scenario pins the legacy uncoded sync path — its hex
+/// file is the pre-coding `sync2.hex` byte for byte, proving the coding
+/// layer never leaks into `CodingSpec::Binary` runs.
 fn golden_spec(protocol: ProtocolKind) -> SessionSpec {
     SessionSpec {
         protocol,
@@ -50,6 +57,10 @@ fn golden_spec(protocol: ProtocolKind) -> SessionSpec {
         payload: b"adv".to_vec(),
         budget_cap: Some(256),
         keep_trace: true,
+        coding: CodingSpec::Fec {
+            levels: 8,
+            dwell: 10,
+        },
     }
 }
 
@@ -67,6 +78,7 @@ fn golden_algo_spec(algorithm: AlgorithmSpec) -> SessionSpec {
         payload: b"adv".to_vec(),
         budget_cap: Some(256),
         keep_trace: true,
+        coding: CodingSpec::Binary,
     }
 }
 
@@ -86,29 +98,38 @@ fn trace_of(spec: &SessionSpec, name: &str) -> Vec<u8> {
     report.trace.expect("keep_trace retains bytes")
 }
 
-fn golden_bytes(protocol: ProtocolKind) -> Vec<u8> {
-    trace_of(&golden_spec(protocol), protocol.name())
-}
-
-fn golden_algo_bytes(algorithm: AlgorithmSpec) -> Vec<u8> {
-    trace_of(
-        &golden_algo_spec(algorithm),
-        &format!("algo-{}", algorithm.name()),
-    )
+/// Every pinned scenario as `(file stem, session spec)`.
+fn golden_scenarios() -> Vec<(String, SessionSpec)> {
+    let mut out: Vec<(String, SessionSpec)> = CONFORMANCE
+        .iter()
+        .map(|&p| (p.name().to_string(), golden_spec(p)))
+        .collect();
+    // The legacy uncoded sync pair: byte-pinned to the pre-coding
+    // `sync2.hex` content.
+    out.push((
+        "sync2-binary".to_string(),
+        SessionSpec {
+            coding: CodingSpec::Binary,
+            ..golden_spec(ProtocolKind::Sync2)
+        },
+    ));
+    out.extend(
+        GOLDEN_ALGORITHMS
+            .iter()
+            .map(|&a| (format!("algo-{}", a.name()), golden_algo_spec(a))),
+    );
+    out
 }
 
 /// Every pinned scenario as `(file stem, trace bytes)`.
 fn all_golden() -> Vec<(String, Vec<u8>)> {
-    let mut out: Vec<(String, Vec<u8>)> = CONFORMANCE
-        .iter()
-        .map(|&p| (p.name().to_string(), golden_bytes(p)))
-        .collect();
-    out.extend(
-        GOLDEN_ALGORITHMS
-            .iter()
-            .map(|&a| (format!("algo-{}", a.name()), golden_algo_bytes(a))),
-    );
-    out
+    golden_scenarios()
+        .into_iter()
+        .map(|(name, spec)| {
+            let bytes = trace_of(&spec, &name);
+            (name, bytes)
+        })
+        .collect()
 }
 
 #[test]
@@ -151,21 +172,9 @@ fn golden_runs_are_reproducible_in_process() {
     // The drift test is only meaningful if the pinned scenario replays
     // exactly; a flaky golden run would blame the codec for engine
     // nondeterminism.
-    for (name, a) in all_golden() {
-        let b = match name.strip_prefix("algo-") {
-            Some(algo) => golden_algo_bytes(
-                *GOLDEN_ALGORITHMS
-                    .iter()
-                    .find(|g| g.name() == algo)
-                    .expect("stems come from the same table"),
-            ),
-            None => golden_bytes(
-                CONFORMANCE
-                    .into_iter()
-                    .find(|p| p.name() == name)
-                    .expect("stems come from the same table"),
-            ),
-        };
+    for (name, spec) in golden_scenarios() {
+        let a = trace_of(&spec, &name);
+        let b = trace_of(&spec, &name);
         assert_eq!(
             fnv1a64(&a),
             fnv1a64(&b),
@@ -177,9 +186,9 @@ fn golden_runs_are_reproducible_in_process() {
 
 #[test]
 fn golden_scenarios_differ_across_protocols() {
-    // Six distinct protocols and three algorithms must pin nine
-    // distinct traces — identical files would mean the spec ignores its
-    // protocol (or algorithm) field.
+    // Six distinct protocols (plus the uncoded sync2 variant) and three
+    // algorithms must pin ten distinct traces — identical files would
+    // mean the spec ignores its protocol, coding, or algorithm field.
     let golden = all_golden();
     let expected = golden.len();
     let mut hashes: Vec<u64> = golden.into_iter().map(|(_, b)| fnv1a64(&b)).collect();

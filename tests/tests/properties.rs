@@ -41,7 +41,7 @@ fn outcome() -> impl Strategy<Value = SessionOutcome> {
         0u64..20_000,
         0u64..100,
         0u64..50,
-        0u64..3,
+        (0u64..3, 0u64..64, 0u64..8, 0u64..8),
         (0u64..20, 0u64..2_000, any::<bool>(), 0u64..20_000),
     )
         .prop_map(
@@ -52,7 +52,7 @@ fn outcome() -> impl Strategy<Value = SessionOutcome> {
                 activations,
                 faults,
                 retransmissions,
-                corrupt,
+                (corrupt, delivered_bits, fec_corrected, fec_rejected),
                 (algo_rounds, algo_bits, algo_decided, activations_to_decision),
             )| {
                 SessionOutcome {
@@ -63,6 +63,9 @@ fn outcome() -> impl Strategy<Value = SessionOutcome> {
                     faults,
                     retransmissions,
                     corrupt,
+                    delivered_bits,
+                    fec_corrected,
+                    fec_rejected,
                     algo_rounds,
                     algo_bits,
                     algo_decided,

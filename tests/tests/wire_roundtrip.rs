@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use stigmergy_fleet::{BatchSpec, ProtocolKind};
 use stigmergy_gateway::{JobRequest, Message};
 use stigmergy_scheduler::wire::Reader;
-use stigmergy_scheduler::{AlgorithmSpec, FaultSpec, ScheduleSpec};
+use stigmergy_scheduler::{AlgorithmSpec, CodingSpec, FaultSpec, ScheduleSpec};
 
 /// A strategy over every `ScheduleSpec` variant. The shim has no
 /// `prop_oneof`, so one tuple of parameters is drawn and a variant
@@ -51,6 +51,18 @@ fn algorithm_spec() -> impl Strategy<Value = AlgorithmSpec> {
         0 => AlgorithmSpec::Flood { initiator },
         1 => AlgorithmSpec::Election,
         _ => AlgorithmSpec::Agreement { inputs },
+    })
+}
+
+/// A strategy over every `CodingSpec` variant.
+fn coding_spec() -> impl Strategy<Value = CodingSpec> {
+    (0usize..3, 0u32..4, 1u8..60).prop_map(|(variant, log2_levels, dwell)| {
+        let levels = 2u8 << log2_levels;
+        match variant {
+            0 => CodingSpec::Binary,
+            1 => CodingSpec::MultiLevel { levels, dwell },
+            _ => CodingSpec::Fec { levels, dwell },
+        }
     })
 }
 
@@ -112,6 +124,7 @@ proptest! {
         with_cap in any::<bool>(),
         workers in 1u64..16,
         deadline_ms in 0u64..100_000,
+        coding in coding_spec(),
     ) {
         let spec = BatchSpec {
             protocols: vec![
@@ -127,6 +140,7 @@ proptest! {
             payload,
             budget_cap: with_cap.then_some(cap),
             keep_traces: false,
+            coding,
         };
         let request = JobRequest { spec, workers, deadline_ms };
         let msg = Message::Submit { request: request.clone() };
